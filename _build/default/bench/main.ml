@@ -1,0 +1,513 @@
+(* Benchmark harness: regenerates every figure of the paper's
+   evaluation (Section 6) on the simulated GeForce 8800 GTX + Core2 Duo
+   testbed, plus Bechamel micro-benchmarks of the compiler passes.
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe -- fig4    -- one artifact
+     dune exec bench/main.exe -- micro   -- compiler-pass microbenches
+
+   Absolute milliseconds come from a first-order machine model (see
+   DESIGN.md); the claims under test are the *shapes*: who wins, by
+   what rough factor, and where the optima/crossovers sit. *)
+
+open Emsc_arith
+open Emsc_ir
+open Emsc_core
+open Emsc_transform
+open Emsc_machine
+open Emsc_kernels
+
+let no_params name = failwith ("bench: unexpected parameter " ^ name)
+let zero_env _ = Zint.zero
+let gpu = Config.gtx8800
+let cpu = Config.core2duo
+
+let pf = Printf.printf
+
+let human n =
+  if n >= 1 lsl 20 then Printf.sprintf "%dM" (n lsr 20)
+  else if n >= 1 lsl 10 then Printf.sprintf "%dk" (n lsr 10)
+  else string_of_int n
+
+(* ------------------------------------------------------------------ *)
+(* Mpeg4 motion estimation                                            *)
+(* ------------------------------------------------------------------ *)
+
+let ws = 16
+let me_threads = 256
+
+(* 32 thread blocks as in the paper: an 8 x 4 block grid *)
+let me_spec ~ni ~nj (ti, tj, tk, tl) =
+  [| { Tile.block = Some ((ni + 7) / 8); mem = Some ti; thread = None };
+     { Tile.block = Some ((nj + 3) / 4); mem = Some tj; thread = None };
+     { Tile.block = None; mem = Some tk; thread = None };
+     { Tile.block = None; mem = Some tl; thread = None } |]
+
+type me_run = {
+  me_ms : float;
+  me_fp_bytes : int;
+}
+
+let run_me ~ni ~nj ~tiles ~smem =
+  let p = Me.program ~ni ~nj ~ws in
+  let spec = me_spec ~ni ~nj tiles in
+  let tp = Tile.tile_program p spec in
+  let ctx = Tile.origin_context p spec in
+  let plan = Plan.plan_block ~arch:`Gpu ~param_context:ctx tp in
+  let movement, local_ref, fp_words =
+    if smem then
+      ( List.map (fun (b : Plan.buffered) -> (b.Plan.move_in, b.Plan.move_out))
+          plan.Plan.buffered,
+        Some (Plan.local_ref plan),
+        Zint.to_int_exn (Plan.total_footprint plan zero_env) )
+    else ([], None, 0)
+  in
+  let ast = Tile.generate p spec ~movement in
+  let memory = Memory.create_phantom p ~param_env:no_params in
+  List.iter (fun (b : Plan.buffered) ->
+    Memory.declare_local memory b.Plan.buffer.Alloc.local_name)
+    plan.Plan.buffered;
+  let result =
+    Exec.run ~prog:tp ?local_ref ~param_env:no_params ~memory
+      ~mode:(Exec.Sampled 6) ast
+  in
+  let params =
+    { Timing.threads = me_threads;
+      smem_bytes_per_block = fp_words * gpu.Config.word_bytes;
+      (* staged copies are aligned and fully coalesced; the sliding
+         window accesses of the unstaged version mostly are not
+         (G80 alignment rules) *)
+      coalesce_eff = (if smem then 16.0 else 4.0);
+      global_sync = false; double_buffer = false }
+  in
+  { me_ms = Timing.gpu_total_ms gpu params result;
+    me_fp_bytes = fp_words * gpu.Config.word_bytes }
+
+(* CPU baseline: full interpretation with cache simulation at a small
+   frame, extrapolated linearly in the operation count (the kernel
+   streams, so per-op cache behaviour is size-independent). *)
+let me_cpu_ms_per_op =
+  lazy
+    begin
+      let ni = 96 and nj = 96 in
+      let p = Me.program ~ni ~nj ~ws in
+      let spec = Array.make 4 Tile.no_tiling in
+      let ast = Tile.generate p spec ~movement:[] in
+      let memory = Memory.create p ~param_env:no_params in
+      let h = Cache.Hierarchy.create cpu in
+      let on_global _ addr _ = ignore (Cache.Hierarchy.access h addr) in
+      let r =
+        Exec.run ~prog:p ~param_env:no_params ~memory ~mode:Exec.Full
+          ~on_global ast
+      in
+      let ms =
+        Timing.cpu_total_ms cpu ~flops:r.Exec.totals.Exec.flops
+          ~l1_hits:(Cache.Hierarchy.l1_hits h)
+          ~l2_hits:(Cache.Hierarchy.l2_hits h)
+          ~mem_accesses:(Cache.Hierarchy.mem_accesses h)
+      in
+      ms /. float_of_int (ni * nj * ws * ws)
+    end
+
+let me_cpu_ms ~ni ~nj =
+  Lazy.force me_cpu_ms_per_op *. float_of_int ni *. float_of_int nj
+  *. float_of_int (ws * ws)
+
+let me_sizes =
+  (* labelled as in the paper; square frames *)
+  [ ("256k", 512); ("1M", 1024); ("2M", 1448); ("4M", 2048); ("9M", 3072);
+    ("16M", 4096); ("64M", 8192) ]
+
+let best_me_tiles = (32, 16, 16, 16)
+
+let fig4 () =
+  pf "=== Figure 4: Mpeg4 ME execution time (ms) vs problem size ===\n";
+  pf "%-8s %14s %14s %14s %10s %9s\n" "size" "GPU-noSmem" "GPU-smem" "CPU"
+    "no/smem" "cpu/smem";
+  List.iter (fun (label, n) ->
+    let dram = run_me ~ni:n ~nj:n ~tiles:best_me_tiles ~smem:false in
+    let sm = run_me ~ni:n ~nj:n ~tiles:best_me_tiles ~smem:true in
+    let c = me_cpu_ms ~ni:n ~nj:n in
+    pf "%-8s %14.1f %14.1f %14.1f %9.1fx %8.0fx\n" label dram.me_ms sm.me_ms c
+      (dram.me_ms /. sm.me_ms) (c /. sm.me_ms))
+    me_sizes;
+  pf "(paper: scratchpad ~8x over DRAM-only; >100x over CPU)\n\n"
+
+let me_tile_candidates =
+  [ (8, 8, 16, 16); (16, 8, 16, 16); (16, 16, 16, 16); (32, 16, 16, 16);
+    (32, 32, 16, 16); (64, 16, 16, 16) ]
+
+let fig6 () =
+  pf "=== Figure 6: Mpeg4 ME time (ms) for varying memory-tile sizes ===\n";
+  let sizes = List.filter (fun (_, n) -> n >= 2048) me_sizes in
+  pf "%-14s" "tile";
+  List.iter (fun (label, _) -> pf " %10s" label) sizes;
+  pf " %11s\n" "smem/block";
+  List.iter (fun (ti, tj, tk, tl) ->
+    pf "%2d,%2d,%2d,%2d    " ti tj tk tl;
+    let fp = ref 0 in
+    List.iter (fun (_, n) ->
+      let r = run_me ~ni:n ~nj:n ~tiles:(ti, tj, tk, tl) ~smem:true in
+      fp := r.me_fp_bytes;
+      pf " %10.1f" r.me_ms)
+      sizes;
+    pf " %10dB%s\n" !fp
+      (if !fp > gpu.Config.smem_bytes then "  <- exceeds 16KB" else ""))
+    me_tile_candidates;
+  (* and what does the Section 4.3 search pick? *)
+  let ni = 2048 and nj = 2048 in
+  let prog = Me.program ~ni ~nj ~ws in
+  let problem =
+    Tilesearch.pipeline_problem ~prog
+      ~spec_of:(fun t -> me_spec ~ni ~nj (t.(0), t.(1), t.(2), t.(3)))
+      ~ranges:[| (8, 64); (8, 64); (16, 16); (16, 16) |]
+      ~mem_limit_words:(gpu.Config.smem_bytes / gpu.Config.word_bytes)
+      ~threads:(float_of_int me_threads) ~sync_cost:40.0 ~transfer_cost:4.0 ()
+  in
+  (match Tilesearch.search ~max_evals:60 ~snap_pow2:true problem with
+   | Some c ->
+     pf "tile-size search picks (%s), footprint %d words\n"
+       (String.concat ","
+          (Array.to_list (Array.map string_of_int c.Tilesearch.t)))
+       c.Tilesearch.footprint
+   | None -> pf "tile-size search found nothing feasible\n");
+  pf "(paper: 32,16,16,16 optimal and found by the search)\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* 1-D Jacobi                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let jac_steps = 4096
+let jac_threads = 64
+
+let run_jacobi ~n ~ts ~tt =
+  let p = Jacobi1d.program ~n ~steps:jac_steps in
+  let k = Stencil.overlapped_1d ~n ~steps:jac_steps ~ts ~tt p in
+  let memory = Memory.create_phantom p ~param_env:no_params in
+  List.iter (Memory.declare_local memory) k.Stencil.locals;
+  let result =
+    Exec.run ~prog:p ~local_ref:k.Stencil.local_ref ~param_env:no_params
+      ~memory ~mode:(Exec.Sampled 6) k.Stencil.ast
+  in
+  let params =
+    { Timing.threads = jac_threads;
+      smem_bytes_per_block = k.Stencil.smem_words * gpu.Config.word_bytes;
+      coalesce_eff = 16.0;
+      global_sync = true; double_buffer = false }
+  in
+  Timing.gpu_total_ms gpu params result
+
+let run_jacobi_dram ~n ~ts =
+  let p = Jacobi1d.program ~n ~steps:jac_steps in
+  let k = Stencil.dram_1d ~n ~steps:jac_steps ~ts p in
+  let memory = Memory.create_phantom p ~param_env:no_params in
+  let result =
+    Exec.run ~prog:p ~param_env:no_params ~memory ~mode:(Exec.Sampled 6)
+      k.Stencil.ast
+  in
+  let params =
+    { Timing.threads = jac_threads; smem_bytes_per_block = 0;
+      coalesce_eff = 3.5; global_sync = true; double_buffer = false }
+  in
+  Timing.gpu_total_ms gpu params result
+
+let jac_cpu_ms_per_cell =
+  lazy
+    begin
+      let n = 8192 and steps = 32 in
+      let p = Jacobi1d.program ~n ~steps in
+      let memory = Memory.create p ~param_env:no_params in
+      let h = Cache.Hierarchy.create cpu in
+      let on_global _ addr _ = ignore (Cache.Hierarchy.access h addr) in
+      let c = Reference.run p ~param_env:no_params memory ~on_global () in
+      let ms =
+        Timing.cpu_total_ms cpu ~flops:c.Exec.flops
+          ~l1_hits:(Cache.Hierarchy.l1_hits h)
+          ~l2_hits:(Cache.Hierarchy.l2_hits h)
+          ~mem_accesses:(Cache.Hierarchy.mem_accesses h)
+      in
+      ms /. (float_of_int n *. float_of_int steps)
+    end
+
+let jac_cpu_ms ~n =
+  Lazy.force jac_cpu_ms_per_cell *. float_of_int n *. float_of_int jac_steps
+
+let fig5_sizes = [ 8192; 16384; 32768; 65536; 131072; 262144; 524288 ]
+
+let fig5 () =
+  pf "=== Figure 5: 1-D Jacobi execution time (ms) vs problem size ===\n";
+  pf "%-8s %14s %14s %14s %10s %9s\n" "size" "GPU-noSmem" "GPU-smem" "CPU"
+    "no/smem" "cpu/smem";
+  List.iter (fun n ->
+    let ts = 256 in
+    let sm = run_jacobi ~n ~ts ~tt:32 in
+    let dram = run_jacobi_dram ~n ~ts in
+    let c = jac_cpu_ms ~n in
+    pf "%-8s %14.1f %14.1f %14.1f %9.1fx %8.1fx\n" (human n) dram sm c
+      (dram /. sm) (c /. sm))
+    fig5_sizes;
+  pf "(paper: scratchpad ~10x over DRAM-only; ~15x over CPU)\n\n"
+
+let fig7 () =
+  pf "=== Figure 7: 1-D Jacobi time (ms) vs number of thread blocks ===\n";
+  let block_counts = [ 32; 64; 96; 128; 160; 192; 224; 256 ] in
+  pf "%-8s" "blocks";
+  List.iter (fun n -> pf " %12s" ("N=" ^ human n)) [ 8192; 16384; 32768 ];
+  pf "\n";
+  List.iter (fun b ->
+    pf "%-8d" b;
+    List.iter (fun n ->
+      let ts = max 4 ((n - 2 + b - 1) / b) in
+      pf " %12.2f" (run_jacobi ~n ~ts ~tt:32))
+      [ 8192; 16384; 32768 ];
+    pf "\n")
+    block_counts;
+  pf "(paper: U-shaped curves; synchronization dominates at high block counts)\n\n"
+
+let jac_tile_candidates =
+  [ (32, 64); (32, 128); (16, 256); (32, 256); (64, 256) ]
+
+let fig8 () =
+  pf "=== Figure 8: 1-D Jacobi time (ms) for varying (time,space) tiles ===\n";
+  let sizes = [ 65536; 131072; 262144; 524288 ] in
+  pf "%-10s" "tt,ts";
+  List.iter (fun n -> pf " %12s" (human n)) sizes;
+  pf "\n";
+  List.iter (fun (tt, ts) ->
+    pf "%3d,%-5d " tt ts;
+    List.iter (fun n -> pf " %12.1f" (run_jacobi ~n ~ts ~tt)) sizes;
+    pf "\n")
+    jac_tile_candidates;
+  (* the Section 4.3 search over (tt, ts), scratchpad limited as in the
+     paper's experiment (2^9 words per buffer -> 2^10 words here since
+     the ping-pong keeps two buffers; see EXPERIMENTS.md) *)
+  let limit_words = 1024 in
+  let problem =
+    { Tilesearch.ranges = [| (8, 128); (32, 512) |];
+      mem_limit_words = limit_words;
+      threads = float_of_int jac_threads;
+      sync_cost = 2.0;
+      transfer_cost = 8.0;
+      evaluate =
+        (fun t ->
+          let tt = t.(0) and ts = t.(1) in
+          if tt <= 0 || ts <= 0 then None
+          else Some (run_jacobi ~n:131072 ~ts ~tt, 2 * (ts + (2 * tt)))) }
+  in
+  (match Tilesearch.search ~max_evals:80 ~snap_pow2:true problem with
+   | Some c ->
+     pf "tile-size search picks tt=%d, ts=%d (footprint %d words)\n"
+       c.Tilesearch.t.(0) c.Tilesearch.t.(1) c.Tilesearch.footprint
+   | None -> pf "tile-size search found nothing feasible\n");
+  pf "(paper: space tile 256, time tile 32 optimal and found by the search)\n\n"
+
+(* ------------------------------------------------------------------ *)
+(* Ablations: design choices DESIGN.md calls out                       *)
+(* ------------------------------------------------------------------ *)
+
+let ablations () =
+  pf "=== Ablations ===\n";
+  (* 1. Section 3.1.4 movement optimizer: producer-consumer block *)
+  let src =
+    {|
+    array A[64];
+    array C[64];
+    for (i = 0; i <= 63; i++) { A[i] = i * 2; }
+    for (i = 0; i <= 63; i++) { C[i] = A[i] + 1; }
+    |}
+  in
+  let p = Emsc_lang.Parser.parse src in
+  let copies plan =
+    List.fold_left (fun acc (b : Plan.buffered) ->
+      let count stms =
+        let n = ref 0 in
+        let rec walk s =
+          match s with
+          | Emsc_codegen.Ast.Loop l -> List.iter walk l.Emsc_codegen.Ast.body
+          | Emsc_codegen.Ast.Guard (_, body) -> List.iter walk body
+          | Emsc_codegen.Ast.Copy _ -> incr n
+          | _ -> ()
+        in
+        List.iter walk stms;
+        !n
+      in
+      acc + count b.Plan.move_in)
+      0 plan.Plan.buffered
+  in
+  let naive = Plan.plan_block ~arch:`Cell p in
+  let opt = Plan.plan_block ~arch:`Cell ~optimize_movement:true p in
+  pf "3.1.4 movement optimizer: move-in loop nests %d -> %d\n"
+    (copies naive) (copies opt);
+  (* the A partition needs nothing moved in when the producer is in
+     the block; verify via the data sets *)
+  let deps = Deps.analyze p in
+  let part_a = List.hd (Dataspaces.partition_array p "A") in
+  let buf = Alloc.build p part_a in
+  let needed = Movement.optimized_move_in_data p deps buf in
+  pf "  elements of A needing copy-in: %s (naive: 64)\n"
+    (match Emsc_poly.Count.count_uset needed with
+     | Emsc_poly.Count.Exact n -> Zint.to_string n
+     | _ -> "?");
+
+  (* 2. Section 4.2 hoisting: occurrences with and without *)
+  let mm = Matmul.program ~n:64 in
+  let spec =
+    [| { Tile.block = Some 16; mem = None; thread = None };
+       { Tile.block = Some 16; mem = None; thread = None };
+       { Tile.block = None; mem = Some 8; thread = None } |]
+  in
+  let tp = Tile.tile_program mm spec in
+  let plan =
+    Plan.plan_block ~arch:`Cell ~param_context:(Tile.origin_context mm spec) tp
+  in
+  let naive_occ = 8.0 (* innermost placement: once per kM sub-tile *) in
+  List.iter (fun (bf : Plan.buffered) ->
+    let occ =
+      Tile.movement_profile mm spec (bf.Plan.move_in, bf.Plan.move_out)
+    in
+    pf "4.2 hoisting, buffer %s: %.0f movement occurrences per block         (unhoisted: %.0f)\n"
+      bf.Plan.buffer.Alloc.local_name occ naive_occ)
+    plan.Plan.buffered;
+
+  (* 3. double-buffered staging (overlap movement with compute) *)
+  let run_me_db ~double =
+    let ni = 2048 and nj = 2048 in
+    let p = Me.program ~ni ~nj ~ws in
+    let sp = me_spec ~ni ~nj (32, 16, 16, 16) in
+    let tp = Tile.tile_program p sp in
+    let plan =
+      Plan.plan_block ~arch:`Gpu ~param_context:(Tile.origin_context p sp) tp
+    in
+    let movement =
+      List.map (fun (b : Plan.buffered) -> (b.Plan.move_in, b.Plan.move_out))
+        plan.Plan.buffered
+    in
+    let ast = Tile.generate p sp ~movement in
+    let memory = Memory.create_phantom p ~param_env:no_params in
+    List.iter (fun (b : Plan.buffered) ->
+      Memory.declare_local memory b.Plan.buffer.Alloc.local_name)
+      plan.Plan.buffered;
+    let r =
+      Exec.run ~prog:tp ~local_ref:(Plan.local_ref plan)
+        ~param_env:no_params ~memory ~mode:(Exec.Sampled 6) ast
+    in
+    let fp =
+      Zint.to_int_exn (Plan.total_footprint plan zero_env)
+      * gpu.Config.word_bytes
+    in
+    Timing.gpu_total_ms gpu
+      { Timing.threads = me_threads;
+        smem_bytes_per_block = (if double then 2 * fp else fp);
+        coalesce_eff = 16.0; global_sync = false; double_buffer = double }
+      r
+  in
+  let t_single = run_me_db ~double:false in
+  let t_double = run_me_db ~double:true in
+  pf "double buffering (ME, 4M): %.1f ms -> %.1f ms (%.1f%%), at 2x       scratchpad\n"
+    t_single t_double
+    ((t_single -. t_double) /. t_single *. 100.0);
+
+  (* 4. Algorithm 1 threshold sweep on a constant-reuse block *)
+  let src2 =
+    {|
+    array X[64][64];
+    array Y[64][64];
+    for (i = 0; i <= 62; i++) {
+      for (j = 0; j <= 62; j++) {
+        Y[i][j] = X[i][j] + X[i+1][j+1];
+      }
+    }
+    |}
+  in
+  let p2 = Emsc_lang.Parser.parse src2 in
+  let part = List.hd (Dataspaces.partition_array p2 "X") in
+  List.iter (fun delta ->
+    let r = Reuse.analyze ~delta p2 part in
+    pf "Algorithm 1, delta=%.2f: overlap=%s -> %s\n" delta
+      (match r.Reuse.overlap_fraction with
+       | Some f -> Printf.sprintf "%.2f" f
+       | None -> "n/a")
+      (if r.Reuse.beneficial then "copy to scratchpad" else "leave in DRAM"))
+    [ 0.1; 0.3; 0.5; 0.9; 0.99 ];
+  pf "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the compiler passes                    *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  let open Bechamel in
+  let fig1 = Fig1.program in
+  let t_partition =
+    Test.make ~name:"dataspaces+partition(fig1)"
+      (Staged.stage (fun () -> ignore (Dataspaces.partition_all fig1)))
+  in
+  let t_plan =
+    Test.make ~name:"plan_block(fig1)"
+      (Staged.stage (fun () ->
+         ignore (Plan.plan_block ~arch:`Cell ~merge_per_array:true fig1)))
+  in
+  let t_deps =
+    Test.make ~name:"dependence-analysis(fig1)"
+      (Staged.stage (fun () -> ignore (Deps.analyze fig1)))
+  in
+  let mm = Matmul.program ~n:16 in
+  let mm_deps = Deps.analyze mm in
+  let t_band =
+    Test.make ~name:"hyperplane-band(matmul)"
+      (Staged.stage (fun () -> ignore (Hyperplanes.find_band mm mm_deps)))
+  in
+  let t_tile =
+    Test.make ~name:"tile+plan(matmul)"
+      (Staged.stage (fun () ->
+         let spec =
+           [| { Tile.block = Some 8; mem = None; thread = None };
+              { Tile.block = Some 8; mem = None; thread = None };
+              { Tile.block = None; mem = Some 4; thread = None } |]
+         in
+         let tp = Tile.tile_program mm spec in
+         ignore
+           (Plan.plan_block ~arch:`Cell
+              ~param_context:(Tile.origin_context mm spec) tp)))
+  in
+  let tests =
+    Test.make_grouped ~name:"compiler-passes"
+      [ t_partition; t_plan; t_deps; t_band; t_tile ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:100 ~quota:(Time.second 0.25) ~kde:(Some 10) ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results = List.map (fun i -> Analyze.all ols i raw) instances in
+  let merged = Analyze.merge ols instances results in
+  pf "=== Compiler-pass micro-benchmarks (monotonic clock) ===\n";
+  Hashtbl.iter (fun _ tbl ->
+    Hashtbl.iter (fun name res ->
+      match Analyze.OLS.estimates res with
+      | Some [ est ] -> pf "%-44s %14.0f ns/run\n" name est
+      | Some _ | None -> pf "%-44s %14s\n" name "n/a")
+      tbl)
+    merged;
+  pf "\n"
+
+(* ------------------------------------------------------------------ *)
+
+let all_figs =
+  [ ("fig4", fig4); ("fig5", fig5); ("fig6", fig6); ("fig7", fig7);
+    ("fig8", fig8); ("ablations", ablations); ("micro", micro) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ -> List.map fst all_figs
+  in
+  List.iter (fun name ->
+    match List.assoc_opt name all_figs with
+    | Some f -> f ()
+    | None -> pf "unknown artifact %s\n" name)
+    requested

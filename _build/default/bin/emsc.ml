@@ -1,0 +1,162 @@
+(* emsc — command-line driver.
+
+     emsc analyze FILE     data-management plan: partitions, Algorithm 1
+                           verdicts, buffer extents, movement code
+     emsc deps FILE        dependence analysis
+     emsc band FILE        tiling-hyperplane search
+     emsc run FILE         execute the program on the reference
+                           interpreter and print array checksums
+
+   FILE is a program in the affine input language (see
+   lib/lang/parser.mli); use '-' for stdin. *)
+
+open Emsc_arith
+open Emsc_ir
+open Emsc_codegen
+open Emsc_core
+open Cmdliner
+
+let read_input path =
+  if path = "-" then In_channel.input_all In_channel.stdin
+  else begin
+    let ic = open_in path in
+    let s = In_channel.input_all ic in
+    close_in ic;
+    s
+  end
+
+let load path =
+  match Emsc_lang.Parser.parse (read_input path) with
+  | p -> p
+  | exception Emsc_lang.Parser.Error e ->
+    Printf.eprintf "parse error: %s\n" e;
+    exit 1
+  | exception Emsc_lang.Lexer.Error e ->
+    Printf.eprintf "lex error: %s\n" e;
+    exit 1
+
+let file_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
+
+let arch_arg =
+  let parse = function
+    | "gpu" -> Ok `Gpu
+    | "cell" -> Ok `Cell
+    | s -> Error (`Msg ("unknown architecture " ^ s))
+  in
+  let print fmt a =
+    Format.pp_print_string fmt (match a with `Gpu -> "gpu" | `Cell -> "cell")
+  in
+  Arg.(value & opt (conv (parse, print)) `Gpu
+       & info [ "arch" ] ~doc:"Target style: gpu (copy only beneficial \
+                               partitions) or cell (copy everything).")
+
+let merge_arg =
+  Arg.(value & flag
+       & info [ "merge-per-array" ]
+           ~doc:"One buffer per array (the paper's Figure 1 style) instead \
+                 of one per non-overlapping partition.")
+
+let delta_arg =
+  Arg.(value & opt float 0.3
+       & info [ "delta" ] ~doc:"Overlap-volume threshold of Algorithm 1.")
+
+let optmove_arg =
+  Arg.(value & flag
+       & info [ "optimize-movement" ]
+           ~doc:"Apply the Section 3.1.4 dependence-based copy-set \
+                 minimization.")
+
+let analyze_cmd =
+  let run file arch merge delta optimize_movement =
+    let p = load file in
+    let plan =
+      Plan.plan_block ~arch ~merge_per_array:merge ~delta
+        ~optimize_movement p
+    in
+    Format.printf "%a@." Plan.pp plan;
+    List.iter (fun (b : Plan.buffered) ->
+      let buf = b.Plan.buffer in
+      Format.printf "@.// buffer %s, sizes %a@." buf.Alloc.local_name
+        (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f " x ")
+           Ast.pp_aexpr)
+        (Array.to_list (Alloc.size_exprs buf));
+      Format.printf "/* data move-in code */@.%a@." Ast.pp_block b.Plan.move_in;
+      Format.printf "/* data move-out code */@.%a@." Ast.pp_block
+        b.Plan.move_out)
+      plan.Plan.buffered
+  in
+  Cmd.v (Cmd.info "analyze" ~doc:"Data-management plan for a program block")
+    Term.(const run $ file_arg $ arch_arg $ merge_arg $ delta_arg
+          $ optmove_arg)
+
+let deps_cmd =
+  let run file =
+    let p = load file in
+    let deps = Deps.analyze p in
+    if deps = [] then print_endline "no dependences"
+    else List.iter (fun d -> Format.printf "%a@." Deps.pp d) deps
+  in
+  Cmd.v (Cmd.info "deps" ~doc:"Polyhedral dependence analysis")
+    Term.(const run $ file_arg)
+
+let band_cmd =
+  let run file =
+    let p = load file in
+    let deps = Deps.analyze p in
+    match Emsc_transform.Hyperplanes.find_band p deps with
+    | band ->
+      List.iteri (fun k h ->
+        Format.printf "h%d = %a%s@." k Emsc_linalg.Vec.pp h
+          (if List.nth band.Emsc_transform.Hyperplanes.parallel k then
+             "  (parallel / space loop)"
+           else "  (sequential)"))
+        band.Emsc_transform.Hyperplanes.hyperplanes
+    | exception Invalid_argument e -> Printf.eprintf "band search: %s\n" e
+  in
+  Cmd.v
+    (Cmd.info "band" ~doc:"Find the permutable tiling-hyperplane band")
+    Term.(const run $ file_arg)
+
+let run_cmd =
+  let param_args =
+    Arg.(value & opt_all (pair ~sep:'=' string int) []
+         & info [ "p"; "param" ] ~docv:"NAME=VALUE"
+             ~doc:"Give a program parameter a value (repeatable).")
+  in
+  let run file params =
+    let p = load file in
+    let env name =
+      match List.assoc_opt name params with
+      | Some v -> Zint.of_int v
+      | None ->
+        Printf.eprintf "parameter %s needs a value (use -p %s=N)\n" name name;
+        exit 1
+    in
+    let m = Emsc_machine.Memory.create p ~param_env:env in
+    (* deterministic pseudo-random inputs *)
+    List.iter (fun (d : Prog.array_decl) ->
+      Emsc_machine.Memory.fill m d.Prog.array_name (fun idx ->
+        let h = Array.fold_left (fun acc i -> (acc * 31) + i) 17 idx in
+        float_of_int (h mod 101) /. 101.0))
+      p.Prog.arrays;
+    let c = Emsc_machine.Reference.run p ~param_env:env m () in
+    Printf.printf "executed: %.0f statement flops, %.0f loads, %.0f stores\n"
+      c.Emsc_machine.Exec.flops c.Emsc_machine.Exec.g_ld
+      c.Emsc_machine.Exec.g_st;
+    List.iter (fun (d : Prog.array_decl) ->
+      let data = Emsc_machine.Memory.global_data m d.Prog.array_name in
+      let sum = Array.fold_left ( +. ) 0.0 data in
+      Printf.printf "checksum %-10s = %.6f\n" d.Prog.array_name sum)
+      p.Prog.arrays
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute on the reference interpreter")
+    Term.(const run $ file_arg $ param_args)
+
+let () =
+  let info =
+    Cmd.info "emsc"
+      ~doc:"Explicitly-managed-scratchpad compiler (PPoPP'08 reproduction)"
+  in
+  exit (Cmd.eval (Cmd.group info [ analyze_cmd; deps_cmd; band_cmd; run_cmd ]))

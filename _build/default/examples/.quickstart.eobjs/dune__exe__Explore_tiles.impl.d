@@ -1,0 +1,1 @@
+examples/explore_tiles.ml: Array Emsc_kernels Emsc_transform Format List Me Tile Tilesearch

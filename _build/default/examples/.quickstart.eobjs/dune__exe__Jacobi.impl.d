@@ -1,0 +1,1 @@
+examples/jacobi.ml: Array Config Deps Emsc_ir Emsc_kernels Emsc_linalg Emsc_machine Emsc_transform Exec Float Format Hyperplanes Jacobi1d List Memory Printf Reference Stencil Timing

@@ -1,0 +1,1 @@
+examples/mpeg4_me.ml: Alloc Array Config Emsc_arith Emsc_core Emsc_kernels Emsc_machine Emsc_transform Exec List Me Memory Plan Printf Reference Tile Timing Zint

@@ -1,0 +1,1 @@
+examples/mpeg4_me.mli:

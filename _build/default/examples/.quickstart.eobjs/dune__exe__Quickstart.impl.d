@@ -1,0 +1,1 @@
+examples/quickstart.ml: Alloc Array Ast Emsc_codegen Emsc_core Emsc_ir Emsc_lang Format List Plan Prog Reuse String

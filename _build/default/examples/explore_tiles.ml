@@ -1,0 +1,55 @@
+(* The Section 4.3 tile-size search, visualized.
+
+     dune exec examples/explore_tiles.exe
+
+   Runs the constrained data-movement-cost minimization for the
+   motion-estimation kernel over its memory-level tile sizes and
+   prints the model's landscape next to the search result. *)
+
+open Emsc_transform
+open Emsc_kernels
+
+let ni = 1024
+let nj = 1024
+let ws = 16
+let threads = 256.0
+let smem_words = 4096 (* 16 KB / 4-byte words *)
+
+let spec (ti, tj) =
+  [| { Tile.block = Some (ni / 8); mem = Some ti; thread = None };
+     { Tile.block = Some (nj / 4); mem = Some tj; thread = None };
+     { Tile.block = None; mem = Some ws; thread = None };
+     { Tile.block = None; mem = Some ws; thread = None } |]
+
+let () =
+  let prog = Me.program ~ni ~nj ~ws in
+  let problem =
+    Tilesearch.pipeline_problem ~prog
+      ~spec_of:(fun t -> spec (t.(0), t.(1)))
+      ~ranges:[| (8, 64); (8, 64) |]
+      ~mem_limit_words:smem_words ~threads ~sync_cost:40.0 ~transfer_cost:4.0
+      ()
+  in
+  Format.printf "movement-cost model over (t_i, t_j), X = over 16 KB:@.@.";
+  Format.printf "%8s" "";
+  List.iter (fun tj -> Format.printf " %10d" tj) [ 8; 16; 32; 64 ];
+  Format.printf "@.";
+  List.iter (fun ti ->
+    Format.printf "%8d" ti;
+    List.iter (fun tj ->
+      match problem.Tilesearch.evaluate [| ti; tj |] with
+      | Some (cost, fp) when fp <= smem_words -> Format.printf " %10.0f" cost
+      | Some _ -> Format.printf " %10s" "X"
+      | None -> Format.printf " %10s" "?")
+      [ 8; 16; 32; 64 ];
+    Format.printf "@.")
+    [ 8; 16; 32; 64 ];
+  match Tilesearch.search ~max_evals:60 ~snap_pow2:true problem with
+  | Some c ->
+    Format.printf
+      "@.search picks (t_i, t_j) = (%d, %d): cost %.0f, %d words of \
+       scratchpad@."
+      c.Tilesearch.t.(0)
+      c.Tilesearch.t.(1)
+      c.Tilesearch.cost c.Tilesearch.footprint
+  | None -> Format.printf "@.nothing feasible?!@."

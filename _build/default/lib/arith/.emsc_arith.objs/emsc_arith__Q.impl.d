@@ -1,0 +1,1 @@
+lib/arith/q.ml: Float Format Zint

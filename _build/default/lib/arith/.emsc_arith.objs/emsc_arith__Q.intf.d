@@ -1,0 +1,1 @@
+lib/arith/q.mli: Format Zint

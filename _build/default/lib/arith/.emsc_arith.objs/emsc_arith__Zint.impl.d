@@ -1,0 +1,1 @@
+lib/arith/zint.ml: Array Buffer Char Format List Printf String

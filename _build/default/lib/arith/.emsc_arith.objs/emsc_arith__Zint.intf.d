@@ -1,0 +1,1 @@
+lib/arith/zint.mli: Format

@@ -1,0 +1,97 @@
+(** Arbitrary-precision signed integers.
+
+    Polyhedral operations (Fourier–Motzkin elimination, exact simplex,
+    lattice computations) produce coefficients that overflow machine
+    integers; every algebraic layer of emsc is built on this module.
+    The representation is sign–magnitude with 31-bit limbs so that all
+    intermediate limb products fit in OCaml's 63-bit native [int]. *)
+
+type t
+
+val zero : t
+val one : t
+val two : t
+val minus_one : t
+
+val of_int : int -> t
+
+val to_int_opt : t -> int option
+(** [to_int_opt x] is [Some n] when [x] fits in a native [int]. *)
+
+val to_int_exn : t -> int
+(** @raise Failure when the value does not fit in a native [int]. *)
+
+val to_float : t -> float
+
+val of_string : string -> t
+(** Accepts an optional leading [-] followed by decimal digits.
+    @raise Invalid_argument on malformed input. *)
+
+val to_string : t -> string
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_zero : t -> bool
+val is_one : t -> bool
+val is_negative : t -> bool
+val is_positive : t -> bool
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val mul_int : t -> int -> t
+val add_int : t -> int -> t
+
+val divmod : t -> t -> t * t
+(** Truncated division: quotient rounds toward zero, remainder has the
+    sign of the dividend. @raise Division_by_zero. *)
+
+val div : t -> t -> t
+val rem : t -> t -> t
+
+val fdiv : t -> t -> t
+(** Floor division: rounds toward negative infinity. *)
+
+val cdiv : t -> t -> t
+(** Ceiling division: rounds toward positive infinity. *)
+
+val fmod : t -> t -> t
+(** [fmod a b = a - b * fdiv a b]; has the sign of [b] (or zero). *)
+
+val divexact : t -> t -> t
+(** Division known to be exact; checked with an assertion. *)
+
+val gcd : t -> t -> t
+(** Non-negative gcd; [gcd zero zero = zero]. *)
+
+val lcm : t -> t -> t
+
+val pow : t -> int -> t
+(** @raise Invalid_argument on negative exponent. *)
+
+val shift_left : t -> int -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+module Infix : sig
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val ( ~- ) : t -> t
+  val ( = ) : t -> t -> bool
+  val ( <> ) : t -> t -> bool
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+end

@@ -1,0 +1,1 @@
+lib/codegen/ast.ml: Array Emsc_arith Emsc_linalg Format Hashtbl List Option Set String Zint

@@ -1,0 +1,1 @@
+lib/codegen/ast.mli: Emsc_arith Emsc_linalg Format Zint

@@ -1,0 +1,1 @@
+lib/codegen/scan.ml: Array Ast Bounds Emsc_arith Emsc_linalg Emsc_pip Emsc_poly Ilp List Option Poly Printf Uset Vec Zint

@@ -1,0 +1,1 @@
+lib/codegen/scan.mli: Ast Emsc_poly Poly Uset

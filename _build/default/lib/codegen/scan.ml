@@ -1,0 +1,97 @@
+open Emsc_arith
+open Emsc_linalg
+open Emsc_poly
+open Emsc_pip
+
+let bound_to_aexpr ~names ~kind (a, e) =
+  (* lower: x >= ceil(-e / a); upper: x <= floor(e / a) *)
+  match kind with
+  | `Lower ->
+    let neg = Ast.vec_to_aexpr ~names (Vec.neg e) in
+    if Zint.is_one a then neg else Ast.Cdiv (neg, a)
+  | `Upper ->
+    let pos = Ast.vec_to_aexpr ~names e in
+    if Zint.is_one a then pos else Ast.Fdiv (pos, a)
+
+let scan_poly ?context ~names ~outer ~body p =
+  let dim = Poly.dim p in
+  if Array.length names < dim then invalid_arg "Scan.scan_poly: names";
+  let known =
+    Option.map (fun c ->
+      if Poly.dim c <> outer then invalid_arg "Scan.scan_poly: context dim";
+      Poly.insert_dims c ~pos:outer ~count:(dim - outer))
+      context
+  in
+  let p = match known with Some k -> Poly.intersect p k | None -> p in
+  if Poly.is_empty p then []
+  else begin
+    let name i = names.(i) in
+    let levels = Bounds.loop_bounds p in
+    (* guards from the residual constraints over dims < outer, minus
+       whatever the caller-supplied context already guarantees *)
+    let residual =
+      Poly.remove_redundant
+        (Poly.eliminate_dims p (List.init (dim - outer) (fun i -> outer + i)))
+    in
+    let guard_rows =
+      let eqs, ineqs = Poly.constraints residual in
+      let rows = List.concat_map (fun e -> [ e; Vec.neg e ]) eqs @ ineqs in
+      match context with
+      | None -> rows
+      | Some c ->
+        List.filter (fun row -> not (Poly.implies c row)) rows
+    in
+    let guards =
+      List.map (Ast.vec_to_aexpr ~names:name) guard_rows
+      |> List.filter (function Ast.Const _ -> false | _ -> true)
+    in
+    let rec build j =
+      if j >= dim then body
+      else begin
+        let { Bounds.lowers; uppers } = levels.(j) in
+        if lowers = [] || uppers = [] then
+          invalid_arg
+            (Printf.sprintf "Scan.scan_poly: dimension %d (%s) unbounded" j
+               (name j));
+        let lb =
+          Ast.simplify
+            (Ast.Max
+               (List.map (bound_to_aexpr ~names:name ~kind:`Lower) lowers))
+        in
+        let ub =
+          Ast.simplify
+            (Ast.Min
+               (List.map (bound_to_aexpr ~names:name ~kind:`Upper) uppers))
+        in
+        [ Ast.Loop
+            { var = name j; lb; ub; step = Zint.one; par = Ast.Seq;
+              body = build (j + 1) } ]
+      end
+    in
+    let loops = build outer in
+    match guards with [] -> loops | _ -> [ Ast.Guard (guards, loops) ]
+  end
+
+let scan_uset ?context ~names ~outer ~body u =
+  let disjoint = Uset.make_disjoint u in
+  let keyed =
+    List.map (fun p ->
+      let key =
+        match Ilp.lexmin p with
+        | Some pt -> Some pt
+        | None -> None
+        | exception Ilp.Gave_up -> None
+      in
+      (key, p))
+      (Uset.pieces disjoint)
+  in
+  let cmp (ka, _) (kb, _) =
+    match ka, kb with
+    | Some a, Some b -> Vec.compare a b
+    | Some _, None -> -1
+    | None, Some _ -> 1
+    | None, None -> 0
+  in
+  let sorted = List.stable_sort cmp keyed in
+  List.concat_map (fun (_, p) -> scan_poly ?context ~names ~outer ~body p)
+    sorted

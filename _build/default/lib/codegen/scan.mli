@@ -1,0 +1,29 @@
+(** Polyhedron scanning: generate a loop nest enumerating the integer
+    points of a polytope (or a union) in lexicographic order of the
+    scanned dimensions — the role CLooG plays in the paper.
+
+    Dimensions [0 .. outer-1] are context (parameters, tile origins):
+    they are not looped; constraints involving only them become guards.
+    Dimensions [outer .. dim-1] become nested loops, outermost first. *)
+
+open Emsc_poly
+
+val scan_poly :
+  ?context:Poly.t -> names:string array -> outer:int ->
+  body:Ast.stm list -> Poly.t -> Ast.stm list
+(** [context], when given, is a polyhedron over the outer dimensions
+    known to hold at run time (e.g. tile-origin ranges): the scanned
+    set is restricted to it and guard conditions it implies are
+    omitted — this is what lets movement code hoist above tiling loops
+    it does not actually depend on.
+    @raise Invalid_argument if a scanned dimension is unbounded. *)
+
+val scan_uset :
+  ?context:Poly.t -> names:string array -> outer:int ->
+  body:Ast.stm list -> Uset.t -> Ast.stm list
+(** The union is decomposed into disjoint pieces first, so the body is
+    executed exactly once per integer point — the paper's "single
+    load/store of each data element ... even if the accessed data
+    spaces of references are overlapping".  Pieces are ordered by
+    integer lexicographic minimum when that is computable, else
+    syntactically. *)

@@ -1,0 +1,1 @@
+lib/core/alloc.ml: Array Ast Dataspaces Emsc_arith Emsc_codegen Emsc_ir Emsc_linalg Emsc_poly Format List Poly Prog Uset Vec Zint

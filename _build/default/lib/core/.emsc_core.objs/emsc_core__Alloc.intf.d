@@ -1,0 +1,1 @@
+lib/core/alloc.mli: Ast Dataspaces Emsc_arith Emsc_codegen Emsc_ir Emsc_linalg Format Prog Vec Zint

@@ -1,0 +1,1 @@
+lib/core/dataspaces.ml: Array Emsc_arith Emsc_ir Emsc_linalg Emsc_poly Hashtbl List Mat Poly Prog Uset Vec Zint

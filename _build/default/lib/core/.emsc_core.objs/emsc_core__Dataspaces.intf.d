@@ -1,0 +1,1 @@
+lib/core/dataspaces.mli: Emsc_ir Emsc_poly Poly Prog Uset

@@ -1,0 +1,1 @@
+lib/core/movement.ml: Alloc Array Ast Count Dataspaces Deps Emsc_arith Emsc_codegen Emsc_ir Emsc_linalg Emsc_poly Hashtbl List Mat Poly Printf Prog Scan Uset Vec Zint

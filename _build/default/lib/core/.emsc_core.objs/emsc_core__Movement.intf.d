@@ -1,0 +1,1 @@
+lib/core/movement.mli: Alloc Ast Dataspaces Deps Emsc_arith Emsc_codegen Emsc_ir Emsc_poly Poly Prog Uset Zint

@@ -1,0 +1,1 @@
+lib/core/plan.ml: Alloc Array Ast Dataspaces Deps Emsc_arith Emsc_codegen Emsc_ir Emsc_linalg Emsc_poly Format Hashtbl List Mat Movement Printf Prog Reuse Uset Zint

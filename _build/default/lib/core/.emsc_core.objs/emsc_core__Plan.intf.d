@@ -1,0 +1,1 @@
+lib/core/plan.mli: Alloc Ast Dataspaces Emsc_arith Emsc_codegen Emsc_ir Emsc_poly Format Prog Reuse Zint

@@ -1,0 +1,1 @@
+lib/core/reuse.ml: Array Count Dataspaces Emsc_arith Emsc_ir Emsc_linalg Emsc_poly Format List Mat Poly Printf Prog Uset Zint

@@ -1,0 +1,1 @@
+lib/core/reuse.mli: Dataspaces Emsc_arith Emsc_ir Format Prog Zint

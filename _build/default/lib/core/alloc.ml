@@ -1,0 +1,228 @@
+open Emsc_arith
+open Emsc_linalg
+open Emsc_poly
+open Emsc_ir
+open Emsc_codegen
+
+type bound = {
+  row : Vec.t option;
+  expr : Ast.aexpr;
+}
+
+type buffer = {
+  local_name : string;
+  array : string;
+  orig_rank : int;
+  kept : int array;
+  lbs : bound array;
+  ubs : bound array;
+  partition : Dataspaces.partition;
+}
+
+(* A candidate bound for data dimension [a] (absolute index) extracted
+   from one piece: [c * x_a + e >= 0] for lowers, [c * x_a <= e] for
+   uppers, with [e] affine over the parameters. *)
+type candidate = { c : Zint.t; param_part : Vec.t (* width np+1 *) }
+
+let widen_candidate ~np ~dim ~a ~kind cand =
+  let row = Vec.make (dim + 1) in
+  for k = 0 to np - 1 do
+    row.(k) <- cand.param_part.(k)
+  done;
+  row.(dim) <- cand.param_part.(np);
+  (match kind with
+   | `Lower -> row.(a) <- cand.c (* c*x_a + e >= 0 *)
+   | `Upper ->
+     (* x_a <= e/c  <=>  -c*x_a + e >= 0 *)
+     row.(a) <- Zint.neg cand.c);
+  row
+
+let candidate_expr ~param_names ~kind cand =
+  match kind with
+  | `Lower ->
+    (* x_a >= ceil(-e / c) *)
+    let neg = Ast.vec_to_aexpr ~names:param_names (Vec.neg cand.param_part) in
+    if Zint.is_one cand.c then Ast.simplify neg else Ast.Cdiv (neg, cand.c)
+  | `Upper ->
+    let pos = Ast.vec_to_aexpr ~names:param_names cand.param_part in
+    if Zint.is_one cand.c then Ast.simplify pos else Ast.Fdiv (pos, cand.c)
+
+let candidate_row ~kind cand =
+  if Zint.is_one cand.c then
+    Some
+      (match kind with
+       | `Lower -> Vec.neg cand.param_part
+       | `Upper -> Vec.copy cand.param_part)
+  else None
+
+(* All candidate bounds of dimension [a] from one piece, found by
+   projecting out every other data dimension. *)
+let piece_candidates ~np ~rank piece a =
+  let other_data =
+    List.filter (fun d -> d <> a)
+      (List.init rank (fun k -> np + k))
+  in
+  let proj = Poly.eliminate_dims piece other_data in
+  (* in [proj], dims are params 0..np-1 then x_a at position np *)
+  let lowers, uppers = Poly.dim_bound_pairs proj np in
+  let mk (c, e) =
+    let param_part = Vec.make (np + 1) in
+    Array.blit e 0 param_part 0 np;
+    param_part.(np) <- e.(np + 1);
+    { c; param_part }
+  in
+  (List.map mk lowers, List.map mk uppers)
+
+let dedupe_candidates cands =
+  List.sort_uniq
+    (fun a b ->
+      let c = Zint.compare a.c b.c in
+      if c <> 0 then c else Vec.compare a.param_part b.param_part)
+    cands
+
+(* Numeric tie-breaking valuation used only to choose among several
+   valid candidates; any choice is sound.  Parameters are tile origins
+   in the tiled pipeline, so evaluate at origin = 0: a tile-relative
+   bound like [iT + 7] then scores 7 and beats the whole-array bound
+   [n - 1], keeping buffers tile-sized. *)
+let eval_candidate ~kind cand =
+  let env _ = Zint.zero in
+  Ast.eval env (candidate_expr ~param_names:(fun _ -> "p") ~kind cand)
+
+let param_dependence cand =
+  let np = Array.length cand.param_part - 1 in
+  let n = ref 0 in
+  for k = 0 to np - 1 do
+    if not (Zint.is_zero cand.param_part.(k)) then incr n
+  done;
+  !n
+
+let select_bound ~np ~dim ~a ~kind ~param_names pieces candidates =
+  let candidates = dedupe_candidates candidates in
+  if candidates = [] then
+    failwith "Alloc: dimension of the data-space union is unbounded";
+  let valid =
+    List.filter (fun cand ->
+      let row = widen_candidate ~np ~dim ~a ~kind cand in
+      List.for_all (fun piece -> Poly.implies piece row) pieces)
+      candidates
+  in
+  match valid with
+  | [] ->
+    (* no single affine bound valid for the whole union: combine all
+       candidates; min of lower bounds / max of upper bounds is sound *)
+    let exprs = List.map (candidate_expr ~param_names ~kind) candidates in
+    let expr =
+      Ast.simplify
+        (match kind with `Lower -> Ast.Min exprs | `Upper -> Ast.Max exprs)
+    in
+    { row = None; expr }
+  | _ ->
+    (* pick the tightest under the hint valuation; prefer tile-relative
+       (parameter-dependent) bounds on ties *)
+    let score = eval_candidate ~kind in
+    let better x y =
+      let c =
+        match kind with
+        | `Lower -> Zint.compare (score x) (score y)
+        | `Upper -> Zint.compare (score y) (score x)
+      in
+      if c <> 0 then c > 0 else param_dependence x > param_dependence y
+    in
+    let best =
+      List.fold_left (fun acc c -> if better c acc then c else acc)
+        (List.hd valid) (List.tl valid)
+    in
+    { row = candidate_row ~kind best;
+      expr = candidate_expr ~param_names ~kind best }
+
+(* Data dimensions determined (with unit coefficient) by the others on
+   the whole union can be dropped from the local array. *)
+let droppable_dims ~np ~rank hull_eqs =
+  let dropped = ref [] in
+  let rows = ref (List.map Vec.copy hull_eqs) in
+  let continue_ = ref true in
+  while !continue_ do
+    let pick =
+      List.find_map (fun row ->
+        let rec find k =
+          if k >= rank then None
+          else if
+            (not (List.mem k !dropped))
+            && Zint.is_one (Zint.abs row.(np + k))
+          then Some (k, row)
+          else find (k + 1)
+        in
+        find 0)
+        !rows
+    in
+    match pick with
+    | None -> continue_ := false
+    | Some (k, row) ->
+      dropped := k :: !dropped;
+      let c = row.(np + k) in
+      rows :=
+        List.filter_map (fun r ->
+          if r == row then None
+          else if Zint.is_zero r.(np + k) then Some r
+          else
+            (* r' = c * r - r_k * row   (c = ±1 keeps integrality) *)
+            Some (Vec.combine c r (Zint.neg r.(np + k)) row))
+          !rows
+  done;
+  !dropped
+
+let build ?local_name p (part : Dataspaces.partition) =
+  let np = Prog.nparams p in
+  let rank = part.Dataspaces.rank in
+  let dim = np + rank in
+  let pieces = Uset.pieces part.Dataspaces.union in
+  let param_names i = p.Prog.params.(i) in
+  let hull_eqs = Uset.affine_hull part.Dataspaces.union in
+  let dropped = droppable_dims ~np ~rank hull_eqs in
+  let kept =
+    Array.of_list
+      (List.filter (fun k -> not (List.mem k dropped))
+         (List.init rank (fun k -> k)))
+  in
+  let bound_of k kind =
+    let a = np + k in
+    let candidates =
+      List.concat_map (fun piece ->
+        let lo, hi = piece_candidates ~np ~rank piece a in
+        match kind with `Lower -> lo | `Upper -> hi)
+        pieces
+    in
+    select_bound ~np ~dim ~a ~kind ~param_names pieces candidates
+  in
+  let lbs = Array.map (fun k -> bound_of k `Lower) kept in
+  let ubs = Array.map (fun k -> bound_of k `Upper) kept in
+  let local_name =
+    match local_name with
+    | Some n -> n
+    | None -> "l_" ^ part.Dataspaces.array
+  in
+  { local_name; array = part.Dataspaces.array; orig_rank = rank; kept;
+    lbs; ubs; partition = part }
+
+let size_exprs buf =
+  Array.init (Array.length buf.kept) (fun i ->
+    Ast.simplify
+      (Ast.Add
+         (Ast.Sub (buf.ubs.(i).expr, buf.lbs.(i).expr),
+          Ast.Const Zint.one)))
+
+let footprint buf env =
+  Array.fold_left (fun acc size ->
+    let s = Ast.eval env size in
+    Zint.mul acc (Zint.max Zint.zero s))
+    Zint.one (size_exprs buf)
+
+let pp fmt buf =
+  Format.fprintf fmt "@[<v 2>%s for %s (rank %d -> %d):" buf.local_name
+    buf.array buf.orig_rank (Array.length buf.kept);
+  Array.iteri (fun i k ->
+    Format.fprintf fmt "@ dim %d: lb = %a, ub = %a" k Ast.pp_aexpr
+      buf.lbs.(i).expr Ast.pp_aexpr buf.ubs.(i).expr)
+    buf.kept;
+  Format.fprintf fmt "@]"

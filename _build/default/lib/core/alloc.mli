@@ -1,0 +1,55 @@
+(** Algorithm 2 of the paper: local-memory storage for a partition of
+    data spaces.
+
+    For every dimension of the convex union of the partition we find a
+    lower and an upper bound as (quasi-)affine functions of the program
+    parameters (which, inside a tile, include the tile origins — this
+    is the role PIP plays in the paper).  Bounds are extracted from the
+    pieces' own constraints and validated against every piece, so they
+    hold for the whole union; when no single affine candidate is valid
+    for the union, a min/max tree over candidates is used, which can
+    only over-allocate, never under-allocate.
+
+    Array dimensions that are affinely determined by the others on the
+    whole union (the paper's "dimensions that do not appear in the
+    convex union polytope") are dropped from the local array when the
+    determining equality has a unit coefficient, matching the paper's
+    [m > n] case. *)
+
+open Emsc_arith
+open Emsc_linalg
+open Emsc_ir
+open Emsc_codegen
+
+type bound = {
+  row : Vec.t option;
+      (** affine form over parameters (width nparams+1) when the bound
+          is a single affine expression *)
+  expr : Ast.aexpr;  (** always present; over the parameter names *)
+}
+
+type buffer = {
+  local_name : string;
+  array : string;
+  orig_rank : int;
+  kept : int array;
+      (** original array dimensions represented in the local array,
+          ascending *)
+  lbs : bound array;  (** per kept dimension *)
+  ubs : bound array;
+  partition : Dataspaces.partition;
+}
+
+val build :
+  ?local_name:string -> Prog.t -> Dataspaces.partition -> buffer
+(** @raise Failure if some dimension of the union is unbounded (the
+    block then cannot be buffered). *)
+
+val size_exprs : buffer -> Ast.aexpr array
+(** Per kept dimension, [ub - lb + 1] over the parameter names. *)
+
+val footprint : buffer -> (string -> Zint.t) -> Zint.t
+(** Product of the sizes under a parameter valuation (number of
+    elements). *)
+
+val pp : Format.formatter -> buffer -> unit

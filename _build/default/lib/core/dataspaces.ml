@@ -1,0 +1,102 @@
+open Emsc_arith
+open Emsc_linalg
+open Emsc_poly
+open Emsc_ir
+
+type dspace = {
+  stmt : Prog.stmt;
+  access : Prog.access;
+  space : Poly.t;
+}
+
+type partition = {
+  array : string;
+  rank : int;
+  members : dspace list;
+  union : Uset.t;
+}
+
+let space_of_access p (s : Prog.stmt) (a : Prog.access) =
+  let np = Prog.nparams p in
+  let depth = s.Prog.depth in
+  let width = depth + np + 1 in
+  (* image map: parameters first (copied through), then the array
+     subscripts *)
+  let param_rows =
+    Array.init np (fun k ->
+      let row = Vec.make width in
+      row.(depth + k) <- Zint.one;
+      row)
+  in
+  let map = Mat.append_rows param_rows a.Prog.map in
+  Poly.image s.Prog.domain map
+
+let spaces_of_array p name =
+  List.map (fun (s, a) -> { stmt = s; access = a; space = space_of_access p s a })
+    (Prog.all_accesses_to p name)
+
+(* Connected components of the overlap graph. *)
+let components spaces =
+  let n = List.length spaces in
+  let arr = Array.of_list spaces in
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  let join i j =
+    let ri = find i and rj = find j in
+    if ri <> rj then parent.(ri) <- rj
+  in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if not (Poly.is_empty (Poly.intersect arr.(i).space arr.(j).space))
+      then join i j
+    done
+  done;
+  let groups = Hashtbl.create 8 in
+  for i = 0 to n - 1 do
+    let r = find i in
+    Hashtbl.replace groups r (arr.(i) :: (try Hashtbl.find groups r with Not_found -> []))
+  done;
+  Hashtbl.fold (fun _ members acc -> List.rev members :: acc) groups []
+  |> List.sort compare
+
+let partition_array p name =
+  let decl = Prog.find_array p name in
+  let np = Prog.nparams p in
+  let dim = np + decl.Prog.rank in
+  let spaces = spaces_of_array p name in
+  List.map (fun members ->
+    { array = name;
+      rank = decl.Prog.rank;
+      members;
+      union = Uset.of_pieces ~dim (List.map (fun d -> d.space) members) })
+    (components spaces)
+
+let partition_all p =
+  List.concat_map (fun (d : Prog.array_decl) ->
+    partition_array p d.Prog.array_name)
+    p.Prog.arrays
+
+let merge_partitions parts =
+  match parts with
+  | [] -> invalid_arg "Dataspaces.merge_partitions: empty"
+  | first :: rest ->
+    if List.exists (fun p -> p.array <> first.array) rest then
+      invalid_arg "Dataspaces.merge_partitions: mixed arrays";
+    { array = first.array;
+      rank = first.rank;
+      members = List.concat_map (fun p -> p.members) parts;
+      union = List.fold_left (fun acc p -> Uset.union acc p.union)
+          first.union rest }
+
+let union_of p part keep =
+  let np = Prog.nparams p in
+  let dim = np + part.rank in
+  Uset.of_pieces ~dim
+    (List.filter_map (fun d -> if keep d then Some d.space else None)
+       part.members)
+
+let reads_union p part =
+  union_of p part (fun d -> d.access.Prog.kind = Prog.Read)
+
+let writes_union p part =
+  union_of p part (fun d -> d.access.Prog.kind = Prog.Write)

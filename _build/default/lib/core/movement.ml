@@ -1,0 +1,146 @@
+open Emsc_arith
+open Emsc_linalg
+open Emsc_poly
+open Emsc_ir
+open Emsc_codegen
+
+let data_dim_names ~prefix rank =
+  Array.init rank (fun k -> Printf.sprintf "%s%d" prefix k)
+
+let copy_code ?context p (buf : Alloc.buffer) ~dir ~data =
+  let np = Prog.nparams p in
+  let rank = buf.Alloc.orig_rank in
+  let dnames = data_dim_names ~prefix:"c" rank in
+  let names = Array.append p.Prog.params dnames in
+  let global : Ast.ref_expr =
+    { array = buf.Alloc.array;
+      indices = Array.map (fun n -> Ast.Var n) dnames }
+  in
+  let local : Ast.ref_expr =
+    { array = buf.Alloc.local_name;
+      indices =
+        Array.mapi (fun i k ->
+          Ast.simplify
+            (Ast.Sub (Ast.Var dnames.(k), buf.Alloc.lbs.(i).expr)))
+          buf.Alloc.kept }
+  in
+  let body =
+    match dir with
+    | `In -> [ Ast.Copy { dst = local; src = global } ]
+    | `Out -> [ Ast.Copy { dst = global; src = local } ]
+  in
+  Scan.scan_uset ?context ~names ~outer:np ~body data
+
+let move_in ?context p buf =
+  copy_code ?context p buf ~dir:`In
+    ~data:(Dataspaces.reads_union p buf.Alloc.partition)
+
+let move_out ?context p buf =
+  copy_code ?context p buf ~dir:`Out
+    ~data:(Dataspaces.writes_union p buf.Alloc.partition)
+
+(* Project a dependence polyhedron (src iters ++ dst iters ++ params)
+   onto the destination statement's space (dst iters ++ params). *)
+let project_onto_dst (d : Deps.t) =
+  let ds = d.Deps.src.Prog.depth in
+  Poly.eliminate_dims d.Deps.poly (List.init ds (fun i -> i))
+
+let same_access (a : Prog.access) (b : Prog.access) =
+  a.Prog.array = b.Prog.array && a.Prog.kind = b.Prog.kind
+  && Mat.equal a.Prog.map b.Prog.map
+
+let optimized_move_in_data p deps (buf : Alloc.buffer) =
+  let np = Prog.nparams p in
+  let dim = np + buf.Alloc.orig_rank in
+  let members = buf.Alloc.partition.Dataspaces.members in
+  let unions =
+    List.filter_map (fun (m : Dataspaces.dspace) ->
+      if m.Dataspaces.access.Prog.kind <> Prog.Read then None
+      else begin
+        let s = m.Dataspaces.stmt in
+        let covered =
+          List.filter_map (fun (d : Deps.t) ->
+            if
+              d.Deps.kind = Deps.Flow
+              && d.Deps.dst.Prog.id = s.Prog.id
+              && same_access d.Deps.dst_access m.Dataspaces.access
+            then Some (project_onto_dst d)
+            else None)
+            deps
+        in
+        let dom_dim = s.Prog.depth + np in
+        let uncovered =
+          Uset.subtract
+            (Uset.of_poly s.Prog.domain)
+            (Uset.of_pieces ~dim:dom_dim covered)
+        in
+        (* map uncovered iterations to data space, parameters first *)
+        let width = s.Prog.depth + np + 1 in
+        let param_rows =
+          Array.init np (fun k ->
+            let row = Vec.make width in
+            row.(s.Prog.depth + k) <- Zint.one;
+            row)
+        in
+        let map = Mat.append_rows param_rows m.Dataspaces.access.Prog.map in
+        Some (Uset.image uncovered map)
+      end)
+      members
+  in
+  List.fold_left Uset.union (Uset.empty dim) unions
+
+let optimized_move_out_data p ~live_out (buf : Alloc.buffer) =
+  let np = Prog.nparams p in
+  let dim = np + buf.Alloc.orig_rank in
+  if live_out buf.Alloc.array then
+    Dataspaces.writes_union p buf.Alloc.partition
+  else Uset.empty dim
+
+(* overlap components among a list of polyhedra *)
+let components polys =
+  let arr = Array.of_list polys in
+  let n = Array.length arr in
+  let parent = Array.init n (fun i -> i) in
+  let rec find i = if parent.(i) = i then i else find parent.(i) in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if not (Poly.is_empty (Poly.intersect arr.(i) arr.(j))) then begin
+        let ri = find i and rj = find j in
+        if ri <> rj then parent.(ri) <- rj
+      end
+    done
+  done;
+  let tbl = Hashtbl.create 8 in
+  for i = 0 to n - 1 do
+    let r = find i in
+    Hashtbl.replace tbl r
+      (arr.(i) :: (try Hashtbl.find tbl r with Not_found -> []))
+  done;
+  Hashtbl.fold (fun _ g acc -> g :: acc) tbl []
+
+let volume_upper_bound p (part : Dataspaces.partition) ~kind ~env =
+  let np = Prog.nparams p in
+  let keep (m : Dataspaces.dspace) =
+    match kind with
+    | `Read -> m.Dataspaces.access.Prog.kind = Prog.Read
+    | `Write -> m.Dataspaces.access.Prog.kind = Prog.Write
+  in
+  let fix_params space =
+    let rec go i acc =
+      if i >= np then acc
+      else go (i + 1) (Poly.fix_dim acc 0 (env p.Prog.params.(i)))
+    in
+    go 0 space
+  in
+  let spaces =
+    List.filter_map (fun m ->
+      if keep m then Some (fix_params m.Dataspaces.space) else None)
+      part.Dataspaces.members
+  in
+  let groups = components spaces in
+  List.fold_left (fun acc group ->
+    let u = Uset.of_pieces ~dim:part.Dataspaces.rank group in
+    match Count.box_volume_uset u with
+    | Some v -> Zint.add acc v
+    | None -> acc)
+    Zint.zero groups

@@ -1,0 +1,126 @@
+open Emsc_arith
+open Emsc_linalg
+open Emsc_poly
+open Emsc_ir
+open Emsc_codegen
+
+type buffered = {
+  buffer : Alloc.buffer;
+  report : Reuse.report;
+  move_in : Ast.stm list;
+  move_out : Ast.stm list;
+}
+
+type t = {
+  prog : Prog.t;
+  buffered : buffered list;
+  skipped : (Dataspaces.partition * Reuse.report) list;
+}
+
+let plan_block ?(delta = 0.3) ?param_env ?param_context ?(arch = `Gpu)
+    ?(optimize_movement = false) ?(live_out = fun _ -> true)
+    ?(merge_per_array = false) p =
+  let partitions =
+    let parts = Dataspaces.partition_all p in
+    if not merge_per_array then parts
+    else
+      List.filter_map (fun (d : Prog.array_decl) ->
+        match
+          List.filter (fun (pt : Dataspaces.partition) ->
+            pt.Dataspaces.array = d.Prog.array_name)
+            parts
+        with
+        | [] -> None
+        | group -> Some (Dataspaces.merge_partitions group))
+        p.Prog.arrays
+  in
+  let deps = if optimize_movement then Deps.analyze p else [] in
+  let counter = Hashtbl.create 8 in
+  let fresh_name array =
+    let n = try Hashtbl.find counter array with Not_found -> 0 in
+    Hashtbl.replace counter array (n + 1);
+    if n = 0 then "l_" ^ array else Printf.sprintf "l_%s_%d" array n
+  in
+  let buffered = ref [] and skipped = ref [] in
+  List.iter (fun part ->
+    let report = Reuse.analyze ~delta ?param_env p part in
+    let copy =
+      match arch with `Cell -> true | `Gpu -> report.Reuse.beneficial
+    in
+    if copy then begin
+      let buffer =
+        Alloc.build ~local_name:(fresh_name part.Dataspaces.array) p part
+      in
+      let in_data =
+        if optimize_movement then Movement.optimized_move_in_data p deps buffer
+        else Dataspaces.reads_union p part
+      in
+      let out_data =
+        if optimize_movement then
+          Movement.optimized_move_out_data p ~live_out buffer
+        else if live_out part.Dataspaces.array then
+          Dataspaces.writes_union p part
+        else Uset.empty (Prog.nparams p + part.Dataspaces.rank)
+      in
+      let move_in =
+        Movement.copy_code ?context:param_context p buffer ~dir:`In
+          ~data:in_data
+      in
+      let move_out =
+        Movement.copy_code ?context:param_context p buffer ~dir:`Out
+          ~data:out_data
+      in
+      buffered := { buffer; report; move_in; move_out } :: !buffered
+    end
+    else skipped := (part, report) :: !skipped)
+    partitions;
+  { prog = p; buffered = List.rev !buffered; skipped = List.rev !skipped }
+
+let find_buffer plan (s : Prog.stmt) (a : Prog.access) =
+  List.find_opt (fun b ->
+    List.exists (fun (m : Dataspaces.dspace) ->
+      m.Dataspaces.stmt.Prog.id = s.Prog.id
+      && m.Dataspaces.access.Prog.array = a.Prog.array
+      && m.Dataspaces.access.Prog.kind = a.Prog.kind
+      && Mat.equal m.Dataspaces.access.Prog.map a.Prog.map)
+      b.buffer.Alloc.partition.Dataspaces.members)
+    plan.buffered
+
+let local_ref plan s a =
+  match find_buffer plan s a with
+  | None -> None
+  | Some b ->
+    let buf = b.buffer in
+    let np = Prog.nparams plan.prog in
+    let depth = s.Prog.depth in
+    let names i =
+      if i < depth then s.Prog.iter_names.(i)
+      else plan.prog.Prog.params.(i - depth)
+    in
+    ignore np;
+    let indices =
+      Array.mapi (fun i k ->
+        let subscript = Ast.vec_to_aexpr ~names a.Prog.map.(k) in
+        Ast.simplify (Ast.Sub (subscript, buf.Alloc.lbs.(i).expr)))
+        buf.Alloc.kept
+    in
+    Some { Ast.array = buf.Alloc.local_name; indices }
+
+let all_move_in plan = List.concat_map (fun b -> b.move_in) plan.buffered
+let all_move_out plan = List.concat_map (fun b -> b.move_out) plan.buffered
+
+let total_footprint plan env =
+  List.fold_left (fun acc b -> Zint.add acc (Alloc.footprint b.buffer env))
+    Zint.zero plan.buffered
+
+let pp fmt plan =
+  Format.fprintf fmt "@[<v>plan: %d buffered, %d in global memory@,"
+    (List.length plan.buffered)
+    (List.length plan.skipped);
+  List.iter (fun b ->
+    Format.fprintf fmt "%a  %a@," Alloc.pp b.buffer Reuse.pp_report b.report)
+    plan.buffered;
+  List.iter (fun ((part : Dataspaces.partition), r) ->
+    Format.fprintf fmt "skip %s %a@," part.Dataspaces.array Reuse.pp_report r)
+    plan.skipped;
+  Format.fprintf fmt "@]"

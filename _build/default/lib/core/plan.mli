@@ -1,0 +1,52 @@
+(** End-to-end data-management planning for a program block: the
+    framework of Section 3 assembled — data spaces, partitioning,
+    Algorithm 1 (reuse), Algorithm 2 (allocation), access-function
+    rewriting, and movement code. *)
+
+open Emsc_arith
+open Emsc_ir
+open Emsc_codegen
+
+type buffered = {
+  buffer : Alloc.buffer;
+  report : Reuse.report;
+  move_in : Ast.stm list;
+  move_out : Ast.stm list;
+}
+
+type t = {
+  prog : Prog.t;
+  buffered : buffered list;  (** partitions copied to scratchpad *)
+  skipped : (Dataspaces.partition * Reuse.report) list;
+      (** partitions left in global memory (GPU mode only) *)
+}
+
+val plan_block :
+  ?delta:float ->
+  ?param_env:Zint.t array ->
+  ?param_context:Emsc_poly.Poly.t ->
+  ?arch:[ `Gpu | `Cell ] ->
+  ?optimize_movement:bool ->
+  ?live_out:(string -> bool) ->
+  ?merge_per_array:bool ->
+  Prog.t -> t
+(** [arch = `Gpu] (default) copies only partitions Algorithm 1 marks
+    beneficial; [`Cell] copies everything, since Cell-like machines
+    cannot touch global memory from compute code.
+    [optimize_movement] applies the Section 3.1.4 refinement using
+    flow-dependence information.  [live_out] defaults to treating every
+    array as live (conservative). *)
+
+val local_ref : t -> Prog.stmt -> Prog.access -> Ast.ref_expr option
+(** How an access is rewritten to the local buffer: index expressions
+    over the statement's iterator names and the program parameters.
+    [None] when the access stays in global memory. *)
+
+val all_move_in : t -> Ast.stm list
+val all_move_out : t -> Ast.stm list
+
+val total_footprint : t -> (string -> Zint.t) -> Zint.t
+(** Scratchpad elements needed by all buffers under a parameter
+    valuation (the ∑ M_i of Section 4.3). *)
+
+val pp : Format.formatter -> t -> unit

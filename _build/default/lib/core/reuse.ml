@@ -1,0 +1,96 @@
+open Emsc_arith
+open Emsc_linalg
+open Emsc_poly
+open Emsc_ir
+
+type report = {
+  nonconstant : bool;
+  overlap_fraction : float option;
+  beneficial : bool;
+}
+
+let access_has_nonconstant_reuse (s : Prog.stmt) (a : Prog.access) =
+  let depth = s.Prog.depth in
+  let iter_part =
+    Array.map (fun row -> Array.sub row 0 depth) a.Prog.map
+  in
+  Mat.rank iter_part < depth
+
+(* Fix the leading [np] parameter dimensions of a space to the given
+   values. *)
+let instantiate np env space =
+  let rec go i p = if i >= np then p else go (i + 1) (Poly.fix_dim p 0 env.(i)) in
+  (* fixing dim 0 repeatedly walks through the parameter block *)
+  go 0 space
+
+let volume ?(limit = 200_000) p =
+  match Count.count_poly ~limit p with
+  | Count.Exact n -> Some (Zint.to_float n)
+  | Count.More_than n -> Some (Zint.to_float n)
+  | Count.Unbounded -> None
+  | exception _ -> None
+
+let overlap_fraction ~count_limit np env (part : Dataspaces.partition) =
+  let spaces =
+    List.map (fun (d : Dataspaces.dspace) -> instantiate np env d.space)
+      part.Dataspaces.members
+  in
+  let dim = match spaces with [] -> 0 | p :: _ -> Poly.dim p in
+  let union = Uset.of_pieces ~dim spaces in
+  let total =
+    match Count.count_uset ~limit:count_limit union with
+    | Count.Exact n | Count.More_than n -> Some (Zint.to_float n)
+    | Count.Unbounded -> None
+    | exception _ -> None
+  in
+  match total with
+  | None -> None
+  | Some total when total <= 0.0 -> None
+  | Some total ->
+    let rec pairs acc = function
+      | [] -> Some acc
+      | p :: rest ->
+        let rec inner acc = function
+          | [] -> Some acc
+          | q :: qs -> begin
+            match volume ~limit:count_limit (Poly.intersect p q) with
+            | Some v -> inner (acc +. v) qs
+            | None -> None
+          end
+        in
+        (match inner acc rest with
+         | Some acc -> pairs acc rest
+         | None -> None)
+    in
+    (match pairs 0.0 spaces with
+     | Some overlap -> Some (overlap /. total)
+     | None -> None)
+
+let analyze ?(delta = 0.3) ?param_env ?(count_limit = 200_000) p part =
+  let nonconstant =
+    List.exists (fun (d : Dataspaces.dspace) ->
+      access_has_nonconstant_reuse d.Dataspaces.stmt d.Dataspaces.access)
+      part.Dataspaces.members
+  in
+  if nonconstant then
+    { nonconstant = true; overlap_fraction = None; beneficial = true }
+  else begin
+    let np = Prog.nparams p in
+    let frac =
+      match param_env with
+      | Some env when Array.length env = np ->
+        overlap_fraction ~count_limit np env part
+      | Some _ -> None
+      | None -> if np = 0 then overlap_fraction ~count_limit 0 [||] part else None
+    in
+    let beneficial = match frac with Some f -> f > delta | None -> false in
+    { nonconstant = false; overlap_fraction = frac; beneficial }
+  end
+
+let pp_report fmt r =
+  Format.fprintf fmt "{ nonconstant=%b; overlap=%s; beneficial=%b }"
+    r.nonconstant
+    (match r.overlap_fraction with
+     | None -> "n/a"
+     | Some f -> Printf.sprintf "%.2f" f)
+    r.beneficial

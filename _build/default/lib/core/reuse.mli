@@ -1,0 +1,35 @@
+(** Algorithm 1 of the paper: is a partition of data spaces beneficial
+    to copy into scratchpad memory?
+
+    A partition qualifies if (a) some member reference has
+    order-of-magnitude reuse — the rank of its access function
+    restricted to the iteration dimensions is smaller than the
+    iteration-space dimensionality — or (b) the summed volume of
+    pairwise overlaps exceeds a fraction δ of the union's volume
+    (δ = 30% by default, the paper's empirical setting). *)
+
+open Emsc_arith
+open Emsc_ir
+
+type report = {
+  nonconstant : bool;
+      (** criterion (a): some reference has rank < iteration dim *)
+  overlap_fraction : float option;
+      (** criterion (b) evidence; [None] when volumes were not
+          computable (symbolic parameters without a valuation, or
+          unbounded spaces) *)
+  beneficial : bool;
+}
+
+val access_has_nonconstant_reuse : Prog.stmt -> Prog.access -> bool
+
+val analyze :
+  ?delta:float ->
+  ?param_env:Zint.t array ->
+  ?count_limit:int ->
+  Prog.t -> Dataspaces.partition -> report
+(** [param_env] gives numeric values to the program parameters for the
+    volume computation of criterion (b); without it only criterion (a)
+    is decided. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/ir/build.ml: Array Emsc_arith Emsc_linalg Emsc_poly List Poly Printf Prog Vec Zint

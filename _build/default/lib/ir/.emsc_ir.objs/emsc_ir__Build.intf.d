@@ -1,0 +1,1 @@
+lib/ir/build.mli: Emsc_linalg Emsc_poly Poly Prog

@@ -1,0 +1,1 @@
+lib/ir/deps.ml: Array Emsc_arith Emsc_linalg Emsc_pip Emsc_poly Format List Mat Poly Prog Vec Zint

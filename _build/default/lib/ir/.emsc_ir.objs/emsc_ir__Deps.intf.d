@@ -1,0 +1,1 @@
+lib/ir/deps.mli: Emsc_poly Format Poly Prog

@@ -1,0 +1,1 @@
+lib/ir/prog.ml: Array Emsc_linalg Emsc_poly Format List Mat Poly Printf Stdlib String Vec

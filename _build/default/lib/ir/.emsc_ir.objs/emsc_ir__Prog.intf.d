@@ -1,0 +1,1 @@
+lib/ir/prog.mli: Emsc_linalg Emsc_poly Format Mat Poly Vec

@@ -1,0 +1,30 @@
+(** Polyhedral dependence analysis.
+
+    For each pair of accesses to the same array in which at least one
+    access writes, builds the dependence polyhedra over the combined
+    space [(src iterators) ++ (dst iterators) ++ params], one per
+    lexicographic precedence level, and keeps the integer-non-empty
+    ones.  Integer emptiness is decided by {!Emsc_pip.Ilp}; if the
+    search gives up the dependence is kept (conservative). *)
+
+open Emsc_poly
+
+type kind = Flow | Anti | Output
+
+type t = {
+  src : Prog.stmt;
+  dst : Prog.stmt;
+  src_access : Prog.access;
+  dst_access : Prog.access;
+  kind : kind;
+  level : int;
+      (** 0-based schedule level at which the precedence is strict *)
+  poly : Poly.t;
+      (** dimension [src.depth + dst.depth + nparams] *)
+}
+
+val analyze : ?context:Poly.t -> Prog.t -> t list
+(** [context], when given, is a polyhedron over the parameters only
+    (dimension = nparams) constraining problem sizes, e.g. [N >= 1]. *)
+
+val pp : Format.formatter -> t -> unit

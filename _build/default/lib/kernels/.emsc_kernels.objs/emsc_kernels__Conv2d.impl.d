@@ -1,0 +1,1 @@
+lib/kernels/conv2d.ml: Build Emsc_ir Prog

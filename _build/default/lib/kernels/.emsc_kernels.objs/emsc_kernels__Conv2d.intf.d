@@ -1,0 +1,1 @@
+lib/kernels/conv2d.mli: Emsc_ir

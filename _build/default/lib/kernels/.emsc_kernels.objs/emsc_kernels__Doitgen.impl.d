@@ -1,0 +1,1 @@
+lib/kernels/doitgen.ml: Build Emsc_ir Emsc_linalg Prog

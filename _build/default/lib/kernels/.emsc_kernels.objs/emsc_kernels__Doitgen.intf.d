@@ -1,0 +1,1 @@
+lib/kernels/doitgen.mli: Emsc_ir

@@ -1,0 +1,1 @@
+lib/kernels/fig1.ml: Build Emsc_ir Prog

@@ -1,0 +1,1 @@
+lib/kernels/fig1.mli: Emsc_ir

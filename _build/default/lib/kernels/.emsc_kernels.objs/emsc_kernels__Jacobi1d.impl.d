@@ -1,0 +1,1 @@
+lib/kernels/jacobi1d.ml: Build Emsc_ir Prog

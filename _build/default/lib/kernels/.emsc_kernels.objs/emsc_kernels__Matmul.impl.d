@@ -1,0 +1,1 @@
+lib/kernels/matmul.ml: Build Emsc_ir Prog

@@ -1,0 +1,1 @@
+lib/kernels/me.ml: Build Emsc_ir Prog

@@ -1,0 +1,1 @@
+lib/kernels/me.mli: Emsc_ir

@@ -1,0 +1,40 @@
+open Emsc_ir
+
+let program ~n ~kw =
+  let np = 0 in
+  let w_out =
+    Prog.mk_access ~array:"out" ~kind:Prog.Write
+      ~rows:[ [ 1; 0; 0; 0; 0 ]; [ 0; 1; 0; 0; 0 ] ]
+  in
+  let r_out =
+    Prog.mk_access ~array:"out" ~kind:Prog.Read
+      ~rows:[ [ 1; 0; 0; 0; 0 ]; [ 0; 1; 0; 0; 0 ] ]
+  in
+  let r_img =
+    Prog.mk_access ~array:"img" ~kind:Prog.Read
+      ~rows:[ [ 1; 0; 1; 0; 0 ]; [ 0; 1; 0; 1; 0 ] ]
+  in
+  let r_w =
+    Prog.mk_access ~array:"w" ~kind:Prog.Read
+      ~rows:[ [ 0; 0; 1; 0; 0 ]; [ 0; 0; 0; 1; 0 ] ]
+  in
+  let s =
+    Build.stmt ~id:1 ~name:"S_conv" ~np ~depth:4
+      ~iter_names:[| "i"; "j"; "k"; "l" |]
+      ~domain:
+        (Build.box_domain ~np
+           [ (0, n - 1); (0, n - 1); (0, kw - 1); (0, kw - 1) ])
+      ~writes:[ w_out ]
+      ~reads:[ r_out; r_img; r_w ]
+      ~body:
+        ( w_out,
+          Prog.Eadd
+            (Prog.Eref r_out, Prog.Emul (Prog.Eref r_img, Prog.Eref r_w)) )
+      ~beta:[ 0; 0; 0; 0; 0 ] ()
+  in
+  { Prog.params = [||];
+    arrays =
+      [ Build.array2 "out" n n ~np;
+        Build.array2 "img" (n + kw) (n + kw) ~np;
+        Build.array2 "w" kw kw ~np ];
+    stmts = [ s ] }

@@ -1,0 +1,8 @@
+(** 2-D convolution with a [kw x kw] kernel — a second sliding-window
+    workload (like ME, but with a true 2-D stencil halo):
+
+    {v
+    out[i][j] += img[i+k][j+l] * w[k][l]
+    v} *)
+
+val program : n:int -> kw:int -> Emsc_ir.Prog.t

@@ -1,0 +1,47 @@
+open Emsc_ir
+
+let program ~nr ~nq ~np_ =
+  let np = 0 in
+  (* iterators: r, q, p, s *)
+  let w_sum =
+    Prog.mk_access ~array:"sum3" ~kind:Prog.Write
+      ~rows:[ [ 1; 0; 0; 0; 0 ]; [ 0; 1; 0; 0; 0 ]; [ 0; 0; 1; 0; 0 ] ]
+  in
+  let r_sum =
+    Prog.mk_access ~array:"sum3" ~kind:Prog.Read
+      ~rows:[ [ 1; 0; 0; 0; 0 ]; [ 0; 1; 0; 0; 0 ]; [ 0; 0; 1; 0; 0 ] ]
+  in
+  let r_a3 =
+    Prog.mk_access ~array:"a3" ~kind:Prog.Read
+      ~rows:[ [ 1; 0; 0; 0; 0 ]; [ 0; 1; 0; 0; 0 ]; [ 0; 0; 0; 1; 0 ] ]
+  in
+  let r_c4 =
+    Prog.mk_access ~array:"c4" ~kind:Prog.Read
+      ~rows:[ [ 0; 0; 0; 1; 0 ]; [ 0; 0; 1; 0; 0 ] ]
+  in
+  let s =
+    Build.stmt ~id:1 ~name:"S_doitgen" ~np ~depth:4
+      ~iter_names:[| "r"; "q"; "p"; "s" |]
+      ~domain:
+        (Build.box_domain ~np
+           [ (0, nr - 1); (0, nq - 1); (0, np_ - 1); (0, np_ - 1) ])
+      ~writes:[ w_sum ]
+      ~reads:[ r_sum; r_a3; r_c4 ]
+      ~body:
+        ( w_sum,
+          Prog.Eadd
+            (Prog.Eref r_sum, Prog.Emul (Prog.Eref r_a3, Prog.Eref r_c4)) )
+      ~beta:[ 0; 0; 0; 0; 0 ] ()
+  in
+  { Prog.params = [||];
+    arrays =
+      [ { Prog.array_name = "sum3"; rank = 3;
+          extents =
+            [| Emsc_linalg.Vec.of_ints [ nr ]; Emsc_linalg.Vec.of_ints [ nq ];
+               Emsc_linalg.Vec.of_ints [ np_ ] |] };
+        { Prog.array_name = "a3"; rank = 3;
+          extents =
+            [| Emsc_linalg.Vec.of_ints [ nr ]; Emsc_linalg.Vec.of_ints [ nq ];
+               Emsc_linalg.Vec.of_ints [ np_ ] |] };
+        Build.array2 "c4" np_ np_ ~np ];
+    stmts = [ s ] }

@@ -1,0 +1,5 @@
+(** Polybench-style doitgen: a batched contraction
+    [sum[r][q][p] += a3[r][q][s] * c4[s][p]] — exercises rank-3 arrays
+    and a read-only coefficient matrix with order-of-magnitude reuse. *)
+
+val program : nr:int -> nq:int -> np_:int -> Emsc_ir.Prog.t

@@ -1,0 +1,46 @@
+open Emsc_ir
+
+let np = 0
+
+let program =
+  let a_write =
+    Prog.mk_access ~array:"A" ~kind:Prog.Write
+      ~rows:[ [ 1; 0; 0 ]; [ 0; 1; 1 ] ]
+  in
+  let a_read_diag =
+    Prog.mk_access ~array:"A" ~kind:Prog.Read
+      ~rows:[ [ 1; 1; 0 ]; [ 0; 1; 1 ] ]
+  in
+  let s1 =
+    Build.stmt ~id:1 ~name:"S1" ~np ~depth:2
+      ~iter_names:[| "i"; "j" |]
+      ~domain:(Build.box_domain ~np [ (10, 14); (10, 14) ])
+      ~writes:[ a_write ]
+      ~reads:[ a_read_diag ]
+      ~body:(a_write, Prog.Emul (Prog.Eref a_read_diag, Prog.Econst 3.0))
+      ~beta:[ 0; 0; 0 ] ()
+  in
+  let b_write =
+    Prog.mk_access ~array:"B" ~kind:Prog.Write
+      ~rows:[ [ 1; 0; 0; 0 ]; [ 0; 1; 1; 0 ] ]
+  in
+  let a_read =
+    Prog.mk_access ~array:"A" ~kind:Prog.Read
+      ~rows:[ [ 1; 0; 0; 0 ]; [ 0; 0; 1; 0 ] ]
+  in
+  let b_read =
+    Prog.mk_access ~array:"B" ~kind:Prog.Read
+      ~rows:[ [ 1; 1; 0; 0 ]; [ 0; 0; 1; 0 ] ]
+  in
+  let s2 =
+    Build.stmt ~id:2 ~name:"S2" ~np ~depth:3
+      ~iter_names:[| "i"; "j"; "k" |]
+      ~domain:(Build.box_domain ~np [ (10, 14); (10, 14); (11, 20) ])
+      ~writes:[ b_write ]
+      ~reads:[ a_read; b_read ]
+      ~body:(b_write, Prog.Eadd (Prog.Eref a_read, Prog.Eref b_read))
+      ~beta:[ 0; 0; 1; 0 ] ()
+  in
+  { Prog.params = [||];
+    arrays = [ Build.array2 "A" 200 200 ~np; Build.array2 "B" 200 200 ~np ];
+    stmts = [ s1; s2 ] }

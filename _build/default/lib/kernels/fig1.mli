@@ -1,0 +1,17 @@
+(** The worked example of the paper's Figure 1:
+
+    {v
+    A[200][200]; B[200][200];
+    for (i = 10..14)
+      for (j = 10..14) {
+        S1: A[i][j+1] = A[i+j][j+1] * 3;
+        for (k = 11..20)
+          S2: B[i][j+k] = A[i][k] + B[i+j][k];
+      }
+    v}
+
+    The paper derives LA[19][10] (offsets 10, 11) and LB[19][24]
+    (offsets 10, 11) for this block; the core tests check our
+    framework reproduces those exact extents. *)
+
+val program : Emsc_ir.Prog.t

@@ -1,0 +1,74 @@
+open Emsc_ir
+
+let program ~n ~steps =
+  let np = 0 in
+  let third = 1.0 /. 3.0 in
+  let w_nxt =
+    Prog.mk_access ~array:"nxt" ~kind:Prog.Write ~rows:[ [ 0; 1; 0 ] ]
+  in
+  let r_m1 = Prog.mk_access ~array:"cur" ~kind:Prog.Read ~rows:[ [ 0; 1; -1 ] ] in
+  let r_0 = Prog.mk_access ~array:"cur" ~kind:Prog.Read ~rows:[ [ 0; 1; 0 ] ] in
+  let r_p1 = Prog.mk_access ~array:"cur" ~kind:Prog.Read ~rows:[ [ 0; 1; 1 ] ] in
+  let s1 =
+    Build.stmt ~id:1 ~name:"S_jac" ~np ~depth:2
+      ~iter_names:[| "t"; "i" |]
+      ~domain:(Build.box_domain ~np [ (0, steps - 1); (1, n - 2) ])
+      ~writes:[ w_nxt ]
+      ~reads:[ r_m1; r_0; r_p1 ]
+      ~body:
+        ( w_nxt,
+          Prog.Emul
+            ( Prog.Econst third,
+              Prog.Eadd
+                (Prog.Eref r_m1, Prog.Eadd (Prog.Eref r_0, Prog.Eref r_p1)) ) )
+      ~beta:[ 0; 0; 0 ] ()
+  in
+  let w_cur =
+    Prog.mk_access ~array:"cur" ~kind:Prog.Write ~rows:[ [ 0; 1; 0 ] ]
+  in
+  let r_nxt = Prog.mk_access ~array:"nxt" ~kind:Prog.Read ~rows:[ [ 0; 1; 0 ] ] in
+  let s2 =
+    Build.stmt ~id:2 ~name:"S_copy" ~np ~depth:2
+      ~iter_names:[| "t"; "i" |]
+      ~domain:(Build.box_domain ~np [ (0, steps - 1); (1, n - 2) ])
+      ~writes:[ w_cur ]
+      ~reads:[ r_nxt ]
+      ~body:(w_cur, Prog.Eref r_nxt)
+      ~beta:[ 0; 1; 0 ] ()
+  in
+  { Prog.params = [||];
+    arrays = [ Build.array1 "cur" n ~np; Build.array1 "nxt" n ~np ];
+    stmts = [ s1; s2 ] }
+
+let program_expanded ~n ~steps =
+  let np = 0 in
+  let third = 1.0 /. 3.0 in
+  let w = Prog.mk_access ~array:"a" ~kind:Prog.Write
+      ~rows:[ [ 1; 0; 1 ]; [ 0; 1; 0 ] ]
+  in
+  let r_m1 = Prog.mk_access ~array:"a" ~kind:Prog.Read
+      ~rows:[ [ 1; 0; 0 ]; [ 0; 1; -1 ] ]
+  in
+  let r_0 = Prog.mk_access ~array:"a" ~kind:Prog.Read
+      ~rows:[ [ 1; 0; 0 ]; [ 0; 1; 0 ] ]
+  in
+  let r_p1 = Prog.mk_access ~array:"a" ~kind:Prog.Read
+      ~rows:[ [ 1; 0; 0 ]; [ 0; 1; 1 ] ]
+  in
+  let s =
+    Build.stmt ~id:1 ~name:"S_jex" ~np ~depth:2
+      ~iter_names:[| "t"; "i" |]
+      ~domain:(Build.box_domain ~np [ (0, steps - 1); (1, n - 2) ])
+      ~writes:[ w ]
+      ~reads:[ r_m1; r_0; r_p1 ]
+      ~body:
+        ( w,
+          Prog.Emul
+            ( Prog.Econst third,
+              Prog.Eadd
+                (Prog.Eref r_m1, Prog.Eadd (Prog.Eref r_0, Prog.Eref r_p1)) ) )
+      ~beta:[ 0; 0; 0 ] ()
+  in
+  { Prog.params = [||];
+    arrays = [ Build.array2 "a" (steps + 1) n ~np ];
+    stmts = [ s ] }

@@ -1,0 +1,22 @@
+(** 1-D Jacobi stencil with explicit copy-back (affine ping):
+
+    {v
+    for t in 0 .. steps-1:
+      for i in 1 .. n-2:   S1: nxt[i] = (cur[i-1] + cur[i] + cur[i+1]) / 3
+      for i in 1 .. n-2:   S2: cur[i] = nxt[i]
+    v}
+
+    The space loop is surrounded by a time loop; tiling it for the GPU
+    needs the concurrent-start treatment of Krishnamoorthy et al.
+    (PLDI'07, the paper's [27]), which {!Emsc_transform.Stencil}
+    realizes as overlapped (halo) time tiling. *)
+
+val program : n:int -> steps:int -> Emsc_ir.Prog.t
+
+val program_expanded : n:int -> steps:int -> Emsc_ir.Prog.t
+(** Time-expanded single-statement form
+    [a[t+1][i] = (a[t][i-1] + a[t][i] + a[t][i+1]) / 3] over an
+    [(steps+1) x n] array: the formulation whose dependences
+    [(1, -1), (1, 0), (1, 1)] admit the skewed permutable band
+    {(1,0), (1,1)} — use for transform tests at small sizes (memory
+    grows with [steps]). *)

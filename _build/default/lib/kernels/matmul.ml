@@ -1,0 +1,35 @@
+open Emsc_ir
+
+let program ~n =
+  let np = 0 in
+  let w_c =
+    Prog.mk_access ~array:"C" ~kind:Prog.Write
+      ~rows:[ [ 1; 0; 0; 0 ]; [ 0; 1; 0; 0 ] ]
+  in
+  let r_c =
+    Prog.mk_access ~array:"C" ~kind:Prog.Read
+      ~rows:[ [ 1; 0; 0; 0 ]; [ 0; 1; 0; 0 ] ]
+  in
+  let r_a =
+    Prog.mk_access ~array:"A" ~kind:Prog.Read
+      ~rows:[ [ 1; 0; 0; 0 ]; [ 0; 0; 1; 0 ] ]
+  in
+  let r_b =
+    Prog.mk_access ~array:"B" ~kind:Prog.Read
+      ~rows:[ [ 0; 0; 1; 0 ]; [ 0; 1; 0; 0 ] ]
+  in
+  let s =
+    Build.stmt ~id:1 ~name:"S_mm" ~np ~depth:3
+      ~iter_names:[| "i"; "j"; "k" |]
+      ~domain:(Build.box_domain ~np [ (0, n - 1); (0, n - 1); (0, n - 1) ])
+      ~writes:[ w_c ]
+      ~reads:[ r_c; r_a; r_b ]
+      ~body:
+        (w_c, Prog.Eadd (Prog.Eref r_c, Prog.Emul (Prog.Eref r_a, Prog.Eref r_b)))
+      ~beta:[ 0; 0; 0; 0 ] ()
+  in
+  { Prog.params = [||];
+    arrays =
+      [ Build.array2 "C" n n ~np; Build.array2 "A" n n ~np;
+        Build.array2 "B" n n ~np ];
+    stmts = [ s ] }

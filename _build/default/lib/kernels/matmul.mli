@@ -1,0 +1,5 @@
+(** Dense matrix multiplication C += A * B — the classic kernel used to
+    exercise the full pipeline (hyperplanes, tiling, buffering). *)
+
+val program : n:int -> Emsc_ir.Prog.t
+(** Single statement of depth 3 (i, j, k) over an [n x n] problem. *)

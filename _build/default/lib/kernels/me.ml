@@ -1,0 +1,41 @@
+open Emsc_ir
+
+let program ~ni ~nj ~ws =
+  let np = 0 in
+  let w_sad =
+    Prog.mk_access ~array:"sad" ~kind:Prog.Write
+      ~rows:[ [ 1; 0; 0; 0; 0 ]; [ 0; 1; 0; 0; 0 ] ]
+  in
+  let r_sad =
+    Prog.mk_access ~array:"sad" ~kind:Prog.Read
+      ~rows:[ [ 1; 0; 0; 0; 0 ]; [ 0; 1; 0; 0; 0 ] ]
+  in
+  let r_cur =
+    Prog.mk_access ~array:"cur" ~kind:Prog.Read
+      ~rows:[ [ 1; 0; 1; 0; 0 ]; [ 0; 1; 0; 1; 0 ] ]
+  in
+  let r_ref =
+    Prog.mk_access ~array:"refb" ~kind:Prog.Read
+      ~rows:[ [ 1; 0; 1; 0; 0 ]; [ 0; 1; 0; 1; 0 ] ]
+  in
+  let s =
+    Build.stmt ~id:1 ~name:"S_me" ~np ~depth:4
+      ~iter_names:[| "i"; "j"; "k"; "l" |]
+      ~domain:
+        (Build.box_domain ~np
+           [ (0, ni - 1); (0, nj - 1); (0, ws - 1); (0, ws - 1) ])
+      ~writes:[ w_sad ]
+      ~reads:[ r_sad; r_cur; r_ref ]
+      ~body:
+        ( w_sad,
+          Prog.Eadd
+            ( Prog.Eref r_sad,
+              Prog.Eabs (Prog.Esub (Prog.Eref r_cur, Prog.Eref r_ref)) ) )
+      ~beta:[ 0; 0; 0; 0; 0 ] ()
+  in
+  { Prog.params = [||];
+    arrays =
+      [ Build.array2 "sad" ni nj ~np;
+        Build.array2 "cur" (ni + ws) (nj + ws) ~np;
+        Build.array2 "refb" (ni + ws) (nj + ws) ~np ];
+    stmts = [ s ] }

@@ -1,0 +1,21 @@
+(** Mpeg4 Motion Estimation kernel, the structure of the paper's
+    Figure 2: two FORALL space loops (i, j) over the frame and two FOR
+    loops (k, l) over a [ws x ws] search/window range.
+
+    {v
+    forall i in 0 .. ni-1:
+      forall j in 0 .. nj-1:
+        for k in 0 .. ws-1:
+          for l in 0 .. ws-1:
+            sad[i][j] += |cur[i+k][j+l] - refb[i+k][j+l]|
+    v}
+
+    Both frame windows slide with (i, j) — neighbouring iterations
+    share (ws-1)/ws of their data, the reuse the paper's framework
+    captures in scratchpad memory.  With two [(t_i+ws) x (t_j+ws)]
+    windows plus the [t_i x t_j] accumulator, the 16 KB scratchpad
+    admits memory tiles up to (32, 16, 16, 16) — the size the paper's
+    search selects — while (64, 16, ...) and (32, 32, ...) overflow,
+    reproducing the Figure 6 feasibility frontier. *)
+
+val program : ni:int -> nj:int -> ws:int -> Emsc_ir.Prog.t

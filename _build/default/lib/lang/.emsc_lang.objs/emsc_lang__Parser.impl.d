@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Array Build Emsc_arith Emsc_ir Emsc_linalg Emsc_poly Lexer List Poly Printf Prog Vec Zint

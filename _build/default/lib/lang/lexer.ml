@@ -1,0 +1,151 @@
+type token =
+  | INT of int
+  | ID of string
+  | KW_PARAM | KW_ARRAY | KW_FOR | KW_ABS | KW_MIN | KW_MAX
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA
+  | PLUS | MINUS | STAR | SLASH
+  | ASSIGN
+  | PLUS_ASSIGN
+  | LE
+  | LT
+  | INCR
+  | EOF
+
+type located = { tok : token; line : int; col : int }
+
+exception Error of string
+
+let keyword = function
+  | "param" -> Some KW_PARAM
+  | "array" -> Some KW_ARRAY
+  | "for" -> Some KW_FOR
+  | "abs" -> Some KW_ABS
+  | "min" -> Some KW_MIN
+  | "max" -> Some KW_MAX
+  | _ -> None
+
+let is_digit c = c >= '0' && c <= '9'
+let is_alpha c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_alnum c = is_alpha c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let push tok = toks := { tok; line = !line; col = !col } :: !toks in
+  let advance k =
+    for j = !i to min (n - 1) (!i + k - 1) do
+      if src.[j] = '\n' then begin
+        incr line;
+        col := 1
+      end
+      else incr col
+    done;
+    i := !i + k
+  in
+  let peek k = if !i + k < n then Some src.[!i + k] else None in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then advance 1
+    else if c = '/' && peek 1 = Some '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        advance 1
+      done
+    end
+    else if c = '/' && peek 1 = Some '*' then begin
+      advance 2;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '*' && peek 1 = Some '/' then begin
+          advance 2;
+          closed := true
+        end
+        else advance 1
+      done;
+      if not !closed then raise (Error "unterminated comment")
+    end
+    else if is_digit c then begin
+      let start = !i in
+      while !i < n && is_digit src.[!i] do
+        advance 1
+      done;
+      push (INT (int_of_string (String.sub src start (!i - start))))
+    end
+    else if is_alpha c then begin
+      let start = !i in
+      while !i < n && is_alnum src.[!i] do
+        advance 1
+      done;
+      let word = String.sub src start (!i - start) in
+      push (match keyword word with Some k -> k | None -> ID word)
+    end
+    else begin
+      let two a b t =
+        if c = a && peek 1 = Some b then begin
+          push t;
+          advance 2;
+          true
+        end
+        else false
+      in
+      if two '+' '=' PLUS_ASSIGN || two '+' '+' INCR || two '<' '=' LE then ()
+      else begin
+        let t =
+          match c with
+          | '(' -> LPAREN
+          | ')' -> RPAREN
+          | '{' -> LBRACE
+          | '}' -> RBRACE
+          | '[' -> LBRACKET
+          | ']' -> RBRACKET
+          | ';' -> SEMI
+          | ',' -> COMMA
+          | '+' -> PLUS
+          | '-' -> MINUS
+          | '*' -> STAR
+          | '/' -> SLASH
+          | '=' -> ASSIGN
+          | '<' -> LT
+          | _ ->
+            raise
+              (Error
+                 (Printf.sprintf "line %d, col %d: unexpected character %c"
+                    !line !col c))
+        in
+        push t;
+        advance 1
+      end
+    end
+  done;
+  push EOF;
+  List.rev !toks
+
+let describe = function
+  | INT n -> string_of_int n
+  | ID s -> Printf.sprintf "identifier %s" s
+  | KW_PARAM -> "param"
+  | KW_ARRAY -> "array"
+  | KW_FOR -> "for"
+  | KW_ABS -> "abs"
+  | KW_MIN -> "min"
+  | KW_MAX -> "max"
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | ASSIGN -> "="
+  | PLUS_ASSIGN -> "+="
+  | LE -> "<="
+  | LT -> "<"
+  | INCR -> "++"
+  | EOF -> "end of input"

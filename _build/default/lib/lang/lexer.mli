@@ -1,0 +1,25 @@
+(** Tokenizer for the affine input language (see {!Parser}). *)
+
+type token =
+  | INT of int
+  | ID of string
+  | KW_PARAM | KW_ARRAY | KW_FOR | KW_ABS | KW_MIN | KW_MAX
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA
+  | PLUS | MINUS | STAR | SLASH
+  | ASSIGN        (** [=] *)
+  | PLUS_ASSIGN   (** [+=] *)
+  | LE            (** [<=] *)
+  | LT            (** [<] *)
+  | INCR          (** [++] *)
+  | EOF
+
+type located = { tok : token; line : int; col : int }
+
+exception Error of string
+
+val tokenize : string -> located list
+(** @raise Error on an unknown character.  Supports [//] line comments
+    and [/* */] block comments. *)
+
+val describe : token -> string

@@ -1,0 +1,1 @@
+lib/linalg/mat.ml: Array Emsc_arith Format List Q Vec Zint

@@ -1,0 +1,1 @@
+lib/linalg/mat.mli: Emsc_arith Format Q Vec Zint

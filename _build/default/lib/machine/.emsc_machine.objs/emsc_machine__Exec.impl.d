@@ -1,0 +1,1 @@
+lib/machine/exec.ml: Array Ast Emsc_arith Emsc_codegen Emsc_ir Emsc_linalg Float Hashtbl List Memory Obj Printf Prog Zint

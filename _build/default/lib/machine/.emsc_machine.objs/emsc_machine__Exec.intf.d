@@ -1,0 +1,1 @@
+lib/machine/exec.mli: Emsc_arith Emsc_codegen Emsc_ir Memory Prog Zint

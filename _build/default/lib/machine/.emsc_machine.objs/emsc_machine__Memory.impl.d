@@ -1,0 +1,1 @@
+lib/machine/memory.ml: Array Emsc_arith Emsc_ir Emsc_linalg Float Hashtbl List Printf Prog Zint

@@ -1,0 +1,1 @@
+lib/machine/memory.mli: Emsc_arith Emsc_ir Prog Zint

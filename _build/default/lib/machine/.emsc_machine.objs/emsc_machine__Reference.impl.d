@@ -1,0 +1,1 @@
+lib/machine/reference.ml: Array Emsc_arith Emsc_ir Emsc_poly Exec List Poly Prog Zint

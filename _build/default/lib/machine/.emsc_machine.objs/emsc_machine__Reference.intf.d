@@ -1,0 +1,1 @@
+lib/machine/reference.mli: Emsc_arith Emsc_ir Exec Memory Prog Zint

@@ -1,0 +1,1 @@
+lib/machine/timing.ml: Config Exec Float List

@@ -1,0 +1,92 @@
+type stats = {
+  mutable hits : float;
+  mutable misses : float;
+}
+
+type t = {
+  nsets : int;
+  assoc : int;
+  line_words : int;
+  tags : int array array;   (* nsets x assoc, -1 = invalid *)
+  ages : int array array;   (* LRU: smaller = older *)
+  mutable clock : int;
+  st : stats;
+}
+
+let create (c : Config.cache) ~word_bytes =
+  let line_words = max 1 (c.Config.line_bytes / word_bytes) in
+  let nlines = max 1 (c.Config.size_bytes / c.Config.line_bytes) in
+  let assoc = max 1 c.Config.assoc in
+  let nsets = max 1 (nlines / assoc) in
+  { nsets; assoc; line_words;
+    tags = Array.init nsets (fun _ -> Array.make assoc (-1));
+    ages = Array.init nsets (fun _ -> Array.make assoc 0);
+    clock = 0;
+    st = { hits = 0.; misses = 0. } }
+
+let access c word_addr =
+  let line = word_addr / c.line_words in
+  let set = line mod c.nsets in
+  let tags = c.tags.(set) and ages = c.ages.(set) in
+  c.clock <- c.clock + 1;
+  let rec find i = if i >= c.assoc then None
+    else if tags.(i) = line then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i ->
+    ages.(i) <- c.clock;
+    c.st.hits <- c.st.hits +. 1.0;
+    true
+  | None ->
+    c.st.misses <- c.st.misses +. 1.0;
+    (* evict LRU way *)
+    let victim = ref 0 in
+    for i = 1 to c.assoc - 1 do
+      if ages.(i) < ages.(!victim) then victim := i
+    done;
+    tags.(!victim) <- line;
+    ages.(!victim) <- c.clock;
+    false
+
+let stats c = c.st
+
+let reset c =
+  Array.iter (fun t -> Array.fill t 0 (Array.length t) (-1)) c.tags;
+  Array.iter (fun a -> Array.fill a 0 (Array.length a) 0) c.ages;
+  c.clock <- 0;
+  c.st.hits <- 0.;
+  c.st.misses <- 0.
+
+module Hierarchy = struct
+  type h = {
+    l1 : t;
+    l2 : t;
+    mutable l1h : float;
+    mutable l2h : float;
+    mutable mem : float;
+  }
+
+  let create (cpu : Config.cpu) =
+    { l1 = create cpu.Config.l1 ~word_bytes:4;
+      l2 = create cpu.Config.l2 ~word_bytes:4;
+      l1h = 0.; l2h = 0.; mem = 0. }
+
+  let access h addr =
+    if access h.l1 addr then begin
+      h.l1h <- h.l1h +. 1.0;
+      `L1
+    end
+    else if access h.l2 addr then begin
+      h.l2h <- h.l2h +. 1.0;
+      `L2
+    end
+    else begin
+      h.mem <- h.mem +. 1.0;
+      `Mem
+    end
+
+  let l1_hits h = h.l1h
+  let l2_hits h = h.l2h
+  let mem_accesses h = h.mem
+end

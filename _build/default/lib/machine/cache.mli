@@ -1,0 +1,27 @@
+(** Set-associative LRU cache simulator (CPU baseline timing). *)
+
+type t
+
+type stats = {
+  mutable hits : float;
+  mutable misses : float;
+}
+
+val create : Config.cache -> word_bytes:int -> t
+val access : t -> int -> bool
+(** [access c word_addr] returns whether the access hit, updating LRU
+    state. *)
+
+val stats : t -> stats
+val reset : t -> unit
+
+(** Two-level hierarchy with the usual inclusive lookup. *)
+module Hierarchy : sig
+  type h
+
+  val create : Config.cpu -> h
+  val access : h -> int -> [ `L1 | `L2 | `Mem ]
+  val l1_hits : h -> float
+  val l2_hits : h -> float
+  val mem_accesses : h -> float
+end

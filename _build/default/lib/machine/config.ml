@@ -1,0 +1,74 @@
+type gpu = {
+  num_mimd : int;
+  simd_per_mimd : int;
+  warp_size : int;
+  smem_bytes : int;
+  word_bytes : int;
+  clock_mhz : float;
+  max_blocks_per_mimd : int;
+  flop_cycles : float;
+  smem_access_cycles : float;
+  global_latency : float;
+  global_bw_words_per_cycle : float;
+  coalesce_width : int;
+  sync_cycles : float;
+  global_sync_base : float;
+  global_sync_per_block : float;
+  launch_overhead_cycles : float;
+}
+
+type cache = {
+  size_bytes : int;
+  line_bytes : int;
+  assoc : int;
+}
+
+type cpu = {
+  cpu_clock_mhz : float;
+  cpu_flop_cycles : float;
+  l1 : cache;
+  l2 : cache;
+  l1_hit_cycles : float;
+  l2_hit_cycles : float;
+  mem_cycles : float;
+}
+
+(* GeForce 8800 GTX: 16 MPs x 8 SIMD @ 1350 MHz shader clock, 16 KB
+   scratchpad per MP, 86.4 GB/s DRAM, ~400-600 cycle global latency. *)
+let gtx8800 = {
+  num_mimd = 16;
+  simd_per_mimd = 8;
+  warp_size = 32;
+  smem_bytes = 16384;
+  word_bytes = 4;
+  clock_mhz = 1350.0;
+  max_blocks_per_mimd = 8;
+  flop_cycles = 1.0;
+  (* effective cycles per scratchpad access, including the address
+     arithmetic real kernels spend per access *)
+  smem_access_cycles = 3.0;
+  global_latency = 450.0;
+  (* 86.4e9 / 4 bytes / 1.35e9 cycles *)
+  global_bw_words_per_cycle = 16.0;
+  coalesce_width = 16;
+  sync_cycles = 8.0;
+  global_sync_base = 4000.0;
+  global_sync_per_block = 120.0;
+  launch_overhead_cycles = 7000.0;
+}
+
+(* Intel Core2 Duo @ 2.13 GHz, 32 KB L1D, 2 MB shared L2 (the host of
+   the paper's testbed); single-threaded baseline as in the paper. *)
+let core2duo = {
+  cpu_clock_mhz = 2130.0;
+  (* scalar in-order issue: the unvectorized -O3 baseline of the paper *)
+  cpu_flop_cycles = 2.5;
+  l1 = { size_bytes = 32768; line_bytes = 64; assoc = 8 };
+  l2 = { size_bytes = 2097152; line_bytes = 64; assoc = 8 };
+  l1_hit_cycles = 2.5;
+  l2_hit_cycles = 18.0;
+  mem_cycles = 165.0;
+}
+
+let gpu_ms g cycles = cycles /. (g.clock_mhz *. 1000.0)
+let cpu_ms c cycles = cycles /. (c.cpu_clock_mhz *. 1000.0)

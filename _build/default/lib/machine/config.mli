@@ -1,0 +1,52 @@
+(** Machine models.
+
+    The GPU model mirrors the NVIDIA GeForce 8800 GTX used in the
+    paper: 16 multiprocessors (MIMD units), 8 SIMD units each, warp
+    size 32, 16 KB scratchpad per multiprocessor.  Timing constants
+    are first-order calibrations, not cycle-accurate silicon — see
+    DESIGN.md for what the model is expected (and not expected) to
+    reproduce. *)
+
+type gpu = {
+  num_mimd : int;            (** multiprocessors *)
+  simd_per_mimd : int;
+  warp_size : int;
+  smem_bytes : int;          (** scratchpad per multiprocessor *)
+  word_bytes : int;
+  clock_mhz : float;         (** shader clock *)
+  max_blocks_per_mimd : int;
+  flop_cycles : float;       (** cycles per op per SIMD lane *)
+  smem_access_cycles : float;  (** per word per thread, conflict-free *)
+  global_latency : float;    (** cycles per uncovered global access *)
+  global_bw_words_per_cycle : float;  (** device-wide *)
+  coalesce_width : int;
+      (** consecutive words fetched per global transaction *)
+  sync_cycles : float;       (** intra-block barrier *)
+  global_sync_base : float;  (** cycles to sync across all blocks *)
+  global_sync_per_block : float;
+  launch_overhead_cycles : float;
+}
+
+type cache = {
+  size_bytes : int;
+  line_bytes : int;
+  assoc : int;
+}
+
+type cpu = {
+  cpu_clock_mhz : float;
+  cpu_flop_cycles : float;   (** per scalar op, in-order issue *)
+  l1 : cache;
+  l2 : cache;
+  l1_hit_cycles : float;
+  l2_hit_cycles : float;
+  mem_cycles : float;        (** full miss *)
+}
+
+val gtx8800 : gpu
+val core2duo : cpu
+
+val gpu_ms : gpu -> float -> float
+(** Convert cycles to milliseconds. *)
+
+val cpu_ms : cpu -> float -> float

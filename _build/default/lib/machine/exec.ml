@@ -1,0 +1,356 @@
+open Emsc_arith
+open Emsc_ir
+open Emsc_codegen
+
+type counters = {
+  mutable flops : float;
+  mutable g_ld : float;
+  mutable g_st : float;
+  mutable s_ld : float;
+  mutable s_st : float;
+  mutable syncs : float;
+  mutable fences : float;
+}
+
+let fresh () =
+  { flops = 0.; g_ld = 0.; g_st = 0.; s_ld = 0.; s_st = 0.; syncs = 0.;
+    fences = 0. }
+
+let copy_counters c =
+  { flops = c.flops; g_ld = c.g_ld; g_st = c.g_st; s_ld = c.s_ld;
+    s_st = c.s_st; syncs = c.syncs; fences = c.fences }
+
+let sub_counters a b =
+  { flops = a.flops -. b.flops; g_ld = a.g_ld -. b.g_ld;
+    g_st = a.g_st -. b.g_st; s_ld = a.s_ld -. b.s_ld;
+    s_st = a.s_st -. b.s_st; syncs = a.syncs -. b.syncs;
+    fences = a.fences -. b.fences }
+
+let add_scaled dst d k =
+  dst.flops <- dst.flops +. (d.flops *. k);
+  dst.g_ld <- dst.g_ld +. (d.g_ld *. k);
+  dst.g_st <- dst.g_st +. (d.g_st *. k);
+  dst.s_ld <- dst.s_ld +. (d.s_ld *. k);
+  dst.s_st <- dst.s_st +. (d.s_st *. k);
+  dst.syncs <- dst.syncs +. (d.syncs *. k);
+  dst.fences <- dst.fences +. (d.fences *. k)
+
+let scale_counters c k =
+  { flops = c.flops *. k; g_ld = c.g_ld *. k; g_st = c.g_st *. k;
+    s_ld = c.s_ld *. k; s_st = c.s_st *. k; syncs = c.syncs *. k;
+    fences = c.fences *. k }
+
+let total_global c = c.g_ld +. c.g_st
+let total_smem c = c.s_ld +. c.s_st
+
+type launch = {
+  grid : float;
+  per_block : counters;
+  repeat : float;  (* dynamic occurrences of this launch (sampling) *)
+}
+
+type result = {
+  totals : counters;
+  launches : launch list;
+}
+
+type mode = Full | Sampled of int
+
+let rec expr_flops = function
+  | Prog.Eref _ | Prog.Eiter _ | Prog.Eparam _ | Prog.Econst _ -> 0
+  | Prog.Eneg e | Prog.Eabs e -> 1 + expr_flops e
+  | Prog.Eadd (a, b) | Prog.Esub (a, b) | Prog.Emul (a, b)
+  | Prog.Ediv (a, b) | Prog.Emin (a, b) | Prog.Emax (a, b) ->
+    1 + expr_flops a + expr_flops b
+
+type ctx = {
+  prog : Prog.t;
+  stmts : (int, Prog.stmt) Hashtbl.t;
+  flops_of : (int, int) Hashtbl.t;
+  rewrite : Prog.stmt -> Prog.access -> Ast.ref_expr option;
+  param_env : string -> Zint.t;
+  memory : Memory.t;
+  env : (string, Zint.t) Hashtbl.t;
+  c : counters;
+  mode : mode;
+  on_global : (string -> int -> [ `Ld | `St ] -> unit) option;
+  mutable in_launch : bool;
+  mutable launches : launch list;
+}
+
+let lookup ctx n =
+  match Hashtbl.find_opt ctx.env n with
+  | Some v -> v
+  | None -> ctx.param_env n
+
+let eval_aexpr ctx e = Ast.eval (lookup ctx) e
+
+(* integer value of an access-map row under the statement's bindings *)
+let eval_access_row ctx (s : Prog.stmt) (row : Emsc_linalg.Vec.t) iters =
+  let np = Prog.nparams ctx.prog in
+  let depth = s.Prog.depth in
+  let acc = ref row.(depth + np) in
+  for i = 0 to depth - 1 do
+    acc := Zint.add !acc (Zint.mul row.(i) iters.(i))
+  done;
+  for k = 0 to np - 1 do
+    (* tile-origin parameters are bound as loop variables, real program
+       parameters come from the valuation: go through [lookup] *)
+    if not (Zint.is_zero row.(depth + k)) then
+      acc :=
+        Zint.add !acc
+          (Zint.mul row.(depth + k) (lookup ctx ctx.prog.Prog.params.(k)))
+  done;
+  Zint.to_int_exn !acc
+
+let read_ref ctx (r : Ast.ref_expr) =
+  let idx = Array.map (fun e -> Zint.to_int_exn (eval_aexpr ctx e)) r.Ast.indices in
+  if Memory.is_local ctx.memory r.Ast.array then begin
+    ctx.c.s_ld <- ctx.c.s_ld +. 1.0;
+    Memory.read_local ctx.memory r.Ast.array idx
+  end
+  else begin
+    ctx.c.g_ld <- ctx.c.g_ld +. 1.0;
+    (match ctx.on_global with
+     | Some f when ctx.mode = Full ->
+       f r.Ast.array
+         (Memory.base_address ctx.memory r.Ast.array
+          + Memory.flat_index ctx.memory r.Ast.array idx)
+         `Ld
+     | Some _ | None -> ());
+    Memory.read_global ctx.memory r.Ast.array idx
+  end
+
+let write_ref ctx (r : Ast.ref_expr) v =
+  let idx = Array.map (fun e -> Zint.to_int_exn (eval_aexpr ctx e)) r.Ast.indices in
+  if Memory.is_local ctx.memory r.Ast.array then begin
+    ctx.c.s_st <- ctx.c.s_st +. 1.0;
+    Memory.write_local ctx.memory r.Ast.array idx v
+  end
+  else begin
+    ctx.c.g_st <- ctx.c.g_st +. 1.0;
+    (match ctx.on_global with
+     | Some f when ctx.mode = Full ->
+       f r.Ast.array
+         (Memory.base_address ctx.memory r.Ast.array
+          + Memory.flat_index ctx.memory r.Ast.array idx)
+         `St
+     | Some _ | None -> ());
+    Memory.write_global ctx.memory r.Ast.array idx v
+  end
+
+let read_access ctx (s : Prog.stmt) (a : Prog.access) iters =
+  match ctx.rewrite s a with
+  | Some r -> read_ref ctx r
+  | None ->
+    let idx =
+      Array.map (fun row -> eval_access_row ctx s row iters) a.Prog.map
+    in
+    ctx.c.g_ld <- ctx.c.g_ld +. 1.0;
+    (match ctx.on_global with
+     | Some f when ctx.mode = Full ->
+       f a.Prog.array
+         (Memory.base_address ctx.memory a.Prog.array
+          + Memory.flat_index ctx.memory a.Prog.array idx)
+         `Ld
+     | Some _ | None -> ());
+    Memory.read_global ctx.memory a.Prog.array idx
+
+let write_access ctx (s : Prog.stmt) (a : Prog.access) iters v =
+  match ctx.rewrite s a with
+  | Some r -> write_ref ctx r v
+  | None ->
+    let idx =
+      Array.map (fun row -> eval_access_row ctx s row iters) a.Prog.map
+    in
+    ctx.c.g_st <- ctx.c.g_st +. 1.0;
+    (match ctx.on_global with
+     | Some f when ctx.mode = Full ->
+       f a.Prog.array
+         (Memory.base_address ctx.memory a.Prog.array
+          + Memory.flat_index ctx.memory a.Prog.array idx)
+         `St
+     | Some _ | None -> ());
+    Memory.write_global ctx.memory a.Prog.array idx v
+
+let rec eval_expr ctx s iters (e : Prog.expr) =
+  match e with
+  | Prog.Eref a -> read_access ctx s a iters
+  | Prog.Eiter i -> Zint.to_float iters.(i)
+  | Prog.Eparam k -> Zint.to_float (lookup ctx ctx.prog.Prog.params.(k))
+  | Prog.Econst f -> f
+  | Prog.Eneg e -> -.eval_expr ctx s iters e
+  | Prog.Eabs e -> Float.abs (eval_expr ctx s iters e)
+  | Prog.Eadd (a, b) -> eval_expr ctx s iters a +. eval_expr ctx s iters b
+  | Prog.Esub (a, b) -> eval_expr ctx s iters a -. eval_expr ctx s iters b
+  | Prog.Emul (a, b) -> eval_expr ctx s iters a *. eval_expr ctx s iters b
+  | Prog.Ediv (a, b) -> eval_expr ctx s iters a /. eval_expr ctx s iters b
+  | Prog.Emin (a, b) ->
+    Float.min (eval_expr ctx s iters a) (eval_expr ctx s iters b)
+  | Prog.Emax (a, b) ->
+    Float.max (eval_expr ctx s iters a) (eval_expr ctx s iters b)
+
+let exec_body ctx (s : Prog.stmt) iters =
+  (match s.Prog.body with
+   | None -> ()
+   | Some (lhs, rhs) ->
+     let v = eval_expr ctx s iters rhs in
+     write_access ctx s lhs iters v);
+  ctx.c.flops <-
+    ctx.c.flops +. float_of_int (Hashtbl.find ctx.flops_of s.Prog.id)
+
+let exec_stmt_call ctx stmt_id iter_args =
+  let s =
+    match Hashtbl.find_opt ctx.stmts stmt_id with
+    | Some s -> s
+    | None -> invalid_arg (Printf.sprintf "Exec: unknown statement %d" stmt_id)
+  in
+  let iters = Array.map (eval_aexpr ctx) iter_args in
+  exec_body ctx s iters
+
+(* Count the thread blocks of a launch: product of the trip counts of
+   the outermost chain of Block loops (each evaluated at its outer
+   loop's first iteration). *)
+let rec grid_size ctx (l : Ast.loop) =
+  let lb = eval_aexpr ctx l.Ast.lb and ub = eval_aexpr ctx l.Ast.ub in
+  let trip =
+    let d = Zint.sub ub lb in
+    if Zint.is_negative d then 0.0
+    else Zint.to_float (Zint.add (Zint.fdiv d l.Ast.step) Zint.one)
+  in
+  let inner =
+    match l.Ast.body with
+    | [ Ast.Loop ({ par = Ast.Block; _ } as l') ] ->
+      Hashtbl.replace ctx.env l.Ast.var lb;
+      let g = grid_size ctx l' in
+      Hashtbl.remove ctx.env l.Ast.var;
+      g
+    | _ -> 1.0
+  in
+  trip *. inner
+
+let rec exec_stm ctx (s : Ast.stm) =
+  match s with
+  | Ast.Loop l -> exec_loop ctx l
+  | Ast.Guard (conds, body) ->
+    if
+      List.for_all (fun c -> not (Zint.is_negative (eval_aexpr ctx c))) conds
+    then List.iter (exec_stm ctx) body
+  | Ast.Stmt_call { stmt_id; iter_args } -> exec_stmt_call ctx stmt_id iter_args
+  | Ast.Copy { dst; src } ->
+    let v = read_ref ctx src in
+    write_ref ctx dst v
+  | Ast.Sync -> ctx.c.syncs <- ctx.c.syncs +. 1.0
+  | Ast.Fence ->
+    ctx.c.syncs <- ctx.c.syncs +. 1.0;
+    ctx.c.fences <- ctx.c.fences +. 1.0
+  | Ast.Comment _ -> ()
+
+and exec_loop ctx (l : Ast.loop) =
+  let starts_launch = l.Ast.par = Ast.Block && not ctx.in_launch in
+  if starts_launch then begin
+    let grid = grid_size ctx l in
+    let before = copy_counters ctx.c in
+    ctx.in_launch <- true;
+    exec_loop_body ctx l;
+    ctx.in_launch <- false;
+    let delta = sub_counters ctx.c before in
+    if grid > 0.0 then
+      ctx.launches <-
+        { grid; per_block = scale_counters delta (1.0 /. grid); repeat = 1.0 }
+        :: ctx.launches
+  end
+  else exec_loop_body ctx l
+
+and exec_loop_body ctx (l : Ast.loop) =
+  let lb = eval_aexpr ctx l.Ast.lb and ub = eval_aexpr ctx l.Ast.ub in
+  if Zint.compare lb ub <= 0 then begin
+    let trip =
+      Zint.to_int_exn (Zint.add (Zint.fdiv (Zint.sub ub lb) l.Ast.step) Zint.one)
+    in
+    let saved = Hashtbl.find_opt ctx.env l.Ast.var in
+    let run_at v =
+      Hashtbl.replace ctx.env l.Ast.var v;
+      List.iter (exec_stm ctx) l.Ast.body
+    in
+    (match ctx.mode with
+     | Sampled threshold when trip >= threshold && trip > 2 ->
+       (* first + last, trapezoid rule for the middle *)
+       let before = copy_counters ctx.c in
+       let launches_before = List.length ctx.launches in
+       run_at lb;
+       let launches_first =
+         (* launches triggered by the first iteration (freshly
+            prepended) must also be replicated for the middle *)
+         let fresh = List.length ctx.launches - launches_before in
+         List.filteri (fun i _ -> i < fresh) ctx.launches
+       in
+       let last = Zint.add lb (Zint.mul l.Ast.step (Zint.of_int (trip - 1))) in
+       run_at last;
+       let after_last = copy_counters ctx.c in
+       let mid = scale_counters (sub_counters after_last before) 0.5 in
+       add_scaled ctx.c mid (float_of_int (trip - 2));
+       ctx.launches <-
+         List.map
+           (fun ln -> { ln with repeat = ln.repeat *. float_of_int (trip - 2) })
+           launches_first
+         @ ctx.launches
+     | Sampled _ | Full ->
+       let v = ref lb in
+       for _ = 1 to trip do
+         run_at !v;
+         v := Zint.add !v l.Ast.step
+       done);
+    (match saved with
+     | Some v -> Hashtbl.replace ctx.env l.Ast.var v
+     | None -> Hashtbl.remove ctx.env l.Ast.var)
+  end
+
+let prepare_tables prog =
+  let stmts = Hashtbl.create 8 in
+  let flops_of = Hashtbl.create 8 in
+  List.iter (fun (s : Prog.stmt) ->
+    Hashtbl.replace stmts s.Prog.id s;
+    let f =
+      match s.Prog.body with
+      | None -> 0
+      | Some (_, rhs) -> 1 + expr_flops rhs
+    in
+    Hashtbl.replace flops_of s.Prog.id f)
+    prog.Prog.stmts;
+  (stmts, flops_of)
+
+let run ~prog ?local_ref ~param_env ~memory ?(mode = Full) ?on_global stms =
+  let stmts, flops_of = prepare_tables prog in
+  (* memoized access rewriting *)
+  let rewrite =
+    match local_ref with
+    | None -> fun _ _ -> None
+    | Some f ->
+      let cache = Hashtbl.create 64 in
+      fun (s : Prog.stmt) (a : Prog.access) ->
+        let key = (s.Prog.id, Obj.repr a) in
+        match Hashtbl.find_opt cache key with
+        | Some r -> r
+        | None ->
+          let r = f s a in
+          Hashtbl.replace cache key r;
+          r
+  in
+  let ctx =
+    { prog; stmts; flops_of; rewrite; param_env; memory;
+      env = Hashtbl.create 32; c = fresh (); mode; on_global;
+      in_launch = false; launches = [] }
+  in
+  List.iter (exec_stm ctx) stms;
+  { totals = ctx.c; launches = List.rev ctx.launches }
+
+let run_instances ~prog ~param_env ~memory ?on_global insts =
+  let stmts, flops_of = prepare_tables prog in
+  let ctx =
+    { prog; stmts; flops_of; rewrite = (fun _ _ -> None); param_env; memory;
+      env = Hashtbl.create 32; c = fresh (); mode = Full; on_global;
+      in_launch = false; launches = [] }
+  in
+  List.iter (fun (s, iters) -> exec_body ctx s iters) insts;
+  ctx.c

@@ -1,0 +1,122 @@
+open Emsc_arith
+open Emsc_ir
+
+type entry = {
+  data : float array;
+  entry_dims : int array;
+  base : int;
+  phantom : bool;
+}
+
+type t = {
+  globals : (string, entry) Hashtbl.t;
+  locals : (string, (int list, float) Hashtbl.t) Hashtbl.t;
+}
+
+let eval_extent env (row : Emsc_linalg.Vec.t) params =
+  let np = Array.length params in
+  let acc = ref row.(np) in
+  for k = 0 to np - 1 do
+    if not (Zint.is_zero row.(k)) then
+      acc := Zint.add !acc (Zint.mul row.(k) (env params.(k)))
+  done;
+  Zint.to_int_exn !acc
+
+let create_gen ~phantom (p : Prog.t) ~param_env =
+  let globals = Hashtbl.create 8 in
+  let next_base = ref 0 in
+  List.iter (fun (d : Prog.array_decl) ->
+    let dims =
+      Array.map (fun row -> eval_extent param_env row p.Prog.params) d.Prog.extents
+    in
+    let total = Array.fold_left ( * ) 1 dims in
+    if total < 0 then
+      invalid_arg ("Memory.create: negative extent for " ^ d.Prog.array_name);
+    Hashtbl.replace globals d.Prog.array_name
+      { data = Array.make (if phantom then 1 else max total 1) 0.0;
+        entry_dims = dims; base = !next_base; phantom };
+    (* pad bases to distinct 4 KB-aligned regions *)
+    next_base := !next_base + ((total + 1023) / 1024 * 1024))
+    p.Prog.arrays;
+  { globals; locals = Hashtbl.create 8 }
+
+let create p ~param_env = create_gen ~phantom:false p ~param_env
+let create_phantom p ~param_env = create_gen ~phantom:true p ~param_env
+
+let declare_local m name =
+  if not (Hashtbl.mem m.locals name) then
+    Hashtbl.replace m.locals name (Hashtbl.create 1024)
+
+let is_local m name = Hashtbl.mem m.locals name
+
+let entry m name =
+  match Hashtbl.find_opt m.globals name with
+  | Some e -> e
+  | None -> invalid_arg ("Memory: unknown global array " ^ name)
+
+let flat_index m name idx =
+  let e = entry m name in
+  let n = Array.length e.entry_dims in
+  if Array.length idx <> n then
+    invalid_arg ("Memory: rank mismatch on " ^ name);
+  let flat = ref 0 in
+  for k = 0 to n - 1 do
+    if idx.(k) < 0 || idx.(k) >= e.entry_dims.(k) then
+      invalid_arg
+        (Printf.sprintf "Memory: %s index %d out of bounds [0,%d) at dim %d"
+           name idx.(k) e.entry_dims.(k) k);
+    flat := (!flat * e.entry_dims.(k)) + idx.(k)
+  done;
+  !flat
+
+let base_address m name = (entry m name).base
+
+let read_global m name idx =
+  let e = entry m name in
+  if e.phantom then e.data.(0) else e.data.(flat_index m name idx)
+
+let write_global m name idx v =
+  let e = entry m name in
+  if e.phantom then e.data.(0) <- v
+  else e.data.(flat_index m name idx) <- v
+
+let local m name =
+  match Hashtbl.find_opt m.locals name with
+  | Some t -> t
+  | None -> invalid_arg ("Memory: unknown local buffer " ^ name)
+
+let read_local m name idx =
+  match Hashtbl.find_opt (local m name) (Array.to_list idx) with
+  | Some v -> v
+  | None -> 0.0
+
+let write_local m name idx v =
+  Hashtbl.replace (local m name) (Array.to_list idx) v
+
+let global_data m name = (entry m name).data
+let dims m name = (entry m name).entry_dims
+
+let fill m name f =
+  let e = entry m name in
+  let n = Array.length e.entry_dims in
+  let idx = Array.make n 0 in
+  let rec go k flat =
+    if k = n then e.data.(flat) <- f idx
+    else
+      for v = 0 to e.entry_dims.(k) - 1 do
+        idx.(k) <- v;
+        go (k + 1) ((flat * e.entry_dims.(k)) + v)
+      done
+  in
+  if Array.fold_left ( * ) 1 e.entry_dims > 0 then go 0 0
+
+let arrays_equal ?(eps = 1e-6) a b name =
+  let da = global_data a name and db = global_data b name in
+  Array.length da = Array.length db
+  && begin
+    let ok = ref true in
+    Array.iteri (fun i v ->
+      if Float.abs (v -. db.(i)) > eps *. (1.0 +. Float.abs v) then ok := false)
+      da;
+    !ok
+  end

@@ -1,0 +1,40 @@
+(** Simulated memory: flat float arrays for the program's global
+    arrays, hash-backed sparse storage for scratchpad buffers (their
+    live window shifts with the tile origin). *)
+
+open Emsc_arith
+open Emsc_ir
+
+type t
+
+val create : Prog.t -> param_env:(string -> Zint.t) -> t
+(** Allocates every declared array, zero-initialized. *)
+
+val create_phantom : Prog.t -> param_env:(string -> Zint.t) -> t
+(** Shape-only memory: every array is backed by a single cell, reads
+    and writes ignore indices.  For sampled timing runs over problem
+    sizes whose arrays would not fit in host memory; never use for
+    correctness runs. *)
+
+val declare_local : t -> string -> unit
+val is_local : t -> string -> bool
+
+val read_global : t -> string -> int array -> float
+val write_global : t -> string -> int array -> float -> unit
+val read_local : t -> string -> int array -> float
+val write_local : t -> string -> int array -> float -> unit
+
+val flat_index : t -> string -> int array -> int
+(** Row-major flattened index (for cache simulation addresses). *)
+
+val base_address : t -> string -> int
+(** Word address of the array in a virtual address space. *)
+
+val global_data : t -> string -> float array
+val dims : t -> string -> int array
+
+val fill : t -> string -> (int array -> float) -> unit
+(** Initialize an array pointwise. *)
+
+val arrays_equal : ?eps:float -> t -> t -> string -> bool
+(** Compare one array's contents across two memories. *)

@@ -1,0 +1,74 @@
+open Emsc_arith
+open Emsc_poly
+open Emsc_ir
+
+(* integer points of a statement domain with parameters fixed, in
+   lexicographic order *)
+let domain_points (s : Prog.stmt) ~np ~param_values =
+  (* fix the trailing parameter dims *)
+  let fixed =
+    let rec go k p =
+      if k >= np then p
+      else go (k + 1) (Poly.fix_dim p s.Prog.depth param_values.(k))
+    in
+    go 0 s.Prog.domain
+  in
+  let acc = ref [] in
+  let rec scan p prefix =
+    if Poly.is_empty p then ()
+    else if Poly.dim p = 0 then acc := List.rev prefix :: !acc
+    else begin
+      match Poly.var_bounds_int p 0 with
+      | Some lo, Some hi ->
+        let v = ref lo in
+        while Zint.compare !v hi <= 0 do
+          scan (Poly.fix_dim p 0 !v) (!v :: prefix);
+          v := Zint.add !v Zint.one
+        done
+      | _ -> invalid_arg ("Reference: unbounded domain in " ^ s.Prog.name)
+    end
+  in
+  scan fixed [];
+  List.rev_map Array.of_list !acc
+
+let schedule_time (s : Prog.stmt) ~np ~param_values iters =
+  Array.map (fun row ->
+    let acc = ref row.(s.Prog.depth + np) in
+    Array.iteri (fun i v ->
+      acc := Zint.add !acc (Zint.mul row.(i) v))
+      iters;
+    for k = 0 to np - 1 do
+      acc := Zint.add !acc (Zint.mul row.(s.Prog.depth + k) param_values.(k))
+    done;
+    !acc)
+    s.Prog.schedule
+
+let compare_times a b =
+  let n = min (Array.length a) (Array.length b) in
+  let rec go i =
+    if i >= n then compare (Array.length a) (Array.length b)
+    else begin
+      let c = Zint.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+    end
+  in
+  go 0
+
+let instances p ~param_env =
+  let p = Prog.pad_schedules p in
+  let np = Prog.nparams p in
+  let param_values =
+    Array.map (fun name -> param_env name) p.Prog.params
+  in
+  let all =
+    List.concat_map (fun (s : Prog.stmt) ->
+      List.map (fun iters ->
+        (schedule_time s ~np ~param_values iters, (s, iters)))
+        (domain_points s ~np ~param_values))
+      p.Prog.stmts
+  in
+  List.map snd (List.sort (fun (ta, _) (tb, _) -> compare_times ta tb) all)
+
+let run p ~param_env memory ?on_global () =
+  let insts = instances p ~param_env in
+  Exec.run_instances ~prog:p ~param_env ~memory ?on_global insts

@@ -1,0 +1,17 @@
+(** Reference executor: runs a polyhedral program directly from its
+    domains and schedules (global lexicographic order), with exact
+    semantics.  Used as ground truth when validating transformed code
+    and as the CPU-baseline workload. *)
+
+open Emsc_arith
+open Emsc_ir
+
+val instances : Prog.t -> param_env:(string -> Zint.t) ->
+  (Prog.stmt * Zint.t array) list
+(** Every dynamic statement instance, sorted by schedule time.
+    Intended for small problem sizes (it materializes the list). *)
+
+val run :
+  Prog.t -> param_env:(string -> Zint.t) -> Memory.t ->
+  ?on_global:(string -> int -> [ `Ld | `St ] -> unit) ->
+  unit -> Exec.counters

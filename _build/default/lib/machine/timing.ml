@@ -1,0 +1,94 @@
+type gpu_params = {
+  threads : int;
+  smem_bytes_per_block : int;
+  coalesce_eff : float;
+  global_sync : bool;
+  double_buffer : bool;
+}
+
+let default_params = {
+  threads = 256;
+  smem_bytes_per_block = 0;
+  coalesce_eff = 16.0;
+  global_sync = false;
+  double_buffer = false;
+}
+
+let occupancy (g : Config.gpu) ~smem_bytes_per_block =
+  if smem_bytes_per_block <= 0 then g.Config.max_blocks_per_mimd
+  else
+    max 1
+      (min g.Config.max_blocks_per_mimd
+         (g.Config.smem_bytes / smem_bytes_per_block))
+
+let gpu_launch_cycles (g : Config.gpu) (p : gpu_params) (l : Exec.launch) =
+  let cb = occupancy g ~smem_bytes_per_block:p.smem_bytes_per_block in
+  (* blocks each multiprocessor executes over the launch; concurrent
+     blocks (cb) time-share the MP's lanes, so they affect latency
+     hiding and pipeline utilization, not aggregate throughput *)
+  let blocks_per_mp =
+    Float.of_int
+      (int_of_float (Float.ceil (l.Exec.grid /. float_of_int g.Config.num_mimd)))
+  in
+  let c = l.Exec.per_block in
+  let lanes = float_of_int g.Config.simd_per_mimd in
+  let warps_in_flight =
+    Float.min 24.0
+      (float_of_int (p.threads * cb) /. float_of_int g.Config.warp_size)
+    |> Float.max 1.0
+  in
+  (* the G80 pipeline needs ~6 warps resident to cover register and
+     smem latencies; below that, issue slots drain *)
+  let pipeline_eff = Float.min 1.0 (warps_in_flight /. 6.0) in
+  let t_comp =
+    ((c.Exec.flops *. g.Config.flop_cycles)
+     +. (Exec.total_smem c *. g.Config.smem_access_cycles))
+    /. (lanes *. pipeline_eff)
+  in
+  let gw = Exec.total_global c in
+  let bw_per_mp =
+    g.Config.global_bw_words_per_cycle /. float_of_int g.Config.num_mimd
+    *. (p.coalesce_eff /. float_of_int g.Config.coalesce_width)
+  in
+  let t_bw = gw /. bw_per_mp in
+  let t_lat =
+    gw /. float_of_int p.threads *. g.Config.global_latency /. warps_in_flight
+  in
+  let t_block =
+    Float.max t_comp (Float.max t_bw t_lat)
+    +. (c.Exec.syncs *. g.Config.sync_cycles)
+    (* each movement phase drains the DRAM pipeline at its barrier —
+       unless the kernel double-buffers, overlapping copies with the
+       previous sub-tile's compute (the classic scratchpad extension;
+       costs twice the buffer space, which the caller reflects in
+       smem_bytes_per_block) *)
+    +. (if p.double_buffer then 0.0
+        else c.Exec.fences *. g.Config.global_latency)
+  in
+  let sync_cost =
+    if p.global_sync then
+      g.Config.global_sync_base
+      +. (g.Config.global_sync_per_block *. l.Exec.grid)
+    else 0.0
+  in
+  (g.Config.launch_overhead_cycles +. sync_cost
+   +. (blocks_per_mp *. t_block))
+  *. l.Exec.repeat
+
+let gpu_total_ms g p (r : Exec.result) =
+  let cycles =
+    List.fold_left (fun acc l -> acc +. gpu_launch_cycles g p l) 0.0
+      r.Exec.launches
+  in
+  (* work outside any launch (host-side loops) is not timed: the
+     generated kernels put all computation inside block loops *)
+  Config.gpu_ms g cycles
+
+let cpu_total_ms (c : Config.cpu) ~flops ~l1_hits ~l2_hits ~mem_accesses =
+  let cycles =
+    (flops *. c.Config.cpu_flop_cycles)
+    +. (l1_hits *. c.Config.l1_hit_cycles)
+    +. (l2_hits *. c.Config.l2_hit_cycles)
+    +. (mem_accesses *. c.Config.mem_cycles)
+  in
+  Config.cpu_ms c cycles

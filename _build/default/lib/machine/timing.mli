@@ -1,0 +1,36 @@
+(** First-order timing models.
+
+    GPU launch time combines a throughput term (SIMD lanes shared by
+    the block's threads), a bandwidth term (device DRAM bandwidth
+    partitioned across multiprocessors, derated by coalescing
+    efficiency), a latency term (hidden by warps in flight), and
+    synchronization costs.  Occupancy follows the paper's Section 5
+    rule: concurrent blocks per multiprocessor = scratchpad capacity
+    divided by per-block scratchpad need, capped by hardware. *)
+
+type gpu_params = {
+  threads : int;              (** threads per block *)
+  smem_bytes_per_block : int; (** drives occupancy *)
+  coalesce_eff : float;
+      (** effective words per global transaction, in
+          [1, coalesce_width]; 16 = fully coalesced on the 8800 *)
+  global_sync : bool;
+      (** charge a cross-block synchronization per launch (kernels
+          that need all blocks to finish, e.g. time-tiled stencils) *)
+  double_buffer : bool;
+      (** overlap movement with compute (double-buffered staging):
+          removes the per-phase DRAM drain; the caller must double
+          [smem_bytes_per_block] *)
+}
+
+val default_params : gpu_params
+
+val occupancy : Config.gpu -> smem_bytes_per_block:int -> int
+(** Concurrent blocks per multiprocessor. *)
+
+val gpu_launch_cycles : Config.gpu -> gpu_params -> Exec.launch -> float
+val gpu_total_ms : Config.gpu -> gpu_params -> Exec.result -> float
+
+val cpu_total_ms :
+  Config.cpu -> flops:float -> l1_hits:float -> l2_hits:float ->
+  mem_accesses:float -> float

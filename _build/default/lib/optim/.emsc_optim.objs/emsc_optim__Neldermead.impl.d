@@ -1,0 +1,1 @@
+lib/optim/neldermead.ml: Array Float List

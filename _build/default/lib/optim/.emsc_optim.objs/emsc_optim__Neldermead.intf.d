@@ -1,0 +1,1 @@
+lib/optim/neldermead.mli:

@@ -1,0 +1,110 @@
+type options = {
+  max_iter : int;
+  tolerance : float;
+  initial_step : float;
+}
+
+let default_options = { max_iter = 500; tolerance = 1e-6; initial_step = 0.1 }
+
+(* Standard coefficients: reflection 1, expansion 2, contraction 1/2,
+   shrink 1/2. *)
+let minimize ?(options = default_options) ~f ~x0 () =
+  let n = Array.length x0 in
+  if n = 0 then invalid_arg "Neldermead.minimize: empty point";
+  let simplex =
+    Array.init (n + 1) (fun i ->
+      let x = Array.copy x0 in
+      if i > 0 then begin
+        let j = i - 1 in
+        let delta =
+          if Float.abs x.(j) > 1e-12 then options.initial_step *. x.(j)
+          else options.initial_step
+        in
+        x.(j) <- x.(j) +. delta
+      end;
+      x)
+  in
+  let values = Array.map f simplex in
+  let order () =
+    let idx = Array.init (n + 1) (fun i -> i) in
+    Array.sort (fun a b -> compare values.(a) values.(b)) idx;
+    idx
+  in
+  let centroid except =
+    let c = Array.make n 0.0 in
+    Array.iteri (fun i x ->
+      if i <> except then
+        Array.iteri (fun j v -> c.(j) <- c.(j) +. v) x)
+      simplex;
+    Array.map (fun v -> v /. float_of_int n) c
+  in
+  let combine a c x =
+    Array.init n (fun j -> c.(j) +. (a *. (c.(j) -. x.(j))))
+  in
+  let iter = ref 0 in
+  let spread idx =
+    Float.abs (values.(idx.(n)) -. values.(idx.(0)))
+    /. (1.0 +. Float.abs values.(idx.(0)))
+  in
+  let idx = ref (order ()) in
+  while !iter < options.max_iter && spread !idx > options.tolerance do
+    incr iter;
+    let worst = !idx.(n) and best = !idx.(0) in
+    let second_worst = !idx.(n - 1) in
+    let c = centroid worst in
+    let xr = combine 1.0 c simplex.(worst) in
+    let fr = f xr in
+    if fr < values.(best) then begin
+      (* try expanding *)
+      let xe = combine 2.0 c simplex.(worst) in
+      let fe = f xe in
+      if fe < fr then begin
+        simplex.(worst) <- xe;
+        values.(worst) <- fe
+      end
+      else begin
+        simplex.(worst) <- xr;
+        values.(worst) <- fr
+      end
+    end
+    else if fr < values.(second_worst) then begin
+      simplex.(worst) <- xr;
+      values.(worst) <- fr
+    end
+    else begin
+      (* contract *)
+      let xc = combine (-0.5) c simplex.(worst) in
+      let fc = f xc in
+      if fc < values.(worst) then begin
+        simplex.(worst) <- xc;
+        values.(worst) <- fc
+      end
+      else begin
+        (* shrink toward the best vertex *)
+        let xb = simplex.(best) in
+        Array.iteri (fun i x ->
+          if i <> best then begin
+            let x' =
+              Array.init n (fun j -> xb.(j) +. (0.5 *. (x.(j) -. xb.(j))))
+            in
+            simplex.(i) <- x';
+            values.(i) <- f x'
+          end)
+          (Array.copy simplex)
+      end
+    end;
+    idx := order ()
+  done;
+  let best = !idx.(0) in
+  (Array.copy simplex.(best), values.(best))
+
+let minimize_multistart ?options ~f ~starts () =
+  match starts with
+  | [] -> invalid_arg "Neldermead.minimize_multistart: no starts"
+  | s0 :: rest ->
+    List.fold_left
+      (fun (bx, bv) s ->
+        let x, v = minimize ?options ~f ~x0:s () in
+        if v < bv then (x, v) else (bx, bv))
+      (minimize ?options ~f ~x0:s0 ())
+      rest

@@ -1,0 +1,24 @@
+(** Derivative-free simplex minimization (Nelder–Mead).
+
+    Stands in for the sequential-quadratic-programming step of
+    Section 4.3: the paper relaxes the integer tile sizes to reals,
+    solves the smooth constrained problem, and rounds; we do the same
+    with a penalty formulation and this minimizer (see
+    {!Emsc_core.Tilesearch}). *)
+
+type options = {
+  max_iter : int;
+  tolerance : float;   (** stop when the simplex spread is below this *)
+  initial_step : float;  (** relative size of the starting simplex *)
+}
+
+val default_options : options
+
+val minimize :
+  ?options:options -> f:(float array -> float) -> x0:float array -> unit ->
+  float array * float
+(** Returns the best point found and its value. *)
+
+val minimize_multistart :
+  ?options:options -> f:(float array -> float) -> starts:float array list ->
+  unit -> float array * float

@@ -1,0 +1,1 @@
+lib/pip/bounds.ml: Array Emsc_arith Emsc_linalg Emsc_poly List Poly Vec Zint

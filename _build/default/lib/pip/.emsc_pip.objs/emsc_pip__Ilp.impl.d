@@ -1,0 +1,1 @@
+lib/pip/ilp.ml: Array Emsc_arith Emsc_linalg Emsc_poly List Poly Q Simplex Vec Zint

@@ -1,0 +1,1 @@
+lib/pip/ilp.mli: Emsc_arith Emsc_linalg Emsc_poly Poly Vec Zint

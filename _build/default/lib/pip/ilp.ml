@@ -1,0 +1,163 @@
+open Emsc_arith
+open Emsc_linalg
+open Emsc_poly
+
+exception Gave_up
+
+type opt_result =
+  | Empty
+  | Unbounded
+  | Opt of Zint.t * Vec.t
+
+let default_max_nodes = 20_000
+
+(* Integer value of an integer objective row at an integer point. *)
+let eval_obj (obj : Vec.t) (pt : Vec.t) =
+  let n = Array.length obj - 1 in
+  let acc = ref obj.(n) in
+  for i = 0 to n - 1 do
+    acc := Zint.add !acc (Zint.mul obj.(i) pt.(i))
+  done;
+  !acc
+
+let point_of_q qpt = Array.map (fun q -> Q.num q) qpt
+
+let first_fractional qpt =
+  let n = Array.length qpt in
+  let rec go i =
+    if i >= n then None
+    else if Q.is_integer qpt.(i) then go (i + 1)
+    else Some i
+  in
+  go 0
+
+(* branch constraint rows: x_j <= floor(v)  /  x_j >= ceil(v) *)
+let branch_rows dim j v =
+  let le = Vec.make (dim + 1) in
+  le.(j) <- Zint.minus_one;
+  le.(dim) <- Q.floor v;
+  let ge = Vec.make (dim + 1) in
+  ge.(j) <- Zint.one;
+  ge.(dim) <- Zint.neg (Q.ceil v);
+  (le, ge)
+
+(* Depth-first branch and bound; finds an integer point minimizing
+   [obj], or detects emptiness/unboundedness. *)
+let minimize ?(max_nodes = default_max_nodes) p obj =
+  if Array.length obj <> Poly.dim p + 1 then invalid_arg "Ilp.minimize";
+  let dim = Poly.dim p in
+  let qobj = Simplex.obj_of_vec obj in
+  let nodes = ref 0 in
+  let best : (Zint.t * Vec.t) option ref = ref None in
+  let unbounded = ref false in
+  let found_any = ref false in
+  let rec search node =
+    if !unbounded then ()
+    else begin
+      incr nodes;
+      if !nodes > max_nodes then raise Gave_up;
+      if not (Poly.is_trivially_empty node) then begin
+        let eqs, ineqs = Poly.constraints node in
+        match Simplex.minimize ~dim ~eqs ~ineqs ~obj:qobj with
+        | Simplex.Infeasible -> ()
+        | Simplex.Unbounded ->
+          (* LP relaxation unbounded: the ILP is unbounded iff the node
+             has an integer point (rational recession direction scales
+             to an integer one). *)
+          if find_point node then unbounded := true
+        | Simplex.Optimal (v, qpt) ->
+          let prune =
+            match !best with
+            | Some (bv, _) -> Q.compare v (Q.of_zint bv) >= 0
+            | None -> false
+          in
+          if not prune then begin
+            match first_fractional qpt with
+            | None ->
+              let pt = point_of_q qpt in
+              found_any := true;
+              let value = eval_obj obj pt in
+              (match !best with
+               | Some (bv, _) when Zint.compare bv value <= 0 -> ()
+               | Some _ | None -> best := Some (value, pt))
+            | Some j ->
+              let le, ge = branch_rows dim j qpt.(j) in
+              search (Poly.add_ineq node le);
+              search (Poly.add_ineq node ge)
+          end
+      end
+    end
+  and find_point node =
+    (* feasibility-only search inside the same node budget *)
+    incr nodes;
+    if !nodes > max_nodes then raise Gave_up;
+    if Poly.is_trivially_empty node then false
+    else begin
+      let eqs, ineqs = Poly.constraints node in
+      match Simplex.feasible_point ~dim ~eqs ~ineqs with
+      | None -> false
+      | Some qpt -> begin
+        match first_fractional qpt with
+        | None -> true
+        | Some j ->
+          let le, ge = branch_rows dim j qpt.(j) in
+          find_point (Poly.add_ineq node le)
+          || find_point (Poly.add_ineq node ge)
+      end
+    end
+  in
+  search p;
+  if !unbounded then Unbounded
+  else
+    match !best with
+    | Some (v, pt) -> Opt (v, pt)
+    | None -> Empty
+
+let maximize ?max_nodes p obj =
+  match minimize ?max_nodes p (Vec.neg obj) with
+  | Opt (v, pt) -> Opt (Zint.neg v, pt)
+  | (Empty | Unbounded) as r -> r
+
+let int_point ?(max_nodes = default_max_nodes) p =
+  let dim = Poly.dim p in
+  let nodes = ref 0 in
+  let rec go node =
+    incr nodes;
+    if !nodes > max_nodes then raise Gave_up;
+    if Poly.is_trivially_empty node then None
+    else begin
+      let eqs, ineqs = Poly.constraints node in
+      match Simplex.feasible_point ~dim ~eqs ~ineqs with
+      | None -> None
+      | Some qpt -> begin
+        match first_fractional qpt with
+        | None -> Some (point_of_q qpt)
+        | Some j ->
+          let le, ge = branch_rows dim j qpt.(j) in
+          (match go (Poly.add_ineq node le) with
+           | Some _ as r -> r
+           | None -> go (Poly.add_ineq node ge))
+      end
+    end
+  in
+  go p
+
+let is_int_empty ?max_nodes p = int_point ?max_nodes p = None
+
+let lexmin ?max_nodes p =
+  let dim = Poly.dim p in
+  let rec fix j node acc =
+    if j >= dim then Some (Array.of_list (List.rev acc))
+    else begin
+      let obj = Vec.unit (dim + 1) j in
+      match minimize ?max_nodes node obj with
+      | Empty -> None
+      | Unbounded -> raise Gave_up
+      | Opt (v, _) ->
+        let eq = Vec.make (dim + 1) in
+        eq.(j) <- Zint.one;
+        eq.(dim) <- Zint.neg v;
+        fix (j + 1) (Poly.add_eq node eq) (v :: acc)
+    end
+  in
+  fix 0 p []

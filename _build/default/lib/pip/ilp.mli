@@ -1,0 +1,36 @@
+(** Integer linear programming by branch-and-bound over the exact
+    rational simplex.
+
+    This plays the role PIP plays in the paper for the non-parametric
+    questions: integer emptiness of dependence polyhedra, integer
+    optima of affine forms, and integer lexicographic minima.  Search
+    is capped; hitting the cap raises {!Gave_up} so callers can fall
+    back to a conservative answer. *)
+
+open Emsc_arith
+open Emsc_linalg
+open Emsc_poly
+
+exception Gave_up
+
+type opt_result =
+  | Empty          (** no integer point *)
+  | Unbounded      (** integer points exist with arbitrarily small objective *)
+  | Opt of Zint.t * Vec.t
+      (** optimal objective value and an integer witness *)
+
+val minimize : ?max_nodes:int -> Poly.t -> Vec.t -> opt_result
+(** [minimize p obj] minimizes [obj . (x, 1)] (length [dim p + 1])
+    over the integer points of [p]. *)
+
+val maximize : ?max_nodes:int -> Poly.t -> Vec.t -> opt_result
+
+val int_point : ?max_nodes:int -> Poly.t -> Vec.t option
+(** Some integer point of [p], or [None] when there is none. *)
+
+val is_int_empty : ?max_nodes:int -> Poly.t -> bool
+
+val lexmin : ?max_nodes:int -> Poly.t -> Vec.t option
+(** Integer lexicographic minimum (dimension by dimension).  [None]
+    when empty. @raise Gave_up when some coordinate is unbounded below
+    or the node cap is hit. *)

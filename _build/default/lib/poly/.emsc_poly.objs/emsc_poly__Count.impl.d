@@ -1,0 +1,1 @@
+lib/poly/count.ml: Array Emsc_arith Option Poly Uset Zint

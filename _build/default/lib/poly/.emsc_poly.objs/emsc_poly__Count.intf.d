@@ -1,0 +1,1 @@
+lib/poly/count.mli: Emsc_arith Poly Uset Zint

@@ -1,0 +1,1 @@
+lib/poly/poly.ml: Array Emsc_arith Emsc_linalg Format List Mat Option Printf Q Simplex Vec Zint

@@ -1,0 +1,1 @@
+lib/poly/poly.mli: Emsc_arith Emsc_linalg Format Mat Q Vec Zint

@@ -1,0 +1,1 @@
+lib/poly/simplex.ml: Array Emsc_arith Emsc_linalg List Q Vec

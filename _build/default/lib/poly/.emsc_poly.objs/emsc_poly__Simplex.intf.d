@@ -1,0 +1,1 @@
+lib/poly/simplex.mli: Emsc_arith Emsc_linalg Q Vec

@@ -1,0 +1,1 @@
+lib/poly/uset.ml: Array Emsc_arith Emsc_linalg Format List Mat Option Poly Q Simplex Vec Zint

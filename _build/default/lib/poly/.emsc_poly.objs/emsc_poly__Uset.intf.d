@@ -1,0 +1,1 @@
+lib/poly/uset.mli: Emsc_arith Emsc_linalg Format Mat Poly Vec Zint

@@ -1,0 +1,101 @@
+open Emsc_arith
+
+type result =
+  | Exact of Zint.t
+  | More_than of Zint.t
+  | Unbounded
+
+exception Hit_limit of Zint.t
+exception Is_unbounded
+
+(* Pick the dimension with the smallest integer extent to branch on;
+   raises Is_unbounded if some dimension is unbounded. *)
+let narrowest_dim p =
+  let n = Poly.dim p in
+  let best = ref (-1) in
+  let best_width = ref Zint.zero in
+  for i = 0 to n - 1 do
+    match Poly.var_bounds_int p i with
+    | Some lo, Some hi ->
+      let w = Zint.sub hi lo in
+      if !best < 0 || Zint.compare w !best_width < 0 then begin
+        best := i;
+        best_width := w
+      end
+    | _ -> raise Is_unbounded
+  done;
+  !best
+
+let count_poly ?limit p =
+  let limit_z = Option.map Zint.of_int limit in
+  let over n =
+    match limit_z with
+    | Some l when Zint.compare n l > 0 -> true
+    | Some _ | None -> false
+  in
+  let total = ref Zint.zero in
+  let rec go p =
+    if Poly.is_empty p then ()
+    else if Poly.dim p = 0 then begin
+      total := Zint.add !total Zint.one;
+      if over !total then raise (Hit_limit !total)
+    end
+    else begin
+      let j = narrowest_dim p in
+      match Poly.var_bounds_int p j with
+      | Some lo, Some hi ->
+        let v = ref lo in
+        while Zint.compare !v hi <= 0 do
+          go (Poly.fix_dim p j !v);
+          v := Zint.add !v Zint.one
+        done
+      | _ -> raise Is_unbounded
+    end
+  in
+  try
+    go p;
+    Exact !total
+  with
+  | Hit_limit n -> More_than n
+  | Is_unbounded -> Unbounded
+
+let count_uset ?limit u =
+  let disjoint = Uset.make_disjoint u in
+  let rec sum acc = function
+    | [] -> Exact acc
+    | p :: rest -> begin
+      match count_poly ?limit p with
+      | Exact n -> sum (Zint.add acc n) rest
+      | More_than n -> More_than (Zint.add acc n)
+      | Unbounded -> Unbounded
+    end
+  in
+  sum Zint.zero (Uset.pieces disjoint)
+
+let box_volume p =
+  if Poly.is_empty p then None
+  else begin
+    let n = Poly.dim p in
+    let rec go acc i =
+      if i >= n then Some acc
+      else
+        match Poly.var_bounds_int p i with
+        | Some lo, Some hi ->
+          go (Zint.mul acc (Zint.add (Zint.sub hi lo) Zint.one)) (i + 1)
+        | _ -> None
+    in
+    go Zint.one 0
+  end
+
+let box_volume_uset u =
+  match Uset.bounding_box u with
+  | None -> None
+  | Some box ->
+    Some
+      (Array.fold_left (fun acc (lo, hi) ->
+         Zint.mul acc (Zint.add (Zint.sub hi lo) Zint.one))
+         Zint.one box)
+
+let to_float = function
+  | Exact n | More_than n -> Zint.to_float n
+  | Unbounded -> infinity

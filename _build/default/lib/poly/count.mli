@@ -1,0 +1,29 @@
+(** Counting integer points of polyhedra and unions.
+
+    Used for the constant-reuse test of Algorithm 1 (overlap volume
+    versus total volume, threshold δ) and for data-movement volume
+    estimates.  The counter scans dimension by dimension, always
+    branching on the currently narrowest variable; a [limit] caps the
+    work for callers that only need "more than N or not". *)
+
+open Emsc_arith
+
+type result =
+  | Exact of Zint.t
+  | More_than of Zint.t  (** hit the [limit]; true count is larger *)
+  | Unbounded
+
+val count_poly : ?limit:int -> Poly.t -> result
+val count_uset : ?limit:int -> Uset.t -> result
+(** The union is made disjoint first, so overlaps are not
+    double-counted. *)
+
+val box_volume : Poly.t -> Zint.t option
+(** Product of per-dimension integer extents: an upper bound on the
+    number of integer points; [None] when unbounded or empty. *)
+
+val box_volume_uset : Uset.t -> Zint.t option
+(** Extent product of the union's bounding box. *)
+
+val to_float : result -> float
+(** [Exact n] and [More_than n] map to [n]; [Unbounded] to [infinity]. *)

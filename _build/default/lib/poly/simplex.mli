@@ -1,0 +1,32 @@
+(** Exact rational linear programming (two-phase primal simplex with
+    Bland's rule, hence guaranteed to terminate).
+
+    Problems are stated over [dim] free variables.  Constraint vectors
+    have length [dim + 1]: the first [dim] entries are variable
+    coefficients and the last is the constant, so a vector [a] encodes
+    [a.(0)*x0 + ... + a.(dim-1)*x_{dim-1} + a.(dim) {>=,=} 0]. *)
+
+open Emsc_arith
+open Emsc_linalg
+
+type result =
+  | Infeasible
+  | Unbounded
+  | Optimal of Q.t * Q.t array
+      (** Optimal objective value and a witness point (length [dim]). *)
+
+val minimize :
+  dim:int -> eqs:Vec.t list -> ineqs:Vec.t list -> obj:Q.t array -> result
+(** [minimize ~dim ~eqs ~ineqs ~obj] minimizes
+    [obj.(0)*x0 + ... + obj.(dim-1)*x_{dim-1} + obj.(dim)] subject to
+    the constraints.  [obj] has length [dim + 1]. *)
+
+val maximize :
+  dim:int -> eqs:Vec.t list -> ineqs:Vec.t list -> obj:Q.t array -> result
+
+val feasible_point :
+  dim:int -> eqs:Vec.t list -> ineqs:Vec.t list -> Q.t array option
+(** A rational point of the polyhedron, if non-empty. *)
+
+val obj_of_vec : Vec.t -> Q.t array
+(** Convert an integer objective row to the rational form. *)

@@ -1,0 +1,227 @@
+open Emsc_arith
+open Emsc_linalg
+
+type t = { dim : int; pieces : Poly.t list }
+
+let prune pieces =
+  List.filter (fun p -> not (Poly.is_empty p)) pieces
+
+let empty dim = { dim; pieces = [] }
+
+let of_poly p =
+  { dim = Poly.dim p; pieces = (if Poly.is_empty p then [] else [ p ]) }
+
+let of_pieces ~dim pieces =
+  List.iter (fun p ->
+    if Poly.dim p <> dim then invalid_arg "Uset.of_pieces: dim mismatch")
+    pieces;
+  { dim; pieces = prune pieces }
+
+let dim u = u.dim
+let pieces u = u.pieces
+let is_empty u = u.pieces = []
+
+let check2 a b name =
+  if a.dim <> b.dim then invalid_arg ("Uset." ^ name ^ ": dim mismatch")
+
+let union a b =
+  check2 a b "union";
+  { a with pieces = a.pieces @ b.pieces }
+
+let intersect a b =
+  check2 a b "intersect";
+  { a with
+    pieces =
+      prune
+        (List.concat_map (fun p ->
+           List.map (Poly.intersect p) b.pieces)
+           a.pieces) }
+
+(* integer negation of one inequality row *)
+let negate_row row =
+  let r = Vec.neg row in
+  let n = Array.length r - 1 in
+  r.(n) <- Zint.sub r.(n) Zint.one;
+  r
+
+(* p \ q for convex q, as a list of disjoint convex pieces *)
+let subtract_poly p q =
+  let rows =
+    List.concat_map (fun e -> [ e; Vec.neg e ]) (fst (Poly.constraints q))
+    @ snd (Poly.constraints q)
+  in
+  let rec go asserted rows acc =
+    match rows with
+    | [] -> acc
+    | row :: rest ->
+      let piece = Poly.add_ineq asserted (negate_row row) in
+      go (Poly.add_ineq asserted row) rest (piece :: acc)
+  in
+  prune (go p rows [])
+
+let subtract a b =
+  check2 a b "subtract";
+  let sub_piece p =
+    List.fold_left (fun frags q ->
+      List.concat_map (fun frag -> subtract_poly frag q) frags)
+      [ p ] b.pieces
+  in
+  { a with pieces = prune (List.concat_map sub_piece a.pieces) }
+
+let make_disjoint u =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | p :: rest ->
+      let fresh =
+        List.fold_left (fun frags q ->
+          List.concat_map (fun frag -> subtract_poly frag q) frags)
+          [ p ] acc
+      in
+      go (List.rev_append fresh acc) rest
+  in
+  { u with pieces = prune (go [] u.pieces) }
+
+let overlap a b =
+  check2 a b "overlap";
+  List.exists (fun p ->
+    List.exists (fun q -> not (Poly.is_empty (Poly.intersect p q))) b.pieces)
+    a.pieces
+
+let is_subset a b =
+  check2 a b "is_subset";
+  is_empty (subtract a b)
+
+let equal_set a b = is_subset a b && is_subset b a
+
+let contains_point u pt =
+  List.exists (fun p -> Poly.contains_point p pt) u.pieces
+
+let image u f =
+  let target = Mat.rows f in
+  { dim = target; pieces = prune (List.map (fun p -> Poly.image p f) u.pieces) }
+
+let var_bounds_int u i =
+  let fold_opt pick =
+    List.fold_left (fun acc b ->
+      match acc, b with
+      | `Start, Some v -> `Some v
+      | `Some a, Some v -> `Some (pick a v)
+      | (`Start | `Some _ | `None), None -> `None
+      | `None, Some _ -> `None)
+      `Start
+  in
+  let finish = function `Some v -> Some v | `Start | `None -> None in
+  let per_piece = List.map (fun p -> Poly.var_bounds_int p i) u.pieces in
+  ( finish (fold_opt Zint.min (List.map fst per_piece)),
+    finish (fold_opt Zint.max (List.map snd per_piece)) )
+
+let bounding_box u =
+  if is_empty u then None
+  else begin
+    let box =
+      Array.init u.dim (fun i -> var_bounds_int u i)
+    in
+    if Array.for_all (fun (lo, hi) -> lo <> None && hi <> None) box then
+      Some (Array.map (fun (lo, hi) -> (Option.get lo, Option.get hi)) box)
+    else None
+  end
+
+(* Rational points that affinely span a piece: a sample point plus that
+   point offset by each direction of the piece's linearity space. *)
+let spanning_points p =
+  match Poly.sample_rational p with
+  | None -> []
+  | Some x0 ->
+    let hull = Poly.affine_hull p in
+    let var_rows =
+      Array.of_list
+        (List.map (fun r -> Array.sub r 0 (Poly.dim p)) hull)
+    in
+    let dirs =
+      if Array.length var_rows = 0 then
+        List.init (Poly.dim p) (fun i -> Vec.unit (Poly.dim p) i)
+      else Mat.nullspace var_rows
+    in
+    x0
+    :: List.map (fun d ->
+         Array.mapi (fun i xi -> Q.add xi (Q.of_zint d.(i))) x0)
+         dirs
+
+let affine_hull u =
+  match u.pieces with
+  | [] -> []
+  | _ ->
+    let points = List.concat_map spanning_points u.pieces in
+    (* homogenize each rational point to an integer row (x, 1) * lcm *)
+    let rows =
+      List.map (fun x ->
+        let l =
+          Array.fold_left (fun acc q -> Zint.lcm acc (Q.den q)) Zint.one x
+        in
+        let row = Vec.make (u.dim + 1) in
+        Array.iteri (fun i q ->
+          row.(i) <- Zint.mul (Q.num q) (Zint.divexact l (Q.den q)))
+          x;
+        row.(u.dim) <- l;
+        row)
+        points
+    in
+    Mat.nullspace (Array.of_list rows)
+
+let template_hull u =
+  match u.pieces with
+  | [] -> Poly.bottom u.dim
+  | _ ->
+    let directions =
+      let of_piece p =
+        let eqs, ineqs = Poly.constraints p in
+        List.concat_map (fun e -> [ e; Vec.neg e ]) eqs @ ineqs
+      in
+      let axis =
+        List.concat_map (fun i ->
+          let u1 = Vec.unit (u.dim + 1) i in
+          [ u1; Vec.neg u1 ])
+          (List.init u.dim (fun i -> i))
+      in
+      let dirs =
+        List.map (fun row ->
+          Vec.normalize (Array.sub row 0 u.dim))
+          (List.concat_map of_piece u.pieces
+           @ List.map (fun r -> Array.sub r 0 (u.dim + 1)) axis)
+      in
+      List.sort_uniq Vec.compare (List.filter (fun d -> not (Vec.is_zero d)) dirs)
+    in
+    let bound_for d =
+      (* minimum of d.x over the union; the hull constraint is
+         d.x >= ceil(min) *)
+      let obj = Array.append (Array.map Q.of_zint d) [| Q.zero |] in
+      let mins =
+        List.map (fun p ->
+          let eqs, ineqs = Poly.constraints p in
+          Simplex.minimize ~dim:u.dim ~eqs ~ineqs ~obj)
+          u.pieces
+      in
+      let rec fold acc = function
+        | [] -> acc
+        | Simplex.Optimal (v, _) :: rest ->
+          (match acc with
+           | None -> fold (Some v) rest
+           | Some a -> fold (Some (Q.min a v)) rest)
+        | (Simplex.Unbounded | Simplex.Infeasible) :: _ -> None
+      in
+      match fold None mins with
+      | None -> None
+      | Some m ->
+        let row = Vec.append d [| Zint.neg (Q.ceil m) |] in
+        Some row
+    in
+    let rows = List.filter_map bound_for directions in
+    Poly.make ~dim:u.dim ~eqs:[] ~ineqs:rows
+
+let pp fmt u =
+  match u.pieces with
+  | [] -> Format.fprintf fmt "{ false }"
+  | pieces ->
+    Format.pp_print_list
+      ~pp_sep:(fun f () -> Format.fprintf f " ∪ ")
+      Poly.pp fmt pieces

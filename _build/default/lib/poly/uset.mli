@@ -1,0 +1,63 @@
+(** Finite unions of convex polyhedra (the "data spaces" of the paper).
+
+    Pieces are kept free of trivially-empty members but may overlap
+    unless [make_disjoint] has been applied. *)
+
+open Emsc_arith
+open Emsc_linalg
+
+type t = private { dim : int; pieces : Poly.t list }
+
+val empty : int -> t
+val of_poly : Poly.t -> t
+val of_pieces : dim:int -> Poly.t list -> t
+val dim : t -> int
+val pieces : t -> Poly.t list
+val is_empty : t -> bool
+(** Rational emptiness of every piece. *)
+
+val union : t -> t -> t
+val intersect : t -> t -> t
+
+val subtract : t -> t -> t
+(** Set difference, exact on integer points (constraint negation uses
+    [a.x + c <= -1]).  The result's pieces are pairwise disjoint if the
+    first argument's were. *)
+
+val make_disjoint : t -> t
+(** Same integer points, pairwise-disjoint pieces. *)
+
+val overlap : t -> t -> bool
+(** Do the two unions share a rational point? *)
+
+val is_subset : t -> t -> bool
+(** Integer-point inclusion (via subtraction and integer emptiness of
+    the pieces being rationally checked; sound for the tightened
+    representation). *)
+
+val equal_set : t -> t -> bool
+
+val contains_point : t -> Vec.t -> bool
+
+val image : t -> Mat.t -> t
+(** Piecewise affine image. *)
+
+val var_bounds_int : t -> int -> Zint.t option * Zint.t option
+(** Per-dimension integer bounds of the union = bounds of its convex
+    hull.  [None] means unbounded (or the union is empty). *)
+
+val bounding_box : t -> (Zint.t * Zint.t) array option
+(** All dimensions' [lb, ub]; [None] when empty or unbounded. *)
+
+val affine_hull : t -> Vec.t list
+(** Equalities satisfied by every point of the union: intersection of
+    the pieces' affine hulls (computed by linear algebra on a spanning
+    set). *)
+
+val template_hull : t -> Poly.t
+(** Convex over-approximation of the union: for every constraint
+    direction occurring in any piece (plus axis directions), the
+    tightest bound valid for the whole union.  Exact when the pieces
+    share facet directions (e.g. boxes); always a superset. *)
+
+val pp : Format.formatter -> t -> unit

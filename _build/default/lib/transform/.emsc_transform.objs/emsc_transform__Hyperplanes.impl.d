@@ -1,0 +1,1 @@
+lib/transform/hyperplanes.ml: Array Deps Emsc_arith Emsc_ir Emsc_linalg Emsc_pip Ilp List Mat Prog Vec Zint

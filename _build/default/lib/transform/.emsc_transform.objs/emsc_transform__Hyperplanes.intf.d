@@ -1,0 +1,1 @@
+lib/transform/hyperplanes.mli: Deps Emsc_arith Emsc_ir Emsc_linalg Mat Prog Vec

@@ -1,0 +1,1 @@
+lib/transform/stencil.ml: Array Ast Emsc_arith Emsc_codegen Emsc_ir List Prog Zint

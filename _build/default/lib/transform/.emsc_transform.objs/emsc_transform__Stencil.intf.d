@@ -1,0 +1,1 @@
+lib/transform/stencil.mli: Ast Emsc_codegen Emsc_ir Prog

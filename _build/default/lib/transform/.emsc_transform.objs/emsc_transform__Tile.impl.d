@@ -1,0 +1,1 @@
+lib/transform/tile.ml: Array Ast Emsc_arith Emsc_codegen Emsc_ir Emsc_linalg Emsc_poly List Mat Option Poly Prog Q Vec Zint

@@ -1,0 +1,1 @@
+lib/transform/tile.mli: Ast Emsc_codegen Emsc_ir Emsc_linalg Emsc_poly Mat Prog

@@ -1,0 +1,1 @@
+lib/transform/tilesearch.ml: Alloc Array Emsc_arith Emsc_core Emsc_optim Float Hashtbl List Movement Neldermead Plan Tile Zint

@@ -1,0 +1,1 @@
+lib/transform/tilesearch.mli: Emsc_ir Prog Tile

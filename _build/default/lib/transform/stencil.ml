@@ -1,0 +1,125 @@
+open Emsc_arith
+open Emsc_ir
+open Emsc_codegen
+
+type kernel = {
+  ast : Ast.stm list;
+  local_ref : Prog.stmt -> Prog.access -> Ast.ref_expr option;
+  locals : string list;
+  smem_words : int;
+  time_tiles : int;
+  result_array : string;
+}
+
+let v = Ast.var
+let i_ = Ast.int_
+
+let loop ?(par = Ast.Seq) ?(step = 1) var ~lb ~ub body =
+  Ast.Loop
+    { var; lb = Ast.simplify lb; ub = Ast.simplify ub;
+      step = Zint.of_int step; par; body }
+
+let find_stencil_stmts (p : Prog.t) =
+  match p.Prog.stmts with
+  | [ s1; s2 ] -> (s1, s2)
+  | _ -> invalid_arg "Stencil: expected the update + copy-back pair"
+
+(* One time tile = one launch.  Blocks read the halo'd window from
+   [src], run [tt] local steps in scratchpad (recomputing halo cells)
+   and write their own cells to [dst]; ping-ponging [src]/[dst] across
+   launches keeps concurrent blocks from racing on the halo. *)
+let time_tile_launch ~n ~steps ~ts ~tt ~s1_id ~t_tile ~src ~dst =
+  let lidx c = Ast.simplify Ast.(c -: v "s0" +: i_ tt) in
+  let lref name idx : Ast.ref_expr = { array = name; indices = [| idx |] } in
+  let move_in =
+    loop ~par:Ast.Thread "c"
+      ~lb:(Ast.Max [ i_ 0; Ast.(v "s0" -: i_ tt) ])
+      ~ub:(Ast.Min [ i_ (n - 1); Ast.(v "s0" +: i_ (ts - 1 + tt)) ])
+      [ Ast.Copy
+          { dst = lref "l_cur" (lidx (v "c"));
+            src = { array = src; indices = [| v "c" |] } } ]
+  in
+  let move_out =
+    loop ~par:Ast.Thread "c" ~lb:(v "s0")
+      ~ub:(Ast.Min [ i_ (n - 2); Ast.(v "s0" +: i_ (ts - 1)) ])
+      [ Ast.Copy
+          { dst = { array = dst; indices = [| v "c" |] };
+            src = lref "l_cur" (lidx (v "c")) } ]
+  in
+  (* cells 0 and n-1 are fixed boundary values: the destination array
+     must carry them forward for the next tile's halo loads *)
+  let copy_boundary =
+    List.concat_map (fun c ->
+      [ Ast.Copy
+          { dst = { array = dst; indices = [| i_ c |] };
+            src = { array = src; indices = [| i_ c |] } } ])
+      [ 0; n - 1 ]
+  in
+  let steps_here = min tt (steps - (t_tile * tt)) in
+  let clb tl = Ast.Max [ i_ 1; Ast.simplify Ast.(v "s0" -: i_ tt +: tl +: i_ 1) ] in
+  let cub tl =
+    Ast.Min [ i_ (n - 2); Ast.simplify Ast.(v "s0" +: i_ (ts + tt - 2) -: tl) ]
+  in
+  let inner_time =
+    loop "tl" ~lb:(i_ 0) ~ub:(i_ (steps_here - 1))
+      [ loop ~par:Ast.Thread "i" ~lb:(clb (v "tl")) ~ub:(cub (v "tl"))
+          [ Ast.Stmt_call
+              { stmt_id = s1_id;
+                iter_args =
+                  [| Ast.simplify Ast.(i_ (t_tile * tt) +: v "tl"); v "i" |] } ];
+        Ast.Sync;
+        loop ~par:Ast.Thread "i" ~lb:(clb (v "tl")) ~ub:(cub (v "tl"))
+          [ Ast.Copy
+              { dst = lref "l_cur" (lidx (v "i"));
+                src = lref "l_nxt" (lidx (v "i")) } ];
+        Ast.Sync ]
+  in
+  loop ~par:Ast.Block ~step:ts "s0" ~lb:(i_ 1) ~ub:(i_ (n - 2))
+    ([ move_in; Ast.Fence; inner_time; Ast.Fence; move_out ]
+     @ [ Ast.Guard ([ Ast.simplify Ast.(i_ 1 -: v "s0") ], copy_boundary) ])
+
+let overlapped_1d ~n ~steps ~ts ~tt (p : Prog.t) =
+  if ts <= 0 || tt <= 0 then invalid_arg "Stencil.overlapped_1d: tile sizes";
+  let s1, _s2 = find_stencil_stmts p in
+  let width = ts + (2 * tt) in
+  let time_tiles = (steps + tt - 1) / tt in
+  let ast =
+    List.init time_tiles (fun t_tile ->
+      let src = if t_tile mod 2 = 0 then "cur" else "nxt" in
+      let dst = if t_tile mod 2 = 0 then "nxt" else "cur" in
+      time_tile_launch ~n ~steps ~ts ~tt ~s1_id:s1.Prog.id ~t_tile ~src ~dst)
+  in
+  let local_ref (s : Prog.stmt) (a : Prog.access) =
+    if s.Prog.id <> s1.Prog.id then None
+    else begin
+      let buffer =
+        match a.Prog.kind with
+        | Prog.Write -> "l_nxt"
+        | Prog.Read -> "l_cur"
+      in
+      let names k = s.Prog.iter_names.(k) in
+      let subscript = Ast.vec_to_aexpr ~names a.Prog.map.(0) in
+      Some
+        { Ast.array = buffer;
+          indices = [| Ast.simplify Ast.(subscript -: v "s0" +: i_ tt) |] }
+    end
+  in
+  { ast; local_ref; locals = [ "l_cur"; "l_nxt" ]; smem_words = 2 * width;
+    time_tiles;
+    result_array = (if time_tiles mod 2 = 0 then "cur" else "nxt") }
+
+let dram_1d ~n ~steps ~ts (p : Prog.t) =
+  let s1, s2 = find_stencil_stmts p in
+  let body_loop stmt_id =
+    loop ~par:Ast.Block ~step:ts "s0" ~lb:(i_ 1) ~ub:(i_ (n - 2))
+      [ loop ~par:Ast.Thread "i" ~lb:(v "s0")
+          ~ub:(Ast.Min [ i_ (n - 2); Ast.(v "s0" +: i_ (ts - 1)) ])
+          [ Ast.Stmt_call { stmt_id; iter_args = [| v "t"; v "i" |] } ];
+        Ast.Sync ]
+  in
+  let ast =
+    [ loop "t" ~lb:(i_ 0) ~ub:(i_ (steps - 1))
+        [ body_loop s1.Prog.id; body_loop s2.Prog.id ] ]
+  in
+  { ast; local_ref = (fun _ _ -> None); locals = []; smem_words = 0;
+    time_tiles = steps; result_array = "cur" }

@@ -1,0 +1,43 @@
+(** Overlapped (halo) time tiling for 1-D stencils — our realization of
+    the concurrent-start treatment the paper takes from Krishnamoorthy
+    et al., PLDI'07 [27].
+
+    Plain skewed time tiling serializes tiles along the wavefront;
+    [27] modifies the tiled code so all processors start concurrently.
+    Overlapped tiling achieves the same concurrency: every space tile
+    loads a halo of [tt] cells on each side, performs [tt] local time
+    steps in scratchpad (recomputing halo cells redundantly), and
+    writes back only its own cells, so all blocks run independently
+    within a time tile and synchronize globally between time tiles —
+    the execution structure of the paper's Jacobi experiments
+    (Figures 5, 7, 8). *)
+
+open Emsc_ir
+open Emsc_codegen
+
+type kernel = {
+  ast : Ast.stm list;
+  local_ref : Prog.stmt -> Prog.access -> Ast.ref_expr option;
+      (** rewrite of the stencil statement's accesses into the
+          scratchpad buffers, for the executor *)
+  locals : string list;   (** scratchpad buffer names *)
+  smem_words : int;       (** per-block scratchpad footprint *)
+  time_tiles : int;       (** number of launches (global syncs) *)
+  result_array : string;
+      (** global array holding the final values: time tiles ping-pong
+          between [cur] and [nxt] so concurrently-running blocks never
+          read cells another block writes in the same launch *)
+}
+
+val overlapped_1d :
+  n:int -> steps:int -> ts:int -> tt:int -> Prog.t -> kernel
+(** [overlapped_1d ~n ~steps ~ts ~tt p] tiles the two-statement Jacobi
+    program from {!Emsc_kernels.Jacobi1d.program} (update + copy-back)
+    with space tiles of [ts] interior cells and time tiles of [tt]
+    steps.  The copy-back statement becomes a scratchpad-to-scratchpad
+    copy; the temporary array [nxt] is never written back to global
+    memory (the Section 3.1.4 liveness refinement). *)
+
+val dram_1d : n:int -> steps:int -> ts:int -> Prog.t -> kernel
+(** Baseline without scratchpad: same block decomposition, every
+    access goes to global memory, one launch per time step. *)

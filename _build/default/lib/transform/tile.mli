@@ -1,0 +1,71 @@
+(** Multi-level rectangular tiling (Section 4.1) with automatic
+    placement of data-movement code (Section 4.2).
+
+    Tiling levels, outermost first, mirror Figure 3:
+    - [block]: distributes tiles of the space loops across outer-level
+      parallel units (thread blocks);
+    - [mem]: further sequential sub-tiling inside a block tile, the
+      level "introduced to satisfy the local memory limit";
+    - [thread]: distributes the sub-tile's space iterations across
+      inner-level parallel units (threads).
+
+    Movement code is placed at the deepest loop level that binds all
+    its free variables (tile origins); a tiling loop that is redundant
+    for a buffer therefore ends up *below* the buffer's movement code —
+    exactly the paper's hoisting rule. *)
+
+open Emsc_linalg
+open Emsc_ir
+open Emsc_codegen
+
+type dim_spec = {
+  block : int option;
+  mem : int option;
+  thread : int option;
+}
+
+val no_tiling : dim_spec
+
+type spec = dim_spec array  (** per (transformed) iterator dimension *)
+
+val apply_unimodular : Prog.t -> Mat.t -> Prog.t
+(** Rewrite every statement under iterators [y = U x]; [U] must be
+    square unimodular over the common depth.
+    @raise Invalid_argument if [U] is not invertible over the
+    integers. *)
+
+val origin_names : Prog.stmt -> spec -> (int * string * int) list
+(** Per tiled dimension [(dim, origin parameter name, tile extent)]:
+    the origin of the atomic (movement-level) tile — the [mem] level
+    when present, else [block]. *)
+
+val origin_context : Prog.t -> spec -> Emsc_poly.Poly.t
+(** Polyhedron over the tile program's parameters (original parameters
+    unconstrained, each origin within its dimension's loop range).
+    Pass as [param_context] to {!Emsc_core.Plan.plan_block} so movement
+    code is not littered with guards the tiling loops already
+    guarantee — those spurious guards would also defeat hoisting. *)
+
+val tile_program : Prog.t -> spec -> Prog.t
+(** The "tile block" program handed to the Section 3 framework: tile
+    origins become program parameters and each statement's domain is
+    restricted to one atomic tile. *)
+
+val movement_profile :
+  Prog.t -> spec -> Ast.stm list * Ast.stm list -> float
+(** Number of times the movement pair executes per block tile — the
+    [∏ N_i / t_i] factor of the Section 4.3 cost model: the product of
+    the trip counts of the sequential (mem-level) tiling loops the pair
+    is placed inside, honouring the hoisting rule. *)
+
+val generate :
+  Prog.t -> spec -> movement:(Ast.stm list * Ast.stm list) list ->
+  Ast.stm list
+(** Tiled loop nest for a single-statement program with constant
+    rectangular bounds.  Each [(move_in, move_out)] pair (one per
+    buffer) references the origin parameter names from
+    {!origin_names}; each pair is placed independently at the deepest
+    level binding its free variables and bracketed by barriers, so a
+    buffer whose data does not depend on an inner tiling loop keeps
+    its contents across that loop's iterations (the paper's reuse
+    across computational blocks). *)

@@ -1,0 +1,51 @@
+(** The tile-size search of Section 4.3.
+
+    Minimizes the data-movement cost
+    [C = Σ_k N_k · (P·S + V_k·L / P)]
+    over tile sizes [t], subject to (1) [1 <= t_i <= N_i],
+    (2) [Σ_i M_i(t) <= M_up] (scratchpad capacity) and (3)
+    [Π t_i >= P] (enough work to keep the inner-level processes busy).
+
+    Following the paper, the integer program is relaxed to the reals,
+    minimized (penalty formulation + Nelder–Mead standing in for SQP)
+    and rounded; a discrete neighbourhood refinement then repairs any
+    rounding loss.  All model quantities (buffer footprints M_i,
+    movement occurrence counts N_k, volumes V_k) come from the actual
+    Section 3 pipeline evaluated at each candidate. *)
+
+open Emsc_ir
+
+type candidate = {
+  t : int array;
+  cost : float;
+  footprint : int;  (** scratchpad words at these tile sizes *)
+}
+
+type problem = {
+  ranges : (int * int) array;  (** inclusive per-dimension range *)
+  mem_limit_words : int;
+  threads : float;             (** P *)
+  sync_cost : float;           (** S *)
+  transfer_cost : float;       (** L *)
+  evaluate : int array -> (float * int) option;
+      (** [t -> Some (movement_cost, footprint_words)], [None] when the
+          pipeline cannot handle the candidate *)
+}
+
+val search : ?max_evals:int -> ?snap_pow2:bool -> problem -> candidate option
+(** Best feasible candidate found, or [None] if none is feasible.
+    [snap_pow2] restricts candidates to powers of two, the practical
+    choice on warp-based hardware (and the paper's candidate set). *)
+
+val pipeline_problem :
+  prog:Prog.t ->
+  spec_of:(int array -> Tile.spec) ->
+  ranges:(int * int) array ->
+  mem_limit_words:int ->
+  threads:float ->
+  sync_cost:float ->
+  transfer_cost:float ->
+  unit -> problem
+(** Problem whose evaluator runs the real pipeline: tile program →
+    Section 3 plan → buffer footprints, movement occurrences
+    ({!Tile.movement_profile}) and Vin/Vout volume bounds. *)

@@ -1,0 +1,1 @@
+test/test_arith.ml: Alcotest Emsc_arith Float List Printf Q QCheck QCheck_alcotest Zint

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array Ast Emsc_arith Emsc_codegen Emsc_linalg Emsc_poly List Poly QCheck QCheck_alcotest Scan Uset Vec Zint

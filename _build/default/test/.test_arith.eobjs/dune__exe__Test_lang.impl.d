@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Alloc Array Emsc_arith Emsc_codegen Emsc_core Emsc_ir Emsc_kernels Emsc_lang Emsc_linalg Emsc_machine Emsc_poly Float Lexer List Parser Plan Poly Printf Prog Vec Zint

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Emsc_arith Emsc_linalg List Mat Q QCheck QCheck_alcotest Vec Zint

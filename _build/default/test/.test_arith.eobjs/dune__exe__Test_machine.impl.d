@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Array Ast Cache Config Emsc_codegen Emsc_ir Emsc_kernels Emsc_linalg Emsc_machine Emsc_transform Exec Fig1 List Matmul Memory Prog Reference Timing

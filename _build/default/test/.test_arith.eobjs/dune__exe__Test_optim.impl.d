@@ -1,0 +1,1 @@
+test/test_optim.ml: Alcotest Array Emsc_core Emsc_kernels Emsc_optim Emsc_transform Float List Neldermead Printf Tile Tilesearch

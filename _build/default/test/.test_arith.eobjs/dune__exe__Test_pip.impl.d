@@ -1,0 +1,1 @@
+test/test_pip.ml: Alcotest Array Bounds Count Emsc_arith Emsc_linalg Emsc_pip Emsc_poly Ilp List Poly QCheck QCheck_alcotest Vec Zint

@@ -1,0 +1,1 @@
+test/test_poly.ml: Alcotest Array Count Emsc_arith Emsc_linalg Emsc_poly List Mat Option Poly Q QCheck QCheck_alcotest Simplex Uset Vec Zint

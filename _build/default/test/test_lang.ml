@@ -1,0 +1,183 @@
+(* Parser tests: the textual Figure 1 program must analyze identically
+   to the hand-built IR, plus error handling and parametric programs. *)
+
+open Emsc_arith
+open Emsc_linalg
+open Emsc_poly
+open Emsc_ir
+open Emsc_lang
+open Emsc_core
+
+let fig1_src =
+  {|
+  // the worked example of the paper's Figure 1
+  array A[200][200];
+  array B[200][200];
+  for (i = 10; i <= 14; i++) {
+    for (j = 10; j <= 14; j++) {
+      A[i][j+1] = A[i+j][j+1] * 3;
+      for (k = 11; k <= 20; k++) {
+        B[i][j+k] = A[i][k] + B[i+j][k];
+      }
+    }
+  }
+  |}
+
+let test_parse_fig1 () =
+  let p = Parser.parse fig1_src in
+  Alcotest.(check int) "two statements" 2 (List.length p.Prog.stmts);
+  Alcotest.(check int) "no params" 0 (Prog.nparams p);
+  let s1 = List.nth p.Prog.stmts 0 in
+  let s2 = List.nth p.Prog.stmts 1 in
+  Alcotest.(check int) "S1 depth" 2 s1.Prog.depth;
+  Alcotest.(check int) "S2 depth" 3 s2.Prog.depth;
+  Alcotest.(check int) "S2 reads" 2 (List.length s2.Prog.reads);
+  (* domains agree with the hand-built kernel *)
+  let h = Emsc_kernels.Fig1.program in
+  let h1 = Prog.find_stmt h 1 and h2 = Prog.find_stmt h 2 in
+  Alcotest.(check bool) "S1 domain" true
+    (Poly.equal_set s1.Prog.domain h1.Prog.domain);
+  Alcotest.(check bool) "S2 domain" true
+    (Poly.equal_set s2.Prog.domain h2.Prog.domain)
+
+let test_parsed_fig1_analysis () =
+  (* the whole Figure 1 reproduction must hold on the PARSED program *)
+  let p = Parser.parse fig1_src in
+  let plan = Plan.plan_block ~arch:`Cell ~merge_per_array:true p in
+  Alcotest.(check int) "two buffers" 2 (List.length plan.Plan.buffered);
+  let sizes name =
+    let b =
+      List.find (fun (b : Plan.buffered) -> b.Plan.buffer.Alloc.array = name)
+        plan.Plan.buffered
+    in
+    Array.to_list
+      (Array.map
+         (fun e ->
+           Zint.to_int_exn (Emsc_codegen.Ast.eval (fun _ -> assert false) e))
+         (Alloc.size_exprs b.Plan.buffer))
+  in
+  Alcotest.(check (list int)) "LA = [19; 10]" [ 19; 10 ] (sizes "A");
+  Alcotest.(check (list int)) "LB = [19; 24]" [ 19; 24 ] (sizes "B")
+
+let test_parse_parametric () =
+  let src =
+    {|
+    param N;
+    array X[N];
+    array Y[N];
+    for (i = 0; i < N; i++) {
+      Y[i] = X[i] * 2 + 1;
+    }
+    |}
+  in
+  let p = Parser.parse src in
+  Alcotest.(check int) "one param" 1 (Prog.nparams p);
+  let s = List.hd p.Prog.stmts in
+  (* domain: 0 <= i <= N-1 over dims (i, N) *)
+  Alcotest.(check bool) "contains (3, 10)" true
+    (Poly.contains_point s.Prog.domain (Vec.of_ints [ 3; 10 ]));
+  Alcotest.(check bool) "excludes (10, 10)" false
+    (Poly.contains_point s.Prog.domain (Vec.of_ints [ 10; 10 ]))
+
+let test_plus_assign () =
+  let src =
+    {|
+    array C[8][8];
+    array A[8][8];
+    for (i = 0; i <= 7; i++) {
+      for (j = 0; j <= 7; j++) {
+        C[i][j] += A[i][j] * A[j][i];
+      }
+    }
+    |}
+  in
+  let p = Parser.parse src in
+  let s = List.hd p.Prog.stmts in
+  Alcotest.(check int) "write + three reads" 3 (List.length s.Prog.reads);
+  Alcotest.(check bool) "first read is the accumulator" true
+    ((List.hd s.Prog.reads).Prog.array = "C")
+
+let test_executes_like_reference () =
+  (* parse matmul, execute via the reference executor, compare with a
+     direct float computation *)
+  let n = 6 in
+  let src =
+    Printf.sprintf
+      {|
+      array C[%d][%d];
+      array A[%d][%d];
+      array B[%d][%d];
+      for (i = 0; i <= %d; i++) {
+        for (j = 0; j <= %d; j++) {
+          for (k = 0; k <= %d; k++) {
+            C[i][j] += A[i][k] * B[k][j];
+          }
+        }
+      }
+      |}
+      n n n n n n (n - 1) (n - 1) (n - 1)
+  in
+  let p = Parser.parse src in
+  let no_params name = failwith name in
+  let m = Emsc_machine.Memory.create p ~param_env:no_params in
+  let a i j = float_of_int (((i * 3) + j) mod 5) in
+  let b i j = float_of_int (((i * 7) + (j * 2)) mod 9) in
+  Emsc_machine.Memory.fill m "A" (fun idx -> a idx.(0) idx.(1));
+  Emsc_machine.Memory.fill m "B" (fun idx -> b idx.(0) idx.(1));
+  let (_ : Emsc_machine.Exec.counters) =
+    Emsc_machine.Reference.run p ~param_env:no_params m ()
+  in
+  let c = Emsc_machine.Memory.global_data m "C" in
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let expect = ref 0.0 in
+      for k = 0 to n - 1 do
+        expect := !expect +. (a i k *. b k j)
+      done;
+      if Float.abs (c.((i * n) + j) -. !expect) > 1e-9 then ok := false
+    done
+  done;
+  Alcotest.(check bool) "matmul result" true !ok
+
+let expect_error src =
+  match Parser.parse src with
+  | exception Parser.Error _ -> ()
+  | exception Lexer.Error _ -> ()
+  | _ -> Alcotest.fail "expected a parse error"
+
+let test_errors () =
+  expect_error "array A[8]; for (i = 0; i <= 7; i++) { B[i] = 1; }";
+  (* undeclared B *)
+  expect_error "array A[8]; for (i = 0; i <= 7; i++) { A[i*i] = 1; }";
+  (* non-affine subscript *)
+  expect_error "array A[8][8]; for (i = 0; i <= 7; i++) { A[i] = 1; }";
+  (* rank mismatch (missing subscript -> '=' unexpected) *)
+  expect_error "for (i = 0; i <= 7; i+) { }";
+  (* malformed increment *)
+  expect_error "array A[8]; for (i = 0; i <= 7; j++) { A[i] = 1; }"
+(* wrong increment variable *)
+
+let test_comments_and_whitespace () =
+  let p =
+    Parser.parse
+      "/* block */ array A[4]; // line\nfor (i = 0; i <= 3; i++) { A[i] = i; }"
+  in
+  Alcotest.(check int) "parsed" 1 (List.length p.Prog.stmts)
+
+let () =
+  Alcotest.run "lang"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "fig1 parses" `Quick test_parse_fig1;
+          Alcotest.test_case "fig1 analysis identical" `Quick
+            test_parsed_fig1_analysis;
+          Alcotest.test_case "parametric" `Quick test_parse_parametric;
+          Alcotest.test_case "plus-assign sugar" `Quick test_plus_assign;
+          Alcotest.test_case "parsed matmul executes" `Quick
+            test_executes_like_reference;
+          Alcotest.test_case "errors rejected" `Quick test_errors;
+          Alcotest.test_case "comments" `Quick test_comments_and_whitespace;
+        ] );
+    ]

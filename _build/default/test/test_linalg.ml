@@ -1,0 +1,184 @@
+(* Tests for integer vectors and matrices: rank, nullspace, HNF,
+   solving. *)
+
+open Emsc_arith
+open Emsc_linalg
+
+let z = Zint.of_int
+
+let test_vec_basic () =
+  let a = Vec.of_ints [ 1; 2; 3 ] and b = Vec.of_ints [ 4; 5; 6 ] in
+  Alcotest.(check (list int)) "add" [ 5; 7; 9 ] (Vec.to_ints_exn (Vec.add a b));
+  Alcotest.(check (list int)) "sub" [ -3; -3; -3 ]
+    (Vec.to_ints_exn (Vec.sub a b));
+  Alcotest.(check int) "dot" 32 (Zint.to_int_exn (Vec.dot a b));
+  Alcotest.(check (list int)) "combine" [ -2; -1; 0 ]
+    (Vec.to_ints_exn (Vec.combine (z 2) a Zint.minus_one b))
+
+let test_vec_normalize () =
+  Alcotest.(check (list int)) "normalize" [ 2; -3; 4 ]
+    (Vec.to_ints_exn (Vec.normalize (Vec.of_ints [ 6; -9; 12 ])));
+  Alcotest.(check (list int)) "zero unchanged" [ 0; 0 ]
+    (Vec.to_ints_exn (Vec.normalize (Vec.of_ints [ 0; 0 ])))
+
+let test_vec_insert_remove () =
+  let v = Vec.of_ints [ 1; 2; 3 ] in
+  Alcotest.(check (list int)) "insert mid" [ 1; 9; 2; 3 ]
+    (Vec.to_ints_exn (Vec.insert v 1 (z 9)));
+  Alcotest.(check (list int)) "insert end" [ 1; 2; 3; 9 ]
+    (Vec.to_ints_exn (Vec.insert v 3 (z 9)));
+  Alcotest.(check (list int)) "remove" [ 1; 3 ]
+    (Vec.to_ints_exn (Vec.remove v 1))
+
+let test_mat_mul () =
+  let a = Mat.of_ints [ [ 1; 2 ]; [ 3; 4 ] ] in
+  let b = Mat.of_ints [ [ 5; 6 ]; [ 7; 8 ] ] in
+  Alcotest.(check bool) "product" true
+    (Mat.equal (Mat.mul a b) (Mat.of_ints [ [ 19; 22 ]; [ 43; 50 ] ]));
+  Alcotest.(check bool) "identity" true
+    (Mat.equal (Mat.mul a (Mat.identity 2)) a)
+
+let test_rank () =
+  Alcotest.(check int) "full rank" 2
+    (Mat.rank (Mat.of_ints [ [ 1; 2 ]; [ 3; 4 ] ]));
+  Alcotest.(check int) "deficient" 1
+    (Mat.rank (Mat.of_ints [ [ 1; 2 ]; [ 2; 4 ] ]));
+  Alcotest.(check int) "zero matrix" 0 (Mat.rank (Mat.of_ints [ [ 0; 0 ] ]));
+  Alcotest.(check int) "tall" 2
+    (Mat.rank (Mat.of_ints [ [ 1; 0 ]; [ 0; 1 ]; [ 1; 1 ] ]));
+  (* rank of an access matrix with fewer rows than columns, e.g. the
+     paper's reuse criterion rank(F) < dim(iteration space) *)
+  Alcotest.(check int) "wide" 1 (Mat.rank (Mat.of_ints [ [ 1; 0; 0 ] ]))
+
+let test_nullspace () =
+  let m = Mat.of_ints [ [ 1; 2; 3 ] ] in
+  let basis = Mat.nullspace m in
+  Alcotest.(check int) "dimension" 2 (List.length basis);
+  List.iter (fun v ->
+    Alcotest.(check bool) "in kernel" true
+      (Vec.is_zero (Mat.mul_vec m v)))
+    basis;
+  Alcotest.(check int) "trivial kernel" 0
+    (List.length (Mat.nullspace (Mat.identity 3)))
+
+let test_solve () =
+  let m = Mat.of_ints [ [ 2; 1 ]; [ 1; -1 ] ] in
+  (match Mat.solve m (Vec.of_ints [ 5; 1 ]) with
+   | None -> Alcotest.fail "expected a solution"
+   | Some x ->
+     Alcotest.(check string) "x0" "2" (Q.to_string x.(0));
+     Alcotest.(check string) "x1" "1" (Q.to_string x.(1)));
+  (* inconsistent *)
+  let m2 = Mat.of_ints [ [ 1; 1 ]; [ 2; 2 ] ] in
+  Alcotest.(check bool) "inconsistent" true
+    (Mat.solve m2 (Vec.of_ints [ 1; 3 ]) = None);
+  (* underdetermined: free vars set to 0 *)
+  (match Mat.solve (Mat.of_ints [ [ 1; 1 ] ]) (Vec.of_ints [ 4 ]) with
+   | None -> Alcotest.fail "expected a solution"
+   | Some x ->
+     Alcotest.(check string) "pivot var" "4" (Q.to_string x.(0));
+     Alcotest.(check string) "free var" "0" (Q.to_string x.(1)))
+
+let test_hnf () =
+  let m = Mat.of_ints [ [ 2; 4; 4 ]; [ -6; 6; 12 ]; [ 10; 4; 16 ] ] in
+  let h, u = Mat.hermite_normal_form m in
+  Alcotest.(check bool) "h = u * m" true (Mat.equal h (Mat.mul u m));
+  (* H is upper triangular in the pivot structure with positive pivots *)
+  let pivots_ok = ref true in
+  let last_pivot_col = ref (-1) in
+  Array.iter (fun row ->
+    match Array.to_list row |> List.mapi (fun i x -> (i, x))
+          |> List.find_opt (fun (_, x) -> not (Zint.is_zero x))
+    with
+    | None -> ()
+    | Some (j, x) ->
+      if j <= !last_pivot_col || Zint.is_negative x then pivots_ok := false;
+      last_pivot_col := j)
+    h;
+  Alcotest.(check bool) "echelon structure" true !pivots_ok
+
+let test_hnf_unimodular () =
+  let m = Mat.of_ints [ [ 3; 5 ]; [ 7; 11 ] ] in
+  let _, u = Mat.hermite_normal_form m in
+  (* |det u| = 1 for 2x2 *)
+  let det =
+    Zint.sub (Zint.mul u.(0).(0) u.(1).(1)) (Zint.mul u.(0).(1) u.(1).(0))
+  in
+  Alcotest.(check bool) "unimodular" true (Zint.is_one (Zint.abs det))
+
+(* --- properties -------------------------------------------------------- *)
+
+let small_mat_gen rows cols =
+  QCheck.map
+    (fun entries ->
+      Array.init rows (fun i ->
+        Vec.of_array (Array.init cols (fun j -> entries.((i * cols) + j)))))
+    QCheck.(array_of_size (QCheck.Gen.return (rows * cols))
+              (int_range (-9) 9))
+
+let prop_rank_transpose =
+  QCheck.Test.make ~name:"rank m = rank m^T" ~count:200 (small_mat_gen 3 4)
+    (fun m -> Mat.rank m = Mat.rank (Mat.transpose m))
+
+let prop_nullspace_in_kernel =
+  QCheck.Test.make ~name:"nullspace vectors are in kernel" ~count:200
+    (small_mat_gen 2 4)
+    (fun m ->
+      List.for_all (fun v -> Vec.is_zero (Mat.mul_vec m v)) (Mat.nullspace m))
+
+let prop_rank_nullity =
+  QCheck.Test.make ~name:"rank + nullity = cols" ~count:200
+    (small_mat_gen 3 4)
+    (fun m -> Mat.rank m + List.length (Mat.nullspace m) = Mat.cols m)
+
+let prop_hnf_consistent =
+  QCheck.Test.make ~name:"hnf: h = u*m and rank preserved" ~count:200
+    (small_mat_gen 3 3)
+    (fun m ->
+      let h, u = Mat.hermite_normal_form m in
+      Mat.equal h (Mat.mul u m) && Mat.rank h = Mat.rank m)
+
+let prop_solve_verifies =
+  QCheck.Test.make ~name:"solve gives a real solution" ~count:200
+    (QCheck.pair (small_mat_gen 3 3)
+       QCheck.(array_of_size (QCheck.Gen.return 3) (int_range (-9) 9)))
+    (fun (m, b) ->
+      let bv = Vec.of_array b in
+      match Mat.solve m bv with
+      | None -> true (* inconsistency is allowed; checked in unit tests *)
+      | Some x ->
+        (* check m x = b over Q *)
+        Array.for_all2
+          (fun row bi ->
+            let acc = ref Q.zero in
+            Array.iteri (fun j mij ->
+              acc := Q.add !acc (Q.mul (Q.of_zint mij) x.(j)))
+              row;
+            Q.equal !acc (Q.of_zint bi))
+          m bv)
+
+let () =
+  let props =
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_rank_transpose; prop_nullspace_in_kernel; prop_rank_nullity;
+        prop_hnf_consistent; prop_solve_verifies ]
+  in
+  Alcotest.run "linalg"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "basic ops" `Quick test_vec_basic;
+          Alcotest.test_case "normalize" `Quick test_vec_normalize;
+          Alcotest.test_case "insert/remove" `Quick test_vec_insert_remove;
+        ] );
+      ( "mat",
+        [
+          Alcotest.test_case "mul" `Quick test_mat_mul;
+          Alcotest.test_case "rank" `Quick test_rank;
+          Alcotest.test_case "nullspace" `Quick test_nullspace;
+          Alcotest.test_case "solve" `Quick test_solve;
+          Alcotest.test_case "hnf" `Quick test_hnf;
+          Alcotest.test_case "hnf unimodular" `Quick test_hnf_unimodular;
+        ] );
+      ("properties", props);
+    ]

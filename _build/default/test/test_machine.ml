@@ -1,0 +1,292 @@
+(* Machine-layer tests: memory, the cache simulator, the executor's
+   counters and sampled fidelity, the reference executor's schedule
+   order, and timing-model monotonicities. *)
+
+open Emsc_ir
+open Emsc_codegen
+open Emsc_machine
+open Emsc_kernels
+
+let no_params name = failwith ("unexpected parameter " ^ name)
+
+(* --- memory ---------------------------------------------------------------- *)
+
+let test_memory_roundtrip () =
+  let p = Matmul.program ~n:4 in
+  let m = Memory.create p ~param_env:no_params in
+  Memory.write_global m "A" [| 2; 3 |] 7.5;
+  Alcotest.(check (float 0.0)) "read back" 7.5
+    (Memory.read_global m "A" [| 2; 3 |]);
+  Alcotest.(check (float 0.0)) "other cell untouched" 0.0
+    (Memory.read_global m "A" [| 3; 2 |]);
+  Alcotest.(check int) "flat index row-major" 11
+    (Memory.flat_index m "A" [| 2; 3 |])
+
+let test_memory_bounds () =
+  let p = Matmul.program ~n:4 in
+  let m = Memory.create p ~param_env:no_params in
+  Alcotest.check_raises "out of bounds"
+    (Invalid_argument "Memory: A index 4 out of bounds [0,4) at dim 0")
+    (fun () -> ignore (Memory.read_global m "A" [| 4; 0 |]))
+
+let test_memory_locals () =
+  let p = Matmul.program ~n:4 in
+  let m = Memory.create p ~param_env:no_params in
+  Memory.declare_local m "l_A";
+  Alcotest.(check bool) "is local" true (Memory.is_local m "l_A");
+  Alcotest.(check bool) "global not local" false (Memory.is_local m "A");
+  Memory.write_local m "l_A" [| 100; 200 |] 3.0;
+  Alcotest.(check (float 0.0)) "sparse local" 3.0
+    (Memory.read_local m "l_A" [| 100; 200 |]);
+  Alcotest.(check (float 0.0)) "unwritten local is 0" 0.0
+    (Memory.read_local m "l_A" [| 0; 0 |])
+
+let test_memory_phantom () =
+  let p = Matmul.program ~n:1000 in
+  (* phantom: no 1000x1000 allocation, indices ignored *)
+  let m = Memory.create_phantom p ~param_env:no_params in
+  Memory.write_global m "A" [| 999; 999 |] 1.0;
+  Alcotest.(check (float 0.0)) "single cell semantics" 1.0
+    (Memory.read_global m "A" [| 0; 0 |])
+
+(* --- cache ------------------------------------------------------------------ *)
+
+let test_cache_basics () =
+  let c =
+    Cache.create { Config.size_bytes = 1024; line_bytes = 64; assoc = 2 }
+      ~word_bytes:4
+  in
+  Alcotest.(check bool) "cold miss" false (Cache.access c 0);
+  Alcotest.(check bool) "hit same line" true (Cache.access c 1);
+  Alcotest.(check bool) "hit same line end" true (Cache.access c 15);
+  Alcotest.(check bool) "next line misses" false (Cache.access c 16);
+  let st = Cache.stats c in
+  Alcotest.(check (float 0.0)) "hits" 2.0 st.Cache.hits;
+  Alcotest.(check (float 0.0)) "misses" 2.0 st.Cache.misses
+
+let test_cache_lru_eviction () =
+  (* 1024 B, 64 B lines, 2-way: 8 sets; lines mapping to set 0 are
+     word addresses 0, 128, 256, ... *)
+  let c =
+    Cache.create { Config.size_bytes = 1024; line_bytes = 64; assoc = 2 }
+      ~word_bytes:4
+  in
+  ignore (Cache.access c 0);
+  ignore (Cache.access c 128);
+  (* touch 0 again to make 128 the LRU *)
+  Alcotest.(check bool) "0 still resident" true (Cache.access c 0);
+  ignore (Cache.access c 256);
+  (* 256 evicts 128, not 0 *)
+  Alcotest.(check bool) "0 survives" true (Cache.access c 0);
+  Alcotest.(check bool) "128 evicted" false (Cache.access c 128)
+
+let test_cache_hierarchy () =
+  let h = Cache.Hierarchy.create Config.core2duo in
+  Alcotest.(check bool) "first access misses to memory" true
+    (Cache.Hierarchy.access h 0 = `Mem);
+  Alcotest.(check bool) "second hits L1" true
+    (Cache.Hierarchy.access h 0 = `L1)
+
+(* --- executor ---------------------------------------------------------------- *)
+
+let v = Ast.var
+let i_ = Ast.int_
+
+let test_exec_counters () =
+  let p = Matmul.program ~n:4 in
+  let m = Memory.create p ~param_env:no_params in
+  (* plain triple loop *)
+  let spec = Array.make 3 Emsc_transform.Tile.no_tiling in
+  let ast = Emsc_transform.Tile.generate p spec ~movement:[] in
+  let r = Exec.run ~prog:p ~param_env:no_params ~memory:m ~mode:Exec.Full ast in
+  (* per iteration: 2 flops (add, mul) + write + 3 reads; 64 iterations *)
+  Alcotest.(check (float 0.0)) "flops" (float_of_int (64 * 3))
+    r.Exec.totals.Exec.flops;
+  Alcotest.(check (float 0.0)) "loads" (float_of_int (64 * 3))
+    r.Exec.totals.Exec.g_ld;
+  Alcotest.(check (float 0.0)) "stores" (float_of_int 64)
+    r.Exec.totals.Exec.g_st
+
+let test_exec_guard_and_copy () =
+  let p = Matmul.program ~n:4 in
+  let m = Memory.create p ~param_env:no_params in
+  Memory.fill m "A" (fun idx -> float_of_int ((10 * idx.(0)) + idx.(1)));
+  let ast =
+    [ Ast.Guard
+        ( [ i_ 1 ],
+          [ Ast.Copy
+              { dst = { Ast.array = "B"; indices = [| i_ 0; i_ 0 |] };
+                src = { Ast.array = "A"; indices = [| i_ 2; i_ 3 |] } } ] );
+      Ast.Guard
+        ( [ i_ (-1) ],
+          [ Ast.Copy
+              { dst = { Ast.array = "B"; indices = [| i_ 1; i_ 1 |] };
+                src = { Ast.array = "A"; indices = [| i_ 0; i_ 0 |] } } ] ) ]
+  in
+  let (_ : Exec.result) =
+    Exec.run ~prog:p ~param_env:no_params ~memory:m ~mode:Exec.Full ast
+  in
+  Alcotest.(check (float 0.0)) "guard true executed" 23.0
+    (Memory.read_global m "B" [| 0; 0 |]);
+  Alcotest.(check (float 0.0)) "guard false skipped" 0.0
+    (Memory.read_global m "B" [| 1; 1 |])
+
+let test_sampled_triangle () =
+  (* triangular loop: trapezoid sampling must be exact for linearly
+     varying trip counts *)
+  let p = Matmul.program ~n:4 in
+  let mk () = Memory.create p ~param_env:no_params in
+  let ast =
+    [ Ast.loop_ "i" ~lb:(i_ 0) ~ub:(i_ 29)
+        [ Ast.loop_ "j" ~lb:(i_ 0) ~ub:(v "i")
+            [ Ast.Copy
+                { dst = { Ast.array = "A"; indices = [| i_ 0; i_ 0 |] };
+                  src = { Ast.array = "B"; indices = [| i_ 0; i_ 0 |] } } ] ] ]
+  in
+  let full =
+    Exec.run ~prog:p ~param_env:no_params ~memory:(mk ()) ~mode:Exec.Full ast
+  in
+  let sampled =
+    Exec.run ~prog:p ~param_env:no_params ~memory:(mk ())
+      ~mode:(Exec.Sampled 4) ast
+  in
+  Alcotest.(check (float 0.001)) "triangle loads exact under sampling"
+    full.Exec.totals.Exec.g_ld sampled.Exec.totals.Exec.g_ld
+
+let test_launch_detection () =
+  let p = Matmul.program ~n:4 in
+  let m = Memory.create p ~param_env:no_params in
+  let ast =
+    [ Ast.loop_ "t" ~lb:(i_ 0) ~ub:(i_ 2)
+        [ Ast.loop_ ~par:Ast.Block "b" ~lb:(i_ 0) ~ub:(i_ 7)
+            [ Ast.Copy
+                { dst = { Ast.array = "A"; indices = [| i_ 0; i_ 0 |] };
+                  src = { Ast.array = "B"; indices = [| i_ 0; i_ 0 |] } } ] ] ]
+  in
+  let r = Exec.run ~prog:p ~param_env:no_params ~memory:m ~mode:Exec.Full ast in
+  Alcotest.(check int) "three launches" 3 (List.length r.Exec.launches);
+  List.iter (fun l ->
+    Alcotest.(check (float 0.0)) "grid" 8.0 l.Exec.grid;
+    Alcotest.(check (float 0.0)) "per-block load" 1.0 l.Exec.per_block.Exec.g_ld)
+    r.Exec.launches
+
+let test_sampled_launch_repeat () =
+  let p = Matmul.program ~n:4 in
+  let m = Memory.create p ~param_env:no_params in
+  let ast =
+    [ Ast.loop_ "t" ~lb:(i_ 0) ~ub:(i_ 99)
+        [ Ast.loop_ ~par:Ast.Block "b" ~lb:(i_ 0) ~ub:(i_ 7)
+            [ Ast.Copy
+                { dst = { Ast.array = "A"; indices = [| i_ 0; i_ 0 |] };
+                  src = { Ast.array = "B"; indices = [| i_ 0; i_ 0 |] } } ] ] ]
+  in
+  let r =
+    Exec.run ~prog:p ~param_env:no_params ~memory:m ~mode:(Exec.Sampled 4) ast
+  in
+  let total_launches =
+    List.fold_left (fun acc l -> acc +. l.Exec.repeat) 0.0 r.Exec.launches
+  in
+  Alcotest.(check (float 0.001)) "100 dynamic launches" 100.0 total_launches
+
+(* --- reference executor ------------------------------------------------------ *)
+
+let test_reference_schedule_order () =
+  (* fig1: S1 at (i,j) must run before S2 at (i,j,k), and both obey
+     lexicographic i, j order *)
+  let insts =
+    Reference.instances Fig1.program ~param_env:no_params
+  in
+  Alcotest.(check int) "instance count" ((5 * 5) + (5 * 5 * 10))
+    (List.length insts);
+  (* first instance is S1 at (10,10); the next ten are S2 at (10,10,k) *)
+  (match insts with
+   | (s, iters) :: rest ->
+     Alcotest.(check string) "first is S1" "S1" s.Prog.name;
+     Alcotest.(check (list int)) "at (10,10)" [ 10; 10 ]
+       (Emsc_linalg.Vec.to_ints_exn iters);
+     let s2s = List.filteri (fun i _ -> i < 10) rest in
+     List.iter (fun ((s : Prog.stmt), _) ->
+       Alcotest.(check string) "then S2" "S2" s.Prog.name)
+       s2s
+   | [] -> Alcotest.fail "no instances")
+
+(* --- timing model ------------------------------------------------------------- *)
+
+let test_occupancy () =
+  let g = Config.gtx8800 in
+  Alcotest.(check int) "no smem -> max blocks" 8
+    (Timing.occupancy g ~smem_bytes_per_block:0);
+  Alcotest.(check int) "16KB -> 1 block" 1
+    (Timing.occupancy g ~smem_bytes_per_block:16384);
+  Alcotest.(check int) "4KB -> 4 blocks" 4
+    (Timing.occupancy g ~smem_bytes_per_block:4096);
+  Alcotest.(check int) "1KB -> capped at 8" 8
+    (Timing.occupancy g ~smem_bytes_per_block:1024)
+
+let test_timing_monotonic_in_traffic () =
+  let g = Config.gtx8800 in
+  let params = Timing.default_params in
+  let mk gld =
+    { Exec.grid = 32.0;
+      per_block =
+        { Exec.flops = 1000.0; g_ld = gld; g_st = 0.0; s_ld = 0.0;
+          s_st = 0.0; syncs = 0.0; fences = 0.0 };
+      repeat = 1.0 }
+  in
+  let t1 = Timing.gpu_launch_cycles g params (mk 1000.0) in
+  let t2 = Timing.gpu_launch_cycles g params (mk 100000.0) in
+  Alcotest.(check bool) "more traffic, more time" true (t2 > t1)
+
+let test_timing_repeat_scales () =
+  let g = Config.gtx8800 in
+  let params = Timing.default_params in
+  let l =
+    { Exec.grid = 16.0;
+      per_block =
+        { Exec.flops = 500.0; g_ld = 10.0; g_st = 10.0; s_ld = 0.0;
+          s_st = 0.0; syncs = 2.0; fences = 1.0 };
+      repeat = 1.0 }
+  in
+  let t1 = Timing.gpu_launch_cycles g params l in
+  let t5 = Timing.gpu_launch_cycles g params { l with Exec.repeat = 5.0 } in
+  Alcotest.(check (float 0.001)) "repeat multiplies" (5.0 *. t1) t5
+
+let () =
+  Alcotest.run "machine"
+    [
+      ( "memory",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_memory_roundtrip;
+          Alcotest.test_case "bounds check" `Quick test_memory_bounds;
+          Alcotest.test_case "locals" `Quick test_memory_locals;
+          Alcotest.test_case "phantom" `Quick test_memory_phantom;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "basics" `Quick test_cache_basics;
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "hierarchy" `Quick test_cache_hierarchy;
+        ] );
+      ( "exec",
+        [
+          Alcotest.test_case "counters" `Quick test_exec_counters;
+          Alcotest.test_case "guards and copies" `Quick test_exec_guard_and_copy;
+          Alcotest.test_case "sampled triangle exact" `Quick
+            test_sampled_triangle;
+          Alcotest.test_case "launch detection" `Quick test_launch_detection;
+          Alcotest.test_case "sampled launch repeat" `Quick
+            test_sampled_launch_repeat;
+        ] );
+      ( "reference",
+        [
+          Alcotest.test_case "schedule order" `Quick
+            test_reference_schedule_order;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "occupancy" `Quick test_occupancy;
+          Alcotest.test_case "traffic monotonic" `Quick
+            test_timing_monotonic_in_traffic;
+          Alcotest.test_case "repeat scales" `Quick test_timing_repeat_scales;
+        ] );
+    ]

@@ -1,0 +1,148 @@
+(* Optimizer tests: Nelder-Mead and the Section 4.3 tile-size search. *)
+
+open Emsc_optim
+open Emsc_transform
+
+let test_nm_quadratic () =
+  let f x = ((x.(0) -. 3.0) ** 2.0) +. ((x.(1) +. 2.0) ** 2.0) in
+  let x, v = Neldermead.minimize ~f ~x0:[| 0.0; 0.0 |] () in
+  Alcotest.(check bool) "near optimum" true
+    (Float.abs (x.(0) -. 3.0) < 0.01 && Float.abs (x.(1) +. 2.0) < 0.01);
+  Alcotest.(check bool) "value small" true (v < 1e-3)
+
+let test_nm_rosenbrock () =
+  let f x =
+    let a = 1.0 -. x.(0) in
+    let b = x.(1) -. (x.(0) *. x.(0)) in
+    (a *. a) +. (100.0 *. b *. b)
+  in
+  let options = { Neldermead.default_options with max_iter = 4000 } in
+  let x, _ =
+    Neldermead.minimize_multistart ~options ~f
+      ~starts:[ [| -1.0; 1.0 |]; [| 0.0; 0.0 |]; [| 2.0; 2.0 |] ] ()
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "rosenbrock (%f, %f)" x.(0) x.(1))
+    true
+    (Float.abs (x.(0) -. 1.0) < 0.05 && Float.abs (x.(1) -. 1.0) < 0.1)
+
+let test_nm_1d () =
+  let f x = Float.abs (x.(0) -. 42.0) in
+  let x, _ = Neldermead.minimize ~f ~x0:[| 0.0 |] () in
+  Alcotest.(check bool) "1d" true (Float.abs (x.(0) -. 42.0) < 0.1)
+
+(* --- tile search -------------------------------------------------------------- *)
+
+(* analytic problem with a known discrete optimum:
+     cost(t) = 1000/t0 + 4*t0 + 1000/t1 + t1,  footprint = t0 + t1,
+   memory limit high enough not to bind:
+     optimum near t0 = sqrt(250) ~ 15.8, t1 = sqrt(1000) ~ 31.6 *)
+let analytic_problem ~limit =
+  { Tilesearch.ranges = [| (1, 128); (1, 128) |];
+    mem_limit_words = limit;
+    threads = 1.0;
+    sync_cost = 0.0;
+    transfer_cost = 0.0;
+    evaluate =
+      (fun t ->
+        let t0 = float_of_int t.(0) and t1 = float_of_int t.(1) in
+        Some
+          ( (1000.0 /. t0) +. (4.0 *. t0) +. (1000.0 /. t1) +. t1,
+            t.(0) + t.(1) )) }
+
+let test_search_unconstrained () =
+  match Tilesearch.search (analytic_problem ~limit:10000) with
+  | Some c ->
+    Alcotest.(check bool)
+      (Printf.sprintf "found (%d, %d)" c.Tilesearch.t.(0) c.Tilesearch.t.(1))
+      true
+      (abs (c.Tilesearch.t.(0) - 16) <= 2 && abs (c.Tilesearch.t.(1) - 32) <= 3)
+  | None -> Alcotest.fail "expected a candidate"
+
+let test_search_memory_binds () =
+  (* limit 20: must trade down; every returned candidate respects it *)
+  match Tilesearch.search (analytic_problem ~limit:20) with
+  | Some c ->
+    Alcotest.(check bool) "within memory" true (c.Tilesearch.footprint <= 20);
+    (* constrained optimum on t0 + t1 <= 20 is around (8, 12) *)
+    Alcotest.(check bool) "still sensible" true
+      (c.Tilesearch.t.(0) >= 4 && c.Tilesearch.t.(1) >= 8)
+  | None -> Alcotest.fail "expected a candidate"
+
+let test_search_parallelism_binds () =
+  (* product must reach the thread count *)
+  let pb =
+    { (analytic_problem ~limit:10000) with
+      Tilesearch.threads = 2048.0 }
+  in
+  match Tilesearch.search pb with
+  | Some c ->
+    Alcotest.(check bool) "t0*t1 >= threads" true
+      (c.Tilesearch.t.(0) * c.Tilesearch.t.(1) >= 2048)
+  | None -> Alcotest.fail "expected a candidate"
+
+let test_search_infeasible () =
+  let pb =
+    { (analytic_problem ~limit:1) with Tilesearch.threads = 1.0 }
+  in
+  (* footprint = t0 + t1 >= 2 > 1: nothing feasible *)
+  Alcotest.(check bool) "no candidate" true (Tilesearch.search pb = None)
+
+let test_search_pow2 () =
+  match Tilesearch.search ~snap_pow2:true (analytic_problem ~limit:10000) with
+  | Some c ->
+    let is_pow2 v = v land (v - 1) = 0 in
+    Alcotest.(check bool) "powers of two" true
+      (is_pow2 c.Tilesearch.t.(0) && is_pow2 c.Tilesearch.t.(1));
+    Alcotest.(check bool) "right optimum (16, 32)" true
+      (c.Tilesearch.t.(0) = 16 && c.Tilesearch.t.(1) = 32)
+  | None -> Alcotest.fail "expected a candidate"
+
+let test_movement_profile_hoisting () =
+  (* matmul: C's movement outside kM runs once per block tile;
+     A's movement inside kM runs n/tk times *)
+  let p = Emsc_kernels.Matmul.program ~n:32 in
+  let spec =
+    [| { Tile.block = Some 8; mem = None; thread = None };
+       { Tile.block = Some 8; mem = None; thread = None };
+       { Tile.block = None; mem = Some 4; thread = None } |]
+  in
+  let tp = Tile.tile_program p spec in
+  let plan =
+    Emsc_core.Plan.plan_block ~arch:`Cell
+      ~param_context:(Tile.origin_context p spec) tp
+  in
+  let occ name =
+    let b =
+      List.find (fun (b : Emsc_core.Plan.buffered) ->
+        b.Emsc_core.Plan.buffer.Emsc_core.Alloc.array = name)
+        plan.Emsc_core.Plan.buffered
+    in
+    Tile.movement_profile p spec
+      (b.Emsc_core.Plan.move_in, b.Emsc_core.Plan.move_out)
+  in
+  Alcotest.(check (float 0.001)) "C moved once per block tile" 1.0 (occ "C");
+  Alcotest.(check (float 0.001)) "A moved n/tk times" 8.0 (occ "A")
+
+let () =
+  Alcotest.run "optim"
+    [
+      ( "neldermead",
+        [
+          Alcotest.test_case "quadratic" `Quick test_nm_quadratic;
+          Alcotest.test_case "rosenbrock" `Quick test_nm_rosenbrock;
+          Alcotest.test_case "one-dimensional" `Quick test_nm_1d;
+        ] );
+      ( "tilesearch",
+        [
+          Alcotest.test_case "unconstrained" `Quick test_search_unconstrained;
+          Alcotest.test_case "memory constraint" `Quick
+            test_search_memory_binds;
+          Alcotest.test_case "parallelism constraint" `Quick
+            test_search_parallelism_binds;
+          Alcotest.test_case "infeasible" `Quick test_search_infeasible;
+          Alcotest.test_case "pow2 snapping" `Quick test_search_pow2;
+          Alcotest.test_case "movement occurrences" `Quick
+            test_movement_profile_hoisting;
+        ] );
+    ]

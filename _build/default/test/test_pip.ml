@@ -1,0 +1,180 @@
+(* Integer linear programming (branch & bound) and parametric bounds. *)
+
+open Emsc_arith
+open Emsc_linalg
+open Emsc_poly
+open Emsc_pip
+
+let vi = Vec.of_ints
+
+let box2 (xl, xh) (yl, yh) =
+  Poly.of_ineqs ~dim:2
+    [ [ 1; 0; -xl ]; [ -1; 0; xh ]; [ 0; 1; -yl ]; [ 0; -1; yh ] ]
+
+let test_ilp_basic () =
+  (* min x + y over the box [2,9] x [3,9] *)
+  let p = box2 (2, 9) (3, 9) in
+  match Ilp.minimize p (vi [ 1; 1; 0 ]) with
+  | Ilp.Opt (v, pt) ->
+    Alcotest.(check int) "optimum" 5 (Zint.to_int_exn v);
+    Alcotest.(check bool) "witness in set" true (Poly.contains_point p pt)
+  | _ -> Alcotest.fail "expected optimum"
+
+let test_ilp_fractional_gap () =
+  (* max x s.t. 2x <= 9: LP says 9/2, ILP must say 4 *)
+  let p = Poly.of_ineqs ~dim:1 [ [ -2; 9 ]; [ 1; 0 ] ] in
+  match Ilp.maximize p (vi [ 1; 0 ]) with
+  | Ilp.Opt (v, _) -> Alcotest.(check int) "ilp max" 4 (Zint.to_int_exn v)
+  | _ -> Alcotest.fail "expected optimum"
+
+let test_ilp_empty () =
+  let p = Poly.of_ineqs ~dim:1 [ [ 1; -5 ]; [ -1; 3 ] ] in
+  Alcotest.(check bool) "empty" true (Ilp.minimize p (vi [ 1; 0 ]) = Ilp.Empty)
+
+let test_ilp_rational_only () =
+  (* 3x - 3y = 1 has rational points but no integer point (gcd test
+     catches it); and 2x = 2y + 1 via inequalities only *)
+  let p =
+    Poly.of_ineqs ~dim:2 [ [ 2; -2; -1 ]; [ -2; 2; 1 ]; [ 1; 0; 0 ];
+                           [ -1; 0; 10 ]; [ 0; 1; 0 ]; [ 0; -1; 10 ] ]
+  in
+  Alcotest.(check bool) "integrally empty" true (Ilp.is_int_empty p)
+
+let test_ilp_unbounded () =
+  let p = Poly.of_ineqs ~dim:1 [ [ 1; 0 ] ] in
+  Alcotest.(check bool) "unbounded above" true
+    (Ilp.maximize p (vi [ 1; 0 ]) = Ilp.Unbounded)
+
+let test_int_point () =
+  let tri = Poly.of_ineqs ~dim:2 [ [ 0; 1; 0 ]; [ 1; -1; 0 ]; [ -1; 0; 4 ] ] in
+  (match Ilp.int_point tri with
+   | Some pt -> Alcotest.(check bool) "in set" true (Poly.contains_point tri pt)
+   | None -> Alcotest.fail "triangle has points");
+  Alcotest.(check bool) "empty has none" true
+    (Ilp.int_point (Poly.bottom 2) = None)
+
+let test_lexmin () =
+  let p = box2 (3, 7) (2, 9) in
+  match Ilp.lexmin p with
+  | Some pt -> Alcotest.(check (list int)) "lexmin" [ 3; 2 ] (Vec.to_ints_exn pt)
+  | None -> Alcotest.fail "expected lexmin"
+
+let test_lexmin_skewed () =
+  (* x + y >= 10, 0 <= x,y <= 10: lexmin = (0, 10) *)
+  let p =
+    Poly.of_ineqs ~dim:2
+      [ [ 1; 1; -10 ]; [ 1; 0; 0 ]; [ -1; 0; 10 ]; [ 0; 1; 0 ]; [ 0; -1; 10 ] ]
+  in
+  match Ilp.lexmin p with
+  | Some pt -> Alcotest.(check (list int)) "lexmin" [ 0; 10 ] (Vec.to_ints_exn pt)
+  | None -> Alcotest.fail "expected lexmin"
+
+(* --- parametric bounds --------------------------------------------------- *)
+
+let test_loop_bounds_triangle () =
+  (* { (i, j) : 0 <= i <= 9, i <= j <= 9 } *)
+  let p = Poly.of_ineqs ~dim:2 [ [ 1; 0; 0 ]; [ -1; 0; 9 ]; [ -1; 1; 0 ]; [ 0; -1; 9 ] ] in
+  let levels = Bounds.loop_bounds p in
+  Alcotest.(check int) "two levels" 2 (Array.length levels);
+  (* level 1: j >= i (coefficient form), j <= 9 *)
+  let { Bounds.lowers; uppers } = levels.(1) in
+  Alcotest.(check bool) "has i-dependent lower bound" true
+    (List.exists (fun (a, e) ->
+       Zint.is_one a && Zint.to_int_exn e.(0) = 1 (* -e = i => e has +1? *)
+       || Zint.is_one a && Zint.to_int_exn e.(0) = -1)
+       lowers);
+  Alcotest.(check bool) "has constant upper 9" true
+    (List.exists (fun (a, e) ->
+       Zint.is_one a && Zint.is_zero e.(0) && Zint.to_int_exn e.(2) = 9)
+       uppers)
+
+let test_bounds_scan_equivalence () =
+  (* the bound trees must describe exactly the set: re-enumerate *)
+  let p =
+    Poly.of_ineqs ~dim:2
+      [ [ 1; 0; 2 ]; [ -1; 0; 6 ]; [ -2; 1; 3 ]; [ 0; -1; 11 ] ]
+  in
+  (* dim0 in [-2, 6]; dim1 in [2*d0 - 3, 11] *)
+  let levels = Bounds.loop_bounds p in
+  let count = ref 0 in
+  let l1 = levels.(1) in
+  (* evaluate bounds by substitution *)
+  let eval_bound (a, (e : Vec.t)) env_d0 ~lower =
+    (* e over (d0, d1(zeroed), const) *)
+    let v = Zint.add (Zint.mul e.(0) env_d0) e.(2) in
+    if lower then Zint.cdiv (Zint.neg v) a else Zint.fdiv v a
+  in
+  for d0 = -2 to 6 do
+    let z0 = Zint.of_int d0 in
+    let lo1 =
+      List.fold_left (fun acc b ->
+        Zint.max acc (eval_bound b z0 ~lower:true))
+        (Zint.of_int min_int) l1.Bounds.lowers
+    in
+    let hi1 =
+      List.fold_left (fun acc b ->
+        Zint.min acc (eval_bound b z0 ~lower:false))
+        (Zint.of_int max_int) l1.Bounds.uppers
+    in
+    let v = ref lo1 in
+    while Zint.compare !v hi1 <= 0 do
+      incr count;
+      v := Zint.add !v Zint.one
+    done
+  done;
+
+  (match Count.count_poly p with
+   | Count.Exact n -> Alcotest.(check int) "same cardinality"
+       (Zint.to_int_exn n) !count
+   | _ -> Alcotest.fail "count failed")
+
+(* --- properties ----------------------------------------------------------- *)
+
+let prop_ilp_vs_enumeration =
+  QCheck.Test.make ~name:"ilp min matches brute force" ~count:60
+    QCheck.(quad (int_range (-6) 6) (int_range 0 6) (int_range (-6) 6)
+              (int_range 0 6))
+    (fun (xl, w, yl, h) ->
+      let p = box2 (xl, xl + w) (yl, yl + h) in
+      (* cut the box with a diagonal to make it interesting *)
+      let p = Poly.add_ineq p (vi [ 1; 2; 5 ]) in
+      let obj = vi [ 3; -2; 1 ] in
+      let brute = ref None in
+      for x = xl to xl + w do
+        for y = yl to yl + h do
+          if Poly.contains_point p (vi [ x; y ]) then begin
+            let v = (3 * x) - (2 * y) + 1 in
+            match !brute with
+            | Some b when b <= v -> ()
+            | _ -> brute := Some v
+          end
+        done
+      done;
+      match Ilp.minimize p obj, !brute with
+      | Ilp.Opt (v, _), Some b -> Zint.to_int_exn v = b
+      | Ilp.Empty, None -> true
+      | _ -> false)
+
+let () =
+  Alcotest.run "pip"
+    [
+      ( "ilp",
+        [
+          Alcotest.test_case "basic" `Quick test_ilp_basic;
+          Alcotest.test_case "fractional gap" `Quick test_ilp_fractional_gap;
+          Alcotest.test_case "empty" `Quick test_ilp_empty;
+          Alcotest.test_case "rational-only points" `Quick
+            test_ilp_rational_only;
+          Alcotest.test_case "unbounded" `Quick test_ilp_unbounded;
+          Alcotest.test_case "int point" `Quick test_int_point;
+          Alcotest.test_case "lexmin" `Quick test_lexmin;
+          Alcotest.test_case "lexmin skewed" `Quick test_lexmin_skewed;
+        ] );
+      ( "bounds",
+        [
+          Alcotest.test_case "triangle levels" `Quick test_loop_bounds_triangle;
+          Alcotest.test_case "scan equivalence" `Quick
+            test_bounds_scan_equivalence;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_ilp_vs_enumeration ]);
+    ]
