@@ -25,9 +25,82 @@ let cpu = Config.core2duo
 let pf = Printf.printf
 
 let human n =
-  if n >= 1 lsl 20 then Printf.sprintf "%dM" (n lsr 20)
+  if n >= 1 lsl 30 then Printf.sprintf "%dG" (n lsr 30)
+  else if n >= 1 lsl 20 then Printf.sprintf "%dM" (n lsr 20)
   else if n >= 1 lsl 10 then Printf.sprintf "%dk" (n lsr 10)
   else string_of_int n
+
+(* ------------------------------------------------------------------ *)
+(* Machine-readable run metrics: every figure records its data points  *)
+(* here and the harness writes a BENCH_<timestamp>.json artifact, so   *)
+(* successive PRs have a perf trajectory to regress against.           *)
+(* ------------------------------------------------------------------ *)
+
+module J = Emsc_obs.Json
+
+let bench_points : J.t list ref = ref []
+let bench_notes : J.t list ref = ref []
+
+let record_point ~fig ~series ~x ?(unit_ = "ms") v =
+  bench_points :=
+    J.Obj
+      [ ("figure", J.Str fig); ("series", J.Str series); ("x", J.Str x);
+        ("value", J.Float v); ("unit", J.Str unit_) ]
+    :: !bench_points
+
+let record_note ~fig name v =
+  bench_notes :=
+    J.Obj [ ("figure", J.Str fig); ("name", J.Str name); ("value", v) ]
+    :: !bench_notes
+
+(* per-kernel counter totals, accumulated over every simulated run *)
+let kernel_counters : (string, Exec.counters) Hashtbl.t = Hashtbl.create 8
+
+let note_counters kernel (c : Exec.counters) =
+  let acc =
+    match Hashtbl.find_opt kernel_counters kernel with
+    | Some a -> a
+    | None ->
+      let a = Exec.fresh () in
+      Hashtbl.replace kernel_counters kernel a;
+      a
+  in
+  acc.Exec.flops <- acc.Exec.flops +. c.Exec.flops;
+  acc.Exec.g_ld <- acc.Exec.g_ld +. c.Exec.g_ld;
+  acc.Exec.g_st <- acc.Exec.g_st +. c.Exec.g_st;
+  acc.Exec.s_ld <- acc.Exec.s_ld +. c.Exec.s_ld;
+  acc.Exec.s_st <- acc.Exec.s_st +. c.Exec.s_st;
+  acc.Exec.syncs <- acc.Exec.syncs +. c.Exec.syncs;
+  acc.Exec.fences <- acc.Exec.fences +. c.Exec.fences
+
+let write_bench_json ~figure_ms =
+  let t = Unix.localtime (Unix.time ()) in
+  let stamp fmt =
+    Printf.sprintf fmt (t.Unix.tm_year + 1900) (t.Unix.tm_mon + 1)
+      t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min t.Unix.tm_sec
+  in
+  let path = stamp "BENCH_%04d%02d%02d_%02d%02d%02d.json" in
+  let kernels =
+    Hashtbl.fold (fun k c acc -> (k, Exec.counters_json c) :: acc)
+      kernel_counters []
+    |> List.sort compare
+  in
+  let j =
+    J.Obj
+      [ ("schema", J.Str "emsc-bench/1");
+        ("timestamp", J.Str (stamp "%04d-%02d-%02dT%02d:%02d:%02d"));
+        ("figures", J.List (List.rev !bench_points));
+        ("notes", J.List (List.rev !bench_notes));
+        ("kernel_counters", J.Obj kernels);
+        ( "figure_wall_ms",
+          J.Obj (List.map (fun (n, ms) -> (n, J.Float ms)) figure_ms) );
+        ("pass_timings", Emsc_obs.Trace.aggregate_json ()) ]
+  in
+  let oc = open_out path in
+  output_string oc (J.to_string ~pretty:true j);
+  output_char oc '\n';
+  close_out oc;
+  pf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
 (* Mpeg4 motion estimation                                            *)
@@ -71,6 +144,7 @@ let run_me ~ni ~nj ~tiles ~smem =
     Exec.run ~prog:tp ?local_ref ~param_env:no_params ~memory
       ~mode:(Exec.Sampled 6) ast
   in
+  note_counters "me" result.Exec.totals;
   let params =
     { Timing.threads = me_threads;
       smem_bytes_per_block = fp_words * gpu.Config.word_bytes;
@@ -128,6 +202,9 @@ let fig4 () =
     let dram = run_me ~ni:n ~nj:n ~tiles:best_me_tiles ~smem:false in
     let sm = run_me ~ni:n ~nj:n ~tiles:best_me_tiles ~smem:true in
     let c = me_cpu_ms ~ni:n ~nj:n in
+    record_point ~fig:"fig4" ~series:"gpu-dram" ~x:label dram.me_ms;
+    record_point ~fig:"fig4" ~series:"gpu-smem" ~x:label sm.me_ms;
+    record_point ~fig:"fig4" ~series:"cpu" ~x:label c;
     pf "%-8s %14.1f %14.1f %14.1f %9.1fx %8.0fx\n" label dram.me_ms sm.me_ms c
       (dram.me_ms /. sm.me_ms) (c /. sm.me_ms))
     me_sizes;
@@ -145,10 +222,12 @@ let fig6 () =
   pf " %11s\n" "smem/block";
   List.iter (fun (ti, tj, tk, tl) ->
     pf "%2d,%2d,%2d,%2d    " ti tj tk tl;
+    let tile_s = Printf.sprintf "%d,%d,%d,%d" ti tj tk tl in
     let fp = ref 0 in
-    List.iter (fun (_, n) ->
+    List.iter (fun (label, n) ->
       let r = run_me ~ni:n ~nj:n ~tiles:(ti, tj, tk, tl) ~smem:true in
       fp := r.me_fp_bytes;
+      record_point ~fig:"fig6" ~series:tile_s ~x:label r.me_ms;
       pf " %10.1f" r.me_ms)
       sizes;
     pf " %10dB%s\n" !fp
@@ -166,11 +245,19 @@ let fig6 () =
   in
   (match Tilesearch.search ~max_evals:60 ~snap_pow2:true problem with
    | Some c ->
-     pf "tile-size search picks (%s), footprint %d words\n"
-       (String.concat ","
-          (Array.to_list (Array.map string_of_int c.Tilesearch.t)))
+     let tiles =
+       String.concat ","
+         (Array.to_list (Array.map string_of_int c.Tilesearch.t))
+     in
+     record_note ~fig:"fig6" "search_pick"
+       (J.Obj
+          [ ("tiles", J.Str tiles);
+            ("footprint_words", J.Int c.Tilesearch.footprint) ]);
+     pf "tile-size search picks (%s), footprint %d words\n" tiles
        c.Tilesearch.footprint
-   | None -> pf "tile-size search found nothing feasible\n");
+   | None ->
+     record_note ~fig:"fig6" "search_pick" J.Null;
+     pf "tile-size search found nothing feasible\n");
   pf "(paper: 32,16,16,16 optimal and found by the search)\n\n"
 
 (* ------------------------------------------------------------------ *)
@@ -189,6 +276,7 @@ let run_jacobi ~n ~ts ~tt =
     Exec.run ~prog:p ~local_ref:k.Stencil.local_ref ~param_env:no_params
       ~memory ~mode:(Exec.Sampled 6) k.Stencil.ast
   in
+  note_counters "jacobi1d" result.Exec.totals;
   let params =
     { Timing.threads = jac_threads;
       smem_bytes_per_block = k.Stencil.smem_words * gpu.Config.word_bytes;
@@ -205,6 +293,7 @@ let run_jacobi_dram ~n ~ts =
     Exec.run ~prog:p ~param_env:no_params ~memory ~mode:(Exec.Sampled 6)
       k.Stencil.ast
   in
+  note_counters "jacobi1d" result.Exec.totals;
   let params =
     { Timing.threads = jac_threads; smem_bytes_per_block = 0;
       coalesce_eff = 3.5; global_sync = true; double_buffer = false }
@@ -243,6 +332,9 @@ let fig5 () =
     let sm = run_jacobi ~n ~ts ~tt:32 in
     let dram = run_jacobi_dram ~n ~ts in
     let c = jac_cpu_ms ~n in
+    record_point ~fig:"fig5" ~series:"gpu-dram" ~x:(human n) dram;
+    record_point ~fig:"fig5" ~series:"gpu-smem" ~x:(human n) sm;
+    record_point ~fig:"fig5" ~series:"cpu" ~x:(human n) c;
     pf "%-8s %14.1f %14.1f %14.1f %9.1fx %8.1fx\n" (human n) dram sm c
       (dram /. sm) (c /. sm))
     fig5_sizes;
@@ -258,7 +350,10 @@ let fig7 () =
     pf "%-8d" b;
     List.iter (fun n ->
       let ts = max 4 ((n - 2 + b - 1) / b) in
-      pf " %12.2f" (run_jacobi ~n ~ts ~tt:32))
+      let ms = run_jacobi ~n ~ts ~tt:32 in
+      record_point ~fig:"fig7" ~series:("N=" ^ human n) ~x:(string_of_int b)
+        ms;
+      pf " %12.2f" ms)
       [ 8192; 16384; 32768 ];
     pf "\n")
     block_counts;
@@ -275,7 +370,12 @@ let fig8 () =
   pf "\n";
   List.iter (fun (tt, ts) ->
     pf "%3d,%-5d " tt ts;
-    List.iter (fun n -> pf " %12.1f" (run_jacobi ~n ~ts ~tt)) sizes;
+    List.iter (fun n ->
+      let ms = run_jacobi ~n ~ts ~tt in
+      record_point ~fig:"fig8"
+        ~series:(Printf.sprintf "%d,%d" tt ts) ~x:(human n) ms;
+      pf " %12.1f" ms)
+      sizes;
     pf "\n")
     jac_tile_candidates;
   (* the Section 4.3 search over (tt, ts), scratchpad limited as in the
@@ -296,9 +396,16 @@ let fig8 () =
   in
   (match Tilesearch.search ~max_evals:80 ~snap_pow2:true problem with
    | Some c ->
+     record_note ~fig:"fig8" "search_pick"
+       (J.Obj
+          [ ("tt", J.Int c.Tilesearch.t.(0));
+            ("ts", J.Int c.Tilesearch.t.(1));
+            ("footprint_words", J.Int c.Tilesearch.footprint) ]);
      pf "tile-size search picks tt=%d, ts=%d (footprint %d words)\n"
        c.Tilesearch.t.(0) c.Tilesearch.t.(1) c.Tilesearch.footprint
-   | None -> pf "tile-size search found nothing feasible\n");
+   | None ->
+     record_note ~fig:"fig8" "search_pick" J.Null;
+     pf "tile-size search found nothing feasible\n");
   pf "(paper: space tile 256, time tile 32 optimal and found by the search)\n\n"
 
 (* ------------------------------------------------------------------ *)
@@ -336,6 +443,8 @@ let ablations () =
   in
   let naive = Plan.plan_block ~arch:`Cell p in
   let opt = Plan.plan_block ~arch:`Cell ~optimize_movement:true p in
+  record_note ~fig:"ablations" "move_in_nests"
+    (J.Obj [ ("naive", J.Int (copies naive)); ("optimized", J.Int (copies opt)) ]);
   pf "3.1.4 movement optimizer: move-in loop nests %d -> %d\n"
     (copies naive) (copies opt);
   (* the A partition needs nothing moved in when the producer is in
@@ -403,6 +512,8 @@ let ablations () =
   in
   let t_single = run_me_db ~double:false in
   let t_double = run_me_db ~double:true in
+  record_note ~fig:"ablations" "double_buffer_ms"
+    (J.Obj [ ("single", J.Float t_single); ("double", J.Float t_double) ]);
   pf "double buffering (ME, 4M): %.1f ms -> %.1f ms (%.1f%%), at 2x       scratchpad\n"
     t_single t_double
     ((t_single -. t_double) /. t_single *. 100.0);
@@ -423,6 +534,13 @@ let ablations () =
   let part = List.hd (Dataspaces.partition_array p2 "X") in
   List.iter (fun delta ->
     let r = Reuse.analyze ~delta p2 part in
+    record_note ~fig:"ablations" (Printf.sprintf "delta_%.2f" delta)
+      (J.Obj
+         [ ( "overlap",
+             match r.Reuse.overlap_fraction with
+             | Some f -> J.Float f
+             | None -> J.Null );
+           ("beneficial", J.Bool r.Reuse.beneficial) ]);
     pf "Algorithm 1, delta=%.2f: overlap=%s -> %s\n" delta
       (match r.Reuse.overlap_fraction with
        | Some f -> Printf.sprintf "%.2f" f
@@ -488,7 +606,9 @@ let micro () =
   Hashtbl.iter (fun _ tbl ->
     Hashtbl.iter (fun name res ->
       match Analyze.OLS.estimates res with
-      | Some [ est ] -> pf "%-44s %14.0f ns/run\n" name est
+      | Some [ est ] ->
+        record_point ~fig:"micro" ~series:name ~x:"ols" ~unit_:"ns/run" est;
+        pf "%-44s %14.0f ns/run\n" name est
       | Some _ | None -> pf "%-44s %14s\n" name "n/a")
       tbl)
     merged;
@@ -506,8 +626,18 @@ let () =
     | _ :: (_ :: _ as args) -> args
     | _ -> List.map fst all_figs
   in
-  List.iter (fun name ->
-    match List.assoc_opt name all_figs with
-    | Some f -> f ()
-    | None -> pf "unknown artifact %s\n" name)
-    requested
+  (* pass timings in the artifact come from the tracing layer *)
+  Emsc_obs.Trace.enable ();
+  let figure_ms =
+    List.filter_map (fun name ->
+      match List.assoc_opt name all_figs with
+      | Some f ->
+        let t0 = Unix.gettimeofday () in
+        f ();
+        Some (name, (Unix.gettimeofday () -. t0) *. 1000.0)
+      | None ->
+        pf "unknown artifact %s\n" name;
+        None)
+      requested
+  in
+  write_bench_json ~figure_ms

@@ -2,18 +2,24 @@
 
      emsc analyze FILE     data-management plan: partitions, Algorithm 1
                            verdicts, buffer extents, movement code
+                           (--json for the machine-readable report)
+     emsc profile FILE     run on the simulated machine and report
+                           per-launch counters and timing breakdowns
      emsc deps FILE        dependence analysis
      emsc band FILE        tiling-hyperplane search
      emsc run FILE         execute the program on the reference
                            interpreter and print array checksums
 
    FILE is a program in the affine input language (see
-   lib/lang/parser.mli); use '-' for stdin. *)
+   lib/lang/parser.mli); use '-' for stdin.  Commands that compile or
+   execute accept --trace FILE to dump a Chrome trace_event JSON of
+   the compilation/simulation (view in chrome://tracing or Perfetto). *)
 
 open Emsc_arith
 open Emsc_ir
 open Emsc_codegen
 open Emsc_core
+open Emsc_obs
 open Cmdliner
 
 let read_input path =
@@ -26,6 +32,7 @@ let read_input path =
   end
 
 let load path =
+  Trace.span "parse" ~args:[ ("file", Json.Str path) ] @@ fun () ->
   match Emsc_lang.Parser.parse (read_input path) with
   | p -> p
   | exception Emsc_lang.Parser.Error e ->
@@ -34,6 +41,33 @@ let load path =
   | exception Emsc_lang.Lexer.Error e ->
     Printf.eprintf "lex error: %s\n" e;
     exit 1
+
+(* run [f] with tracing directed at [path] (when given); the trace file
+   is written even when [f] fails, so aborted compilations can still be
+   inspected *)
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some path ->
+    Trace.reset ();
+    Trace.enable ();
+    Fun.protect
+      ~finally:(fun () ->
+        (* tracing must not destroy the command's result *)
+        (try Trace.write_chrome path
+         with Sys_error e -> Printf.eprintf "emsc: cannot write trace: %s\n" e);
+        Trace.disable ())
+      f
+
+let emit_json out j =
+  let s = Json.to_string ~pretty:true j in
+  match out with
+  | None -> print_string s; print_newline ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc s;
+    output_char oc '\n';
+    close_out oc
 
 let file_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
@@ -67,28 +101,56 @@ let optmove_arg =
            ~doc:"Apply the Section 3.1.4 dependence-based copy-set \
                  minimization.")
 
+let json_arg =
+  Arg.(value & flag
+       & info [ "json" ]
+           ~doc:"Emit a machine-readable JSON report instead of prose.")
+
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace_event JSON of the run to $(docv) \
+                 (open in chrome://tracing or Perfetto).")
+
+let out_arg =
+  Arg.(value & opt (some string) None
+       & info [ "o"; "output" ] ~docv:"FILE"
+           ~doc:"Write the JSON report to $(docv) instead of stdout.")
+
+let gpu_config = Emsc_machine.Config.gtx8800
+
 let analyze_cmd =
-  let run file arch merge delta optimize_movement =
+  let run file arch merge delta optimize_movement json trace out =
+    with_trace trace @@ fun () ->
     let p = load file in
     let plan =
       Plan.plan_block ~arch ~merge_per_array:merge ~delta
         ~optimize_movement p
     in
-    Format.printf "%a@." Plan.pp plan;
-    List.iter (fun (b : Plan.buffered) ->
-      let buf = b.Plan.buffer in
-      Format.printf "@.// buffer %s, sizes %a@." buf.Alloc.local_name
-        (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f " x ")
-           Ast.pp_aexpr)
-        (Array.to_list (Alloc.size_exprs buf));
-      Format.printf "/* data move-in code */@.%a@." Ast.pp_block b.Plan.move_in;
-      Format.printf "/* data move-out code */@.%a@." Ast.pp_block
-        b.Plan.move_out)
-      plan.Plan.buffered
+    if json then
+      let capacity_words =
+        gpu_config.Emsc_machine.Config.smem_bytes
+        / gpu_config.Emsc_machine.Config.word_bytes
+      in
+      emit_json out (Plan.explain_json ~capacity_words plan)
+    else begin
+      Format.printf "%a@." Plan.pp plan;
+      List.iter (fun (b : Plan.buffered) ->
+        let buf = b.Plan.buffer in
+        Format.printf "@.// buffer %s, sizes %a@." buf.Alloc.local_name
+          (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f " x ")
+             Ast.pp_aexpr)
+          (Array.to_list (Alloc.size_exprs buf));
+        Format.printf "/* data move-in code */@.%a@." Ast.pp_block
+          b.Plan.move_in;
+        Format.printf "/* data move-out code */@.%a@." Ast.pp_block
+          b.Plan.move_out)
+        plan.Plan.buffered
+    end
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Data-management plan for a program block")
     Term.(const run $ file_arg $ arch_arg $ merge_arg $ delta_arg
-          $ optmove_arg)
+          $ optmove_arg $ json_arg $ trace_arg $ out_arg)
 
 let deps_cmd =
   let run file =
@@ -118,12 +180,12 @@ let band_cmd =
     (Cmd.info "band" ~doc:"Find the permutable tiling-hyperplane band")
     Term.(const run $ file_arg)
 
+let param_args =
+  Arg.(value & opt_all (pair ~sep:'=' string int) []
+       & info [ "p"; "param" ] ~docv:"NAME=VALUE"
+           ~doc:"Give a program parameter a value (repeatable).")
+
 let run_cmd =
-  let param_args =
-    Arg.(value & opt_all (pair ~sep:'=' string int) []
-         & info [ "p"; "param" ] ~docv:"NAME=VALUE"
-             ~doc:"Give a program parameter a value (repeatable).")
-  in
   let run file params =
     let p = load file in
     let env name =
@@ -154,9 +216,177 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Execute on the reference interpreter")
     Term.(const run $ file_arg $ param_args)
 
+(* --- emsc profile ------------------------------------------------------- *)
+
+let parse_tile_list = function
+  | None -> [||]
+  | Some s ->
+    (try
+       Array.of_list
+         (List.map int_of_string
+            (List.filter (fun x -> x <> "") (String.split_on_char ',' s)))
+     with _ ->
+       Printf.eprintf "bad tile list %S (expected N,N,...)\n" s;
+       exit 1)
+
+let spec_of_lists ~depth ~block ~mem ~thread =
+  let get a j =
+    if j < Array.length a && a.(j) > 0 then Some a.(j) else None
+  in
+  Array.init depth (fun j ->
+    { Emsc_transform.Tile.block = get block j; mem = get mem j;
+      thread = get thread j })
+
+let gpu_profile p ~arch ~merge ~delta ~optimize_movement ~spec ~threads
+    ~global_sync =
+  let open Emsc_machine in
+  let open Emsc_transform in
+  let no_params name = failwith ("profile: unbound parameter " ^ name) in
+  let zero_env _ = Zint.zero in
+  let tp = Tile.tile_program p spec in
+  let ctx = Tile.origin_context p spec in
+  let plan =
+    Plan.plan_block ~arch ~merge_per_array:merge ~delta ~optimize_movement
+      ~param_context:ctx tp
+  in
+  let movement =
+    List.map (fun (b : Plan.buffered) -> (b.Plan.move_in, b.Plan.move_out))
+      plan.Plan.buffered
+  in
+  let ast = Tile.generate p spec ~movement in
+  let memory = Memory.create_phantom p ~param_env:no_params in
+  List.iter (fun (b : Plan.buffered) ->
+    Memory.declare_local memory b.Plan.buffer.Alloc.local_name)
+    plan.Plan.buffered;
+  let local_ref =
+    if plan.Plan.buffered = [] then None else Some (Plan.local_ref plan)
+  in
+  let result =
+    Trace.span "exec.simulate" @@ fun () ->
+    Exec.run ~prog:tp ?local_ref ~param_env:no_params ~memory
+      ~mode:(Exec.Sampled 6) ast
+  in
+  let fp_words = Zint.to_int_exn (Plan.total_footprint plan zero_env) in
+  let gp =
+    { Timing.threads;
+      smem_bytes_per_block = fp_words * gpu_config.Config.word_bytes;
+      coalesce_eff = (if plan.Plan.buffered <> [] then 16.0 else 4.0);
+      global_sync; double_buffer = false }
+  in
+  let capacity_words =
+    gpu_config.Config.smem_bytes / gpu_config.Config.word_bytes
+  in
+  [ ("mode", Json.Str "gpu-sim");
+    ("plan", Plan.explain_json ~capacity_words plan);
+    ("profile", Timing.profile_json gpu_config gp result) ]
+
+let cpu_profile p ~params =
+  let open Emsc_machine in
+  let env name =
+    match List.assoc_opt name params with
+    | Some v -> Zint.of_int v
+    | None ->
+      Printf.eprintf "parameter %s needs a value (use -p %s=N)\n" name name;
+      exit 1
+  in
+  let m = Memory.create p ~param_env:env in
+  List.iter (fun (d : Prog.array_decl) ->
+    Memory.fill m d.Prog.array_name (fun idx ->
+      let h = Array.fold_left (fun acc i -> (acc * 31) + i) 17 idx in
+      float_of_int (h mod 101) /. 101.0))
+    p.Prog.arrays;
+  let cpu = Config.core2duo in
+  let h = Cache.Hierarchy.create cpu in
+  let on_global _ addr _ = ignore (Cache.Hierarchy.access h addr) in
+  let c =
+    Trace.span "exec.reference" @@ fun () ->
+    Reference.run p ~param_env:env m ~on_global ()
+  in
+  let cpu_ms =
+    Timing.cpu_total_ms cpu ~flops:c.Exec.flops
+      ~l1_hits:(Cache.Hierarchy.l1_hits h)
+      ~l2_hits:(Cache.Hierarchy.l2_hits h)
+      ~mem_accesses:(Cache.Hierarchy.mem_accesses h)
+  in
+  [ ("mode", Json.Str "cpu-reference");
+    ("totals", Exec.counters_json c);
+    ( "cache",
+      Json.Obj
+        [ ("l1_hits", Json.Float (Cache.Hierarchy.l1_hits h));
+          ("l2_hits", Json.Float (Cache.Hierarchy.l2_hits h));
+          ("mem_accesses", Json.Float (Cache.Hierarchy.mem_accesses h)) ] );
+    ("cpu_ms", Json.Float cpu_ms) ]
+
+let profile_cmd =
+  let tile_list name doc =
+    Arg.(value & opt (some string) None
+         & info [ name ] ~docv:"N,N,..." ~doc)
+  in
+  let block_arg =
+    tile_list "block"
+      "Block-level tile size per loop dimension (0 = untiled at that \
+       dimension); enables the simulated-GPU path."
+  in
+  let mem_arg = tile_list "mem" "Memory-capacity tile size per dimension." in
+  let thread_arg = tile_list "thread" "Thread tile size per dimension." in
+  let threads_arg =
+    Arg.(value & opt int 256
+         & info [ "threads" ] ~doc:"Simulated threads per block.")
+  in
+  let globalsync_arg =
+    Arg.(value & flag
+         & info [ "global-sync" ]
+             ~doc:"Charge a cross-block synchronization per launch.")
+  in
+  let run file arch merge delta optimize_movement block mem thread threads
+      global_sync params trace out =
+    with_trace trace @@ fun () ->
+    let p = load file in
+    let block = parse_tile_list block
+    and mem = parse_tile_list mem
+    and thread = parse_tile_list thread in
+    let tiled =
+      Array.length block > 0 || Array.length mem > 0
+      || Array.length thread > 0
+    in
+    let fields =
+      if tiled then begin
+        match p.Prog.stmts with
+        | [ s ] ->
+          let spec =
+            spec_of_lists ~depth:s.Prog.depth ~block ~mem ~thread
+          in
+          gpu_profile p ~arch ~merge ~delta ~optimize_movement ~spec
+            ~threads ~global_sync
+        | _ ->
+          Printf.eprintf
+            "profile: tiling flags need a single-statement program\n";
+          exit 1
+      end
+      else cpu_profile p ~params
+    in
+    let fields =
+      if Trace.enabled () then
+        fields @ [ ("pass_timings", Trace.aggregate_json ()) ]
+      else fields
+    in
+    emit_json out (Json.Obj fields)
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Execute on the simulated machine and report machine-readable \
+             metrics: per-launch counters, occupancy, and the \
+             compute/bandwidth/latency timing breakdown")
+    Term.(const run $ file_arg $ arch_arg $ merge_arg $ delta_arg
+          $ optmove_arg $ block_arg $ mem_arg $ thread_arg $ threads_arg
+          $ globalsync_arg $ param_args $ trace_arg $ out_arg)
+
 let () =
   let info =
     Cmd.info "emsc"
       ~doc:"Explicitly-managed-scratchpad compiler (PPoPP'08 reproduction)"
   in
-  exit (Cmd.eval (Cmd.group info [ analyze_cmd; deps_cmd; band_cmd; run_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ analyze_cmd; profile_cmd; deps_cmd; band_cmd; run_cmd ]))

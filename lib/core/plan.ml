@@ -15,12 +15,20 @@ type t = {
   prog : Prog.t;
   buffered : buffered list;
   skipped : (Dataspaces.partition * Reuse.report) list;
+  delta : float;
+  arch : [ `Gpu | `Cell ];
 }
 
 let plan_block ?(delta = 0.3) ?param_env ?param_context ?(arch = `Gpu)
     ?(optimize_movement = false) ?(live_out = fun _ -> true)
     ?(merge_per_array = false) p =
+  Emsc_obs.Trace.span "plan.plan_block"
+    ~args:
+      [ ("arch", Emsc_obs.Json.Str (match arch with `Gpu -> "gpu" | `Cell -> "cell"));
+        ("delta", Emsc_obs.Json.Float delta) ]
+  @@ fun () ->
   let partitions =
+    Emsc_obs.Trace.span "plan.partition" @@ fun () ->
     let parts = Dataspaces.partition_all p in
     if not merge_per_array then parts
     else
@@ -43,12 +51,19 @@ let plan_block ?(delta = 0.3) ?param_env ?param_context ?(arch = `Gpu)
   in
   let buffered = ref [] and skipped = ref [] in
   List.iter (fun part ->
-    let report = Reuse.analyze ~delta ?param_env p part in
+    Emsc_obs.Trace.span "plan.partition_plan"
+      ~args:[ ("array", Emsc_obs.Json.Str part.Dataspaces.array) ]
+    @@ fun () ->
+    let report =
+      Emsc_obs.Trace.span "reuse.analyze" @@ fun () ->
+      Reuse.analyze ~delta ?param_env p part
+    in
     let copy =
       match arch with `Cell -> true | `Gpu -> report.Reuse.beneficial
     in
     if copy then begin
       let buffer =
+        Emsc_obs.Trace.span "alloc.build" @@ fun () ->
         Alloc.build ~local_name:(fresh_name part.Dataspaces.array) p part
       in
       let in_data =
@@ -63,10 +78,12 @@ let plan_block ?(delta = 0.3) ?param_env ?param_context ?(arch = `Gpu)
         else Uset.empty (Prog.nparams p + part.Dataspaces.rank)
       in
       let move_in =
+        Emsc_obs.Trace.span "movement.copy_code_in" @@ fun () ->
         Movement.copy_code ?context:param_context p buffer ~dir:`In
           ~data:in_data
       in
       let move_out =
+        Emsc_obs.Trace.span "movement.copy_code_out" @@ fun () ->
         Movement.copy_code ?context:param_context p buffer ~dir:`Out
           ~data:out_data
       in
@@ -74,7 +91,8 @@ let plan_block ?(delta = 0.3) ?param_env ?param_context ?(arch = `Gpu)
     end
     else skipped := (part, report) :: !skipped)
     partitions;
-  { prog = p; buffered = List.rev !buffered; skipped = List.rev !skipped }
+  { prog = p; buffered = List.rev !buffered; skipped = List.rev !skipped;
+    delta; arch }
 
 let find_buffer plan (s : Prog.stmt) (a : Prog.access) =
   List.find_opt (fun b ->
@@ -124,3 +142,144 @@ let pp fmt plan =
     Format.fprintf fmt "skip %s %a@," part.Dataspaces.array Reuse.pp_report r)
     plan.skipped;
   Format.fprintf fmt "@]"
+
+(* --- the Algorithm 1 explain report ------------------------------------ *)
+
+module J = Emsc_obs.Json
+
+type buffer_summary = {
+  b_name : string;
+  b_dims : (int * string * string * string) array;
+      (** (original array dim, lb, ub, size) as printed expressions
+          over the program parameters *)
+  b_footprint_words : int option;
+      (** under the valuation given to {!explain}; [None] when a bound
+          stays symbolic *)
+  b_move_in_nests : int;
+  b_move_out_nests : int;
+}
+
+type verdict = {
+  v_array : string;
+  v_members : int;
+  v_rank_reuse : bool;
+      (** Algorithm 1 criterion (a): some reference's access function
+          restricted to the iterators has rank < iteration depth *)
+  v_overlap_fraction : float option;
+      (** criterion (b) evidence, compared against delta *)
+  v_delta : float;
+  v_beneficial : bool;
+  v_copied : bool;  (** differs from beneficial only under [`Cell] *)
+  v_buffer : buffer_summary option;
+}
+
+let aexpr_str e = Format.asprintf "%a" Ast.pp_aexpr e
+
+let buffer_summary ~param_env (b : buffered) =
+  let buf = b.buffer in
+  let sizes = Alloc.size_exprs buf in
+  let dims =
+    Array.mapi (fun i k ->
+      (k, aexpr_str buf.Alloc.lbs.(i).Alloc.expr,
+       aexpr_str buf.Alloc.ubs.(i).Alloc.expr, aexpr_str sizes.(i)))
+      buf.Alloc.kept
+  in
+  let footprint =
+    match Zint.to_int_exn (Alloc.footprint buf param_env) with
+    | n -> Some n
+    | exception _ -> None
+  in
+  { b_name = buf.Alloc.local_name; b_dims = dims;
+    b_footprint_words = footprint;
+    b_move_in_nests = List.length b.move_in;
+    b_move_out_nests = List.length b.move_out }
+
+let explain ?(param_env = fun _ -> Zint.zero) plan =
+  let of_report ~copied ~buffer (part : Dataspaces.partition)
+      (r : Reuse.report) =
+    { v_array = part.Dataspaces.array;
+      v_members = List.length part.Dataspaces.members;
+      v_rank_reuse = r.Reuse.nonconstant;
+      v_overlap_fraction = r.Reuse.overlap_fraction;
+      v_delta = plan.delta;
+      v_beneficial = r.Reuse.beneficial;
+      v_copied = copied;
+      v_buffer = buffer }
+  in
+  List.map (fun b ->
+    of_report ~copied:true ~buffer:(Some (buffer_summary ~param_env b))
+      b.buffer.Alloc.partition b.report)
+    plan.buffered
+  @ List.map (fun (part, r) -> of_report ~copied:false ~buffer:None part r)
+      plan.skipped
+
+let opt_int = function Some n -> J.Int n | None -> J.Null
+let opt_float = function Some f -> J.Float f | None -> J.Null
+
+let verdict_json v =
+  J.Obj
+    [ ("array", J.Str v.v_array);
+      ("members", J.Int v.v_members);
+      ( "algorithm1",
+        J.Obj
+          [ ("rank_reuse", J.Bool v.v_rank_reuse);
+            ("overlap_fraction", opt_float v.v_overlap_fraction);
+            ("delta", J.Float v.v_delta);
+            ("beneficial", J.Bool v.v_beneficial) ] );
+      ("copied", J.Bool v.v_copied);
+      ( "buffer",
+        match v.v_buffer with
+        | None -> J.Null
+        | Some b ->
+          J.Obj
+            [ ("name", J.Str b.b_name);
+              ( "dims",
+                J.List
+                  (Array.to_list
+                     (Array.map (fun (k, lb, ub, size) ->
+                        J.Obj
+                          [ ("dim", J.Int k); ("lb", J.Str lb);
+                            ("ub", J.Str ub); ("size", J.Str size) ])
+                        b.b_dims)) );
+              ("footprint_words", opt_int b.b_footprint_words);
+              ("move_in_nests", J.Int b.b_move_in_nests);
+              ("move_out_nests", J.Int b.b_move_out_nests) ] ) ]
+
+let explain_json ?capacity_words ?param_env plan =
+  let verdicts = explain ?param_env plan in
+  let footprint =
+    List.fold_left (fun acc v ->
+      match acc, v.v_buffer with
+      | Some t, Some { b_footprint_words = Some f; _ } -> Some (t + f)
+      | _, None -> acc
+      | _ -> None)
+      (Some 0) verdicts
+  in
+  let fits =
+    match footprint, capacity_words with
+    | Some f, Some c -> J.Bool (f <= c)
+    | _ -> J.Null
+  in
+  J.Obj
+    [ ("arch", J.Str (match plan.arch with `Gpu -> "gpu" | `Cell -> "cell"));
+      ("delta", J.Float plan.delta);
+      ( "program",
+        J.Obj
+          [ ("statements", J.Int (List.length plan.prog.Prog.stmts));
+            ( "arrays",
+              J.List
+                (List.map (fun (d : Prog.array_decl) ->
+                   J.Str d.Prog.array_name)
+                   plan.prog.Prog.arrays) );
+            ( "params",
+              J.List
+                (Array.to_list
+                   (Array.map (fun s -> J.Str s) plan.prog.Prog.params)) ) ] );
+      ("partitions", J.List (List.map verdict_json verdicts));
+      ( "totals",
+        J.Obj
+          [ ("buffered", J.Int (List.length plan.buffered));
+            ("skipped", J.Int (List.length plan.skipped));
+            ("footprint_words", opt_int footprint);
+            ("capacity_words", opt_int capacity_words);
+            ("fits_scratchpad", fits) ] ) ]

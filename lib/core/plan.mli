@@ -19,6 +19,8 @@ type t = {
   buffered : buffered list;  (** partitions copied to scratchpad *)
   skipped : (Dataspaces.partition * Reuse.report) list;
       (** partitions left in global memory (GPU mode only) *)
+  delta : float;  (** Algorithm 1 threshold the plan was built with *)
+  arch : [ `Gpu | `Cell ];
 }
 
 val plan_block :
@@ -50,3 +52,48 @@ val total_footprint : t -> (string -> Zint.t) -> Zint.t
     valuation (the ∑ M_i of Section 4.3). *)
 
 val pp : Format.formatter -> t -> unit
+
+(** {2 Explain report}
+
+    Machine-readable record of why each partition was (or was not)
+    staged into scratchpad: the Algorithm 1 verdict with its rank-test
+    and overlap-fraction evidence, and the chosen buffer extents.
+    Serialized with {!Emsc_obs.Json}; surfaced by
+    [emsc analyze --json]. *)
+
+type buffer_summary = {
+  b_name : string;
+  b_dims : (int * string * string * string) array;
+      (** (original array dim, lb, ub, size) as printed expressions
+          over the program parameters *)
+  b_footprint_words : int option;
+      (** under the valuation given to {!explain}; [None] when a bound
+          stays symbolic *)
+  b_move_in_nests : int;
+  b_move_out_nests : int;
+}
+
+type verdict = {
+  v_array : string;
+  v_members : int;  (** data spaces in the partition *)
+  v_rank_reuse : bool;
+      (** Algorithm 1 criterion (a): some reference's access function
+          restricted to the iterators has rank < iteration depth *)
+  v_overlap_fraction : float option;
+      (** criterion (b) evidence, compared against delta *)
+  v_delta : float;
+  v_beneficial : bool;
+  v_copied : bool;  (** differs from beneficial only under [`Cell] *)
+  v_buffer : buffer_summary option;
+}
+
+val explain : ?param_env:(string -> Zint.t) -> t -> verdict list
+(** One verdict per partition, buffered partitions first.
+    [param_env] (default: everything 0) evaluates buffer footprints. *)
+
+val verdict_json : verdict -> Emsc_obs.Json.t
+
+val explain_json :
+  ?capacity_words:int -> ?param_env:(string -> Zint.t) -> t -> Emsc_obs.Json.t
+(** Full plan report: program summary, per-partition verdicts, and
+    footprint totals (compared against [capacity_words] when given). *)

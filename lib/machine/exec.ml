@@ -43,6 +43,16 @@ let scale_counters c k =
 let total_global c = c.g_ld +. c.g_st
 let total_smem c = c.s_ld +. c.s_st
 
+let counters_json c =
+  Emsc_obs.Json.Obj
+    [ ("flops", Emsc_obs.Json.Float c.flops);
+      ("global_loads", Emsc_obs.Json.Float c.g_ld);
+      ("global_stores", Emsc_obs.Json.Float c.g_st);
+      ("smem_loads", Emsc_obs.Json.Float c.s_ld);
+      ("smem_stores", Emsc_obs.Json.Float c.s_st);
+      ("syncs", Emsc_obs.Json.Float c.syncs);
+      ("fences", Emsc_obs.Json.Float c.fences) ]
+
 type launch = {
   grid : float;
   per_block : counters;
@@ -250,11 +260,18 @@ and exec_loop ctx (l : Ast.loop) =
   let starts_launch = l.Ast.par = Ast.Block && not ctx.in_launch in
   if starts_launch then begin
     let grid = grid_size ctx l in
+    Emsc_obs.Trace.span "exec.launch"
+      ~args:[ ("grid", Emsc_obs.Json.Float grid) ]
+    @@ fun () ->
     let before = copy_counters ctx.c in
     ctx.in_launch <- true;
     exec_loop_body ctx l;
     ctx.in_launch <- false;
     let delta = sub_counters ctx.c before in
+    Emsc_obs.Trace.count "launch.flops" delta.flops;
+    Emsc_obs.Trace.count "launch.global" (total_global delta);
+    Emsc_obs.Trace.count "launch.smem" (total_smem delta);
+    Emsc_obs.Trace.count "launch.syncs" delta.syncs;
     if grid > 0.0 then
       ctx.launches <-
         { grid; per_block = scale_counters delta (1.0 /. grid); repeat = 1.0 }

@@ -33,6 +33,8 @@ val fresh : unit -> counters
 val total_global : counters -> float
 val total_smem : counters -> float
 
+val counters_json : counters -> Emsc_obs.Json.t
+
 type launch = {
   grid : float;           (** number of thread blocks *)
   per_block : counters;   (** average per-block work *)

@@ -21,7 +21,22 @@ let occupancy (g : Config.gpu) ~smem_bytes_per_block =
       (min g.Config.max_blocks_per_mimd
          (g.Config.smem_bytes / smem_bytes_per_block))
 
-let gpu_launch_cycles (g : Config.gpu) (p : gpu_params) (l : Exec.launch) =
+type breakdown = {
+  occ : int;
+  blocks_per_mp : float;
+  warps_in_flight : float;
+  pipeline_eff : float;
+  t_comp : float;
+  t_bw : float;
+  t_lat : float;
+  t_sync : float;
+  t_fence : float;
+  t_block : float;
+  global_sync_cycles : float;
+  launch_cycles : float;
+}
+
+let gpu_launch_breakdown (g : Config.gpu) (p : gpu_params) (l : Exec.launch) =
   let cb = occupancy g ~smem_bytes_per_block:p.smem_bytes_per_block in
   (* blocks each multiprocessor executes over the launch; concurrent
      blocks (cb) time-share the MP's lanes, so they affect latency
@@ -54,26 +69,32 @@ let gpu_launch_cycles (g : Config.gpu) (p : gpu_params) (l : Exec.launch) =
   let t_lat =
     gw /. float_of_int p.threads *. g.Config.global_latency /. warps_in_flight
   in
-  let t_block =
-    Float.max t_comp (Float.max t_bw t_lat)
-    +. (c.Exec.syncs *. g.Config.sync_cycles)
-    (* each movement phase drains the DRAM pipeline at its barrier —
-       unless the kernel double-buffers, overlapping copies with the
-       previous sub-tile's compute (the classic scratchpad extension;
-       costs twice the buffer space, which the caller reflects in
-       smem_bytes_per_block) *)
-    +. (if p.double_buffer then 0.0
-        else c.Exec.fences *. g.Config.global_latency)
+  let t_sync = c.Exec.syncs *. g.Config.sync_cycles in
+  (* each movement phase drains the DRAM pipeline at its barrier —
+     unless the kernel double-buffers, overlapping copies with the
+     previous sub-tile's compute (the classic scratchpad extension;
+     costs twice the buffer space, which the caller reflects in
+     smem_bytes_per_block) *)
+  let t_fence =
+    if p.double_buffer then 0.0
+    else c.Exec.fences *. g.Config.global_latency
   in
-  let sync_cost =
+  let t_block = Float.max t_comp (Float.max t_bw t_lat) +. t_sync +. t_fence in
+  let global_sync_cycles =
     if p.global_sync then
       g.Config.global_sync_base
       +. (g.Config.global_sync_per_block *. l.Exec.grid)
     else 0.0
   in
-  (g.Config.launch_overhead_cycles +. sync_cost
-   +. (blocks_per_mp *. t_block))
-  *. l.Exec.repeat
+  let launch_cycles =
+    (g.Config.launch_overhead_cycles +. global_sync_cycles
+     +. (blocks_per_mp *. t_block))
+    *. l.Exec.repeat
+  in
+  { occ = cb; blocks_per_mp; warps_in_flight; pipeline_eff; t_comp; t_bw;
+    t_lat; t_sync; t_fence; t_block; global_sync_cycles; launch_cycles }
+
+let gpu_launch_cycles g p l = (gpu_launch_breakdown g p l).launch_cycles
 
 let gpu_total_ms g p (r : Exec.result) =
   let cycles =
@@ -92,3 +113,49 @@ let cpu_total_ms (c : Config.cpu) ~flops ~l1_hits ~l2_hits ~mem_accesses =
     +. (mem_accesses *. c.Config.mem_cycles)
   in
   Config.cpu_ms c cycles
+
+(* --- machine-readable profiles ----------------------------------------- *)
+
+module J = Emsc_obs.Json
+
+let breakdown_json b =
+  J.Obj
+    [ ("occupancy", J.Int b.occ);
+      ("blocks_per_mp", J.Float b.blocks_per_mp);
+      ("warps_in_flight", J.Float b.warps_in_flight);
+      ("pipeline_eff", J.Float b.pipeline_eff);
+      ("t_comp", J.Float b.t_comp);
+      ("t_bw", J.Float b.t_bw);
+      ("t_lat", J.Float b.t_lat);
+      ("t_sync", J.Float b.t_sync);
+      ("t_fence", J.Float b.t_fence);
+      ("t_block", J.Float b.t_block);
+      ("global_sync_cycles", J.Float b.global_sync_cycles);
+      ("launch_cycles", J.Float b.launch_cycles) ]
+
+let launch_json g p (l : Exec.launch) =
+  J.Obj
+    [ ("grid", J.Float l.Exec.grid);
+      ("repeat", J.Float l.Exec.repeat);
+      ("per_block", Exec.counters_json l.Exec.per_block);
+      ("breakdown", breakdown_json (gpu_launch_breakdown g p l)) ]
+
+let params_json p =
+  J.Obj
+    [ ("threads", J.Int p.threads);
+      ("smem_bytes_per_block", J.Int p.smem_bytes_per_block);
+      ("coalesce_eff", J.Float p.coalesce_eff);
+      ("global_sync", J.Bool p.global_sync);
+      ("double_buffer", J.Bool p.double_buffer) ]
+
+let profile_json g p (r : Exec.result) =
+  let cycles =
+    List.fold_left (fun acc l -> acc +. gpu_launch_cycles g p l) 0.0
+      r.Exec.launches
+  in
+  J.Obj
+    [ ("params", params_json p);
+      ("launches", J.List (List.map (launch_json g p) r.Exec.launches));
+      ("totals", Exec.counters_json r.Exec.totals);
+      ("total_cycles", J.Float cycles);
+      ("total_ms", J.Float (Config.gpu_ms g cycles)) ]

@@ -28,9 +28,40 @@ val default_params : gpu_params
 val occupancy : Config.gpu -> smem_bytes_per_block:int -> int
 (** Concurrent blocks per multiprocessor. *)
 
+type breakdown = {
+  occ : int;                 (** concurrent blocks per multiprocessor *)
+  blocks_per_mp : float;     (** block waves each MP executes *)
+  warps_in_flight : float;
+  pipeline_eff : float;
+  t_comp : float;            (** compute/smem throughput cycles per block *)
+  t_bw : float;              (** DRAM bandwidth cycles per block *)
+  t_lat : float;             (** exposed global-latency cycles per block *)
+  t_sync : float;            (** intra-block barrier cycles *)
+  t_fence : float;           (** movement-phase DRAM drain cycles *)
+  t_block : float;           (** max(comp,bw,lat) + sync + fence *)
+  global_sync_cycles : float;
+  launch_cycles : float;     (** total, incl. overheads and repeats *)
+}
+(** Where a launch's time goes — the decomposition that determines
+    which resource (compute, bandwidth, latency, synchronization)
+    bounds the kernel. *)
+
+val gpu_launch_breakdown : Config.gpu -> gpu_params -> Exec.launch -> breakdown
 val gpu_launch_cycles : Config.gpu -> gpu_params -> Exec.launch -> float
+(** [= (gpu_launch_breakdown g p l).launch_cycles] *)
+
 val gpu_total_ms : Config.gpu -> gpu_params -> Exec.result -> float
 
 val cpu_total_ms :
   Config.cpu -> flops:float -> l1_hits:float -> l2_hits:float ->
   mem_accesses:float -> float
+
+(** {2 Machine-readable profiles} *)
+
+val breakdown_json : breakdown -> Emsc_obs.Json.t
+val launch_json : Config.gpu -> gpu_params -> Exec.launch -> Emsc_obs.Json.t
+val params_json : gpu_params -> Emsc_obs.Json.t
+
+val profile_json : Config.gpu -> gpu_params -> Exec.result -> Emsc_obs.Json.t
+(** Per-launch counters and timing breakdowns plus run totals; the
+    payload of [emsc profile]. *)

@@ -1,0 +1,39 @@
+(** Minimal JSON values: construction, printing, parsing.
+
+    The container has no JSON library, so the observability layer
+    carries its own.  The printer emits strictly conforming JSON
+    (RFC 8259): strings are escaped, non-finite floats become [null].
+    The parser accepts anything the printer emits (and ordinary JSON in
+    general) so serialized reports can be round-tripped in tests. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Compact by default; [~pretty:true] indents with two spaces. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty form, for human consumption. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; [Error msg] carries the character
+    offset of the failure.  Numbers with a fraction or exponent parse
+    as [Float], others as [Int]. *)
+
+val equal : t -> t -> bool
+(** Structural equality; [Int n] and [Float f] are distinct even when
+    numerically equal. *)
+
+(** {2 Accessors (for tests and report consumers)} *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] on missing field or non-object. *)
+
+val to_list : t -> t list
+(** Elements of a [List]; [[]] on anything else. *)

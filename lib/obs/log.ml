@@ -1,0 +1,55 @@
+type level = Debug | Info | Warn | Error
+
+let level_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let severity = function Debug -> 0 | Info -> 1 | Warn -> 2 | Error -> 3
+
+type sink = level -> string -> (string * Json.t) list -> unit
+
+let sink : sink option ref = ref None
+let threshold = ref Info
+
+let set_sink s = sink := s
+let set_level l = threshold := l
+
+let formatter_sink fmt : sink =
+ fun level msg fields ->
+  Format.fprintf fmt "%-5s %s" (String.uppercase_ascii (level_name level)) msg;
+  List.iter (fun (k, v) -> Format.fprintf fmt "  %s=%s" k (Json.to_string v))
+    fields;
+  Format.pp_print_newline fmt ()
+
+let ndjson_sink oc : sink =
+ fun level msg fields ->
+  let record =
+    Json.Obj
+      (("level", Json.Str (level_name level))
+       :: ("msg", Json.Str msg)
+       :: fields)
+  in
+  output_string oc (Json.to_string record);
+  output_char oc '\n'
+
+let active level =
+  match !sink with
+  | None -> None
+  | Some s -> if severity level >= severity !threshold then Some s else None
+
+let msg level ?(fields = []) text =
+  match active level with
+  | None -> ()
+  | Some s -> s level text fields
+
+let debug ?fields text = msg Debug ?fields text
+let info ?fields text = msg Info ?fields text
+let warn ?fields text = msg Warn ?fields text
+let error ?fields text = msg Error ?fields text
+
+let logf level ?(fields = []) fmt =
+  match active level with
+  | None -> Printf.ikfprintf (fun () -> ()) () fmt
+  | Some s -> Printf.ksprintf (fun text -> s level text fields) fmt

@@ -1,0 +1,39 @@
+(** Leveled structured logging with pluggable sinks.
+
+    A log record is a level, a message, and optional structured fields.
+    The default sink is a no-op, so instrumented code costs one boolean
+    test per call site when logging is off.  Sinks are plain functions;
+    two canonical ones are provided: a human-readable formatter sink
+    and an NDJSON sink (one JSON object per line, machine-readable). *)
+
+type level = Debug | Info | Warn | Error
+
+val level_name : level -> string
+
+type sink = level -> string -> (string * Json.t) list -> unit
+
+val set_sink : sink option -> unit
+(** [None] (the default) disables logging entirely. *)
+
+val set_level : level -> unit
+(** Records below this level are dropped before reaching the sink.
+    Default [Info]. *)
+
+val formatter_sink : Format.formatter -> sink
+(** [LEVEL message  k=v ...] lines. *)
+
+val ndjson_sink : out_channel -> sink
+(** [{"level":...,"msg":...,...fields}] lines. *)
+
+val msg : level -> ?fields:(string * Json.t) list -> string -> unit
+
+val debug : ?fields:(string * Json.t) list -> string -> unit
+val info : ?fields:(string * Json.t) list -> string -> unit
+val warn : ?fields:(string * Json.t) list -> string -> unit
+val error : ?fields:(string * Json.t) list -> string -> unit
+
+val logf :
+  level -> ?fields:(string * Json.t) list ->
+  ('a, unit, string, unit) format4 -> 'a
+(** Printf-style; the message is only built when a sink is installed
+    and the level passes. *)

@@ -1,0 +1,178 @@
+type node = {
+  name : string;
+  args : (string * Json.t) list;
+  start_s : float;
+  dur_s : float;
+  counters : (string * float) list;
+  children : node list;
+}
+
+(* an open span under construction; children/counters accumulate in
+   reverse *)
+type frame = {
+  f_name : string;
+  f_args : (string * Json.t) list;
+  f_start : float;
+  mutable f_counters : (string, float) Hashtbl.t;
+  mutable f_children : node list;
+}
+
+let enabled_flag = ref false
+let enabled () = !enabled_flag
+let enable () = enabled_flag := true
+let disable () = enabled_flag := false
+
+let default_clock = Unix.gettimeofday
+let clock = ref default_clock
+let set_clock c = clock := c
+let use_default_clock () = clock := default_clock
+
+(* innermost frame last *)
+let stack : frame list ref = ref []
+let completed : node list ref = ref []  (* reverse start order *)
+let root_counters : (string, float) Hashtbl.t = Hashtbl.create 16
+
+let reset () =
+  stack := [];
+  completed := [];
+  Hashtbl.reset root_counters
+
+let fresh_frame ?(args = []) name =
+  { f_name = name; f_args = args; f_start = !clock ();
+    f_counters = Hashtbl.create 4; f_children = [] }
+
+let close_frame ?error f =
+  let counters =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) f.f_counters []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let args =
+    match error with
+    | Some msg -> f.f_args @ [ ("error", Json.Str msg) ]
+    | None -> f.f_args
+  in
+  { name = f.f_name; args; start_s = f.f_start;
+    dur_s = !clock () -. f.f_start; counters;
+    children = List.rev f.f_children }
+
+let attach node =
+  match !stack with
+  | parent :: _ -> parent.f_children <- node :: parent.f_children
+  | [] -> completed := node :: !completed
+
+let span ?args name f =
+  if not !enabled_flag then f ()
+  else begin
+    let frame = fresh_frame ?args name in
+    stack := frame :: !stack;
+    let pop ?error () =
+      (match !stack with
+       | top :: rest when top == frame ->
+         stack := rest;
+         attach (close_frame ?error frame)
+       | _ ->
+         (* unbalanced (an inner span escaped via an exception we did
+            not see); drop everything down to our frame *)
+         let rec unwind = function
+           | top :: rest when top == frame ->
+             stack := rest;
+             attach (close_frame ?error frame)
+           | _ :: rest -> unwind rest
+           | [] -> stack := []
+         in
+         unwind !stack)
+    in
+    match f () with
+    | r -> pop (); r
+    | exception e ->
+      pop ~error:(Printexc.to_string e) ();
+      raise e
+  end
+
+let bump tbl name v =
+  let cur = try Hashtbl.find tbl name with Not_found -> 0.0 in
+  Hashtbl.replace tbl name (cur +. v)
+
+let count name v =
+  if !enabled_flag then
+    match !stack with
+    | top :: _ -> bump top.f_counters name v
+    | [] -> bump root_counters name v
+
+let roots () = List.rev !completed
+
+(* --- rendering --------------------------------------------------------- *)
+
+let pp_tree fmt () =
+  let rec go indent n =
+    Format.fprintf fmt "%s%-*s %8.3f ms" indent
+      (max 1 (40 - String.length indent))
+      n.name (n.dur_s *. 1e3);
+    List.iter (fun (k, v) -> Format.fprintf fmt "  %s=%.0f" k v) n.counters;
+    Format.pp_print_newline fmt ();
+    List.iter (go (indent ^ "  ")) n.children
+  in
+  List.iter (go "") (roots ());
+  let rc =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) root_counters []
+    |> List.sort compare
+  in
+  if rc <> [] then begin
+    Format.fprintf fmt "(outside any span)";
+    List.iter (fun (k, v) -> Format.fprintf fmt "  %s=%.0f" k v) rc;
+    Format.pp_print_newline fmt ()
+  end
+
+let chrome_json () =
+  let events = ref [] in
+  let rec emit n =
+    let args =
+      n.args @ List.map (fun (k, v) -> (k, Json.Float v)) n.counters
+    in
+    let ev =
+      Json.Obj
+        ([ ("name", Json.Str n.name);
+           ("cat", Json.Str "emsc");
+           ("ph", Json.Str "X");
+           ("ts", Json.Float (n.start_s *. 1e6));
+           ("dur", Json.Float (n.dur_s *. 1e6));
+           ("pid", Json.Int 1);
+           ("tid", Json.Int 1) ]
+         @ (if args = [] then [] else [ ("args", Json.Obj args) ]))
+    in
+    events := ev :: !events;
+    List.iter emit n.children
+  in
+  List.iter emit (roots ());
+  Json.Obj
+    [ ("traceEvents", Json.List (List.rev !events));
+      ("displayTimeUnit", Json.Str "ms") ]
+
+let write_chrome path =
+  let oc = open_out path in
+  output_string oc (Json.to_string (chrome_json ()));
+  output_char oc '\n';
+  close_out oc
+
+let aggregate () =
+  let tbl : (string, int * float) Hashtbl.t = Hashtbl.create 32 in
+  let rec go n =
+    let calls, total =
+      try Hashtbl.find tbl n.name with Not_found -> (0, 0.0)
+    in
+    Hashtbl.replace tbl n.name (calls + 1, total +. n.dur_s);
+    List.iter go n.children
+  in
+  List.iter go (roots ());
+  Hashtbl.fold (fun name (calls, total) acc -> (name, calls, total) :: acc)
+    tbl []
+  |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+
+let aggregate_json () =
+  Json.List
+    (List.map (fun (name, calls, total_s) ->
+       Json.Obj
+         [ ("name", Json.Str name);
+           ("calls", Json.Int calls);
+           ("total_ms", Json.Float (total_s *. 1e3)) ])
+       (aggregate ()))

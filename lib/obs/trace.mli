@@ -1,0 +1,65 @@
+(** Hierarchical tracing spans with wall-clock timing and counters.
+
+    Disabled by default: every entry point first tests one boolean, so
+    instrumented code paths cost nothing measurable when tracing is
+    off.  When enabled, {!span} builds a tree of timed spans which can
+    be rendered as a human-readable tree ({!pp_tree}), exported as
+    Chrome [trace_event] JSON ({!chrome_json}, loadable in
+    [chrome://tracing] or Perfetto), or summarized per span name
+    ({!aggregate}).
+
+    Counters bumped with {!count} accumulate on the innermost open
+    span (or on an implicit root when no span is open) and appear in
+    the [args] of the exported events.  Single-threaded by design, like
+    the rest of the compiler. *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Drop all recorded spans and counters (open spans included). *)
+
+val set_clock : (unit -> float) -> unit
+(** Replace the wall clock (seconds).  For deterministic tests. *)
+
+val use_default_clock : unit -> unit
+
+val span : ?args:(string * Json.t) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] inside a span.  The span closes when [f]
+    returns or raises (the exception is re-raised; the span is marked
+    ["error"]).  When tracing is disabled this is exactly [f ()]. *)
+
+val count : string -> float -> unit
+(** Add to a named counter on the innermost open span. *)
+
+(** {2 Inspection and export} *)
+
+type node = {
+  name : string;
+  args : (string * Json.t) list;
+  start_s : float;          (** seconds, from the clock *)
+  dur_s : float;
+  counters : (string * float) list;  (** sorted by name *)
+  children : node list;     (** in start order *)
+}
+
+val roots : unit -> node list
+(** Completed top-level spans, in start order.  Open spans are not
+    included. *)
+
+val pp_tree : Format.formatter -> unit -> unit
+
+val chrome_json : unit -> Json.t
+(** [{"traceEvents": [...], "displayTimeUnit": "ms"}] with one
+    complete ("ph":"X") event per span; timestamps and durations in
+    microseconds, counters and args merged into the event's [args]. *)
+
+val write_chrome : string -> unit
+(** Write {!chrome_json} to a file. *)
+
+val aggregate : unit -> (string * int * float) list
+(** Per span name over the whole tree: (name, call count, total
+    seconds), sorted by descending total. *)
+
+val aggregate_json : unit -> Json.t

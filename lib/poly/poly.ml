@@ -112,6 +112,7 @@ let is_trivially_empty p =
     p.ineqs
 
 let is_empty p =
+  Emsc_obs.Trace.count "poly.is_empty" 1.0;
   is_trivially_empty p
   || Simplex.feasible_point ~dim:p.dim ~eqs:p.eqs ~ineqs:p.ineqs = None
 
@@ -149,6 +150,7 @@ let substitute_eq e j row =
 
 let eliminate_dim p j =
   if j < 0 || j >= p.dim then invalid_arg "Poly.eliminate_dim";
+  Emsc_obs.Trace.count "poly.eliminate_dim" 1.0;
   if is_trivially_empty p then bottom (p.dim - 1)
   else begin
     let drop row = Vec.remove row j in
@@ -202,6 +204,7 @@ let insert_dims p ~pos ~count =
 let image p f =
   let n = p.dim and m = Mat.rows f in
   if Mat.cols f <> n + 1 then invalid_arg "Poly.image: map width";
+  Emsc_obs.Trace.count "poly.image" 1.0;
   (* build over (x, y) then eliminate x *)
   let ext = insert_dims p ~pos:n ~count:m in
   let eq_rows =
@@ -327,6 +330,7 @@ let is_subset p q =
 let equal_set p q = is_subset p q && is_subset q p
 
 let remove_redundant p =
+  Emsc_obs.Trace.count "poly.remove_redundant" 1.0;
   if is_empty p then bottom p.dim
   else begin
     (* implicit equalities first *)

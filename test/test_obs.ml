@@ -1,0 +1,231 @@
+(* Observability layer: JSON round-trips, span trees, metric records,
+   and the plan-explain report on a real kernel. *)
+
+open Emsc_obs
+open Emsc_core
+open Emsc_machine
+open Emsc_kernels
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let checks = Alcotest.check Alcotest.string
+
+(* ------------------------------------------------------------------ *)
+(* Json: printing, parsing, round-trips                                *)
+(* ------------------------------------------------------------------ *)
+
+let golden = Alcotest.testable (Fmt.of_to_string Json.to_string) Json.equal
+
+let parse_exn s =
+  match Json.of_string s with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "parse %S: %s" s e
+
+let test_json_print () =
+  checks "obj"
+    {|{"a":1,"b":[true,null,"x\n"],"c":-2.5}|}
+    (Json.to_string
+       (Json.Obj
+          [ ("a", Json.Int 1);
+            ("b", Json.List [ Json.Bool true; Json.Null; Json.Str "x\n" ]);
+            ("c", Json.Float (-2.5)) ]));
+  (* non-finite floats must not produce invalid JSON *)
+  checks "nan" "null" (Json.to_string (Json.Float Float.nan));
+  checks "inf" "null" (Json.to_string (Json.Float Float.infinity))
+
+let test_json_roundtrip () =
+  let samples =
+    [ Json.Null; Json.Bool false; Json.Int (-42); Json.Int max_int;
+      Json.Float 0.3; Json.Float 1e-9; Json.Float 123456.75;
+      Json.Str "plain"; Json.Str "esc \" \\ \n \t \x01";
+      Json.List [ Json.Int 1; Json.List []; Json.Obj [] ];
+      Json.Obj [ ("k", Json.Str "v"); ("nested", Json.Obj [ ("x", Json.Int 0) ]) ]
+    ]
+  in
+  List.iter (fun j ->
+    check golden "compact" j (parse_exn (Json.to_string j));
+    check golden "pretty" j (parse_exn (Json.to_string ~pretty:true j)))
+    samples
+
+let test_json_parse () =
+  check golden "ws" (Json.Obj [ ("a", Json.List [ Json.Int 1; Json.Int 2 ]) ])
+    (parse_exn " { \"a\" : [ 1 , 2 ] } ");
+  check golden "exp-is-float" (Json.Float 1500.0) (parse_exn "1.5e3");
+  check golden "unicode-escape" (Json.Str "A\xc3\xa9") (parse_exn {|"Aé"|});
+  List.iter (fun bad ->
+    match Json.of_string bad with
+    | Ok _ -> Alcotest.failf "expected parse failure on %S" bad
+    | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ]
+
+(* ------------------------------------------------------------------ *)
+(* Trace: span nesting, timing, export                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* deterministic clock: each reading advances by one second *)
+let with_fake_clock f =
+  let t = ref 0.0 in
+  Trace.set_clock (fun () -> t := !t +. 1.0; !t);
+  Trace.reset ();
+  Trace.enable ();
+  Fun.protect f ~finally:(fun () ->
+    Trace.disable ();
+    Trace.reset ();
+    Trace.use_default_clock ())
+
+let build_tree () =
+  Trace.span "outer" (fun () ->
+    Trace.count "items" 2.0;
+    Trace.span "inner" (fun () -> Trace.count "items" 1.0);
+    Trace.span "inner" (fun () -> ()))
+
+let test_span_nesting () =
+  with_fake_clock (fun () ->
+    build_tree ();
+    match Trace.roots () with
+    | [ outer ] ->
+      checks "outer name" "outer" outer.Trace.name;
+      Alcotest.(check int) "children" 2 (List.length outer.Trace.children);
+      List.iter (fun (c : Trace.node) ->
+        checks "child name" "inner" c.Trace.name;
+        checkb "child within parent" true
+          (c.Trace.start_s >= outer.Trace.start_s
+           && c.Trace.start_s +. c.Trace.dur_s
+              <= outer.Trace.start_s +. outer.Trace.dur_s))
+        outer.Trace.children;
+      (* children in start order, non-overlapping under the fake clock *)
+      (match outer.Trace.children with
+       | [ a; b ] ->
+         checkb "monotonic starts" true
+           (a.Trace.start_s +. a.Trace.dur_s <= b.Trace.start_s)
+       | _ -> assert false);
+      (* counters land on the innermost open span, no roll-up *)
+      check (Alcotest.list (Alcotest.pair Alcotest.string (Alcotest.float 0.0)))
+        "outer counters" [ ("items", 2.0) ] outer.Trace.counters;
+      check (Alcotest.list (Alcotest.pair Alcotest.string (Alcotest.float 0.0)))
+        "inner counters" [ ("items", 1.0) ]
+        (List.hd outer.Trace.children).Trace.counters
+    | roots -> Alcotest.failf "expected 1 root, got %d" (List.length roots))
+
+let test_span_disabled_and_errors () =
+  Trace.reset ();
+  Trace.disable ();
+  check Alcotest.int "disabled passthrough" 7 (Trace.span "x" (fun () -> 7));
+  Trace.count "noop" 1.0;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Trace.roots ()));
+  with_fake_clock (fun () ->
+    (try Trace.span "boom" (fun () -> failwith "bang") with Failure _ -> ());
+    match Trace.roots () with
+    | [ n ] ->
+      checkb "error marked" true (List.mem_assoc "error" n.Trace.args)
+    | _ -> Alcotest.fail "raising span must still be recorded")
+
+let test_chrome_json () =
+  with_fake_clock (fun () ->
+    build_tree ();
+    let j = parse_exn (Json.to_string (Trace.chrome_json ())) in
+    let events =
+      match Json.member "traceEvents" j with
+      | Some e -> Json.to_list e
+      | None -> Alcotest.fail "no traceEvents"
+    in
+    Alcotest.(check int) "event count" 3 (List.length events);
+    List.iter (fun ev ->
+      checkb "complete event" true
+        (Json.member "ph" ev = Some (Json.Str "X"));
+      List.iter (fun f ->
+        checkb (f ^ " present") true (Json.member f ev <> None))
+        [ "name"; "ts"; "dur"; "pid"; "tid" ])
+      events;
+    (* aggregate sees both spans *)
+    match Trace.aggregate () with
+    | (n1, c1, _) :: _ ->
+      let inner = List.find (fun (n, _, _) -> n = "inner") (Trace.aggregate ()) in
+      let _, inner_calls, _ = inner in
+      Alcotest.(check int) "inner calls" 2 inner_calls;
+      ignore n1; ignore c1
+    | [] -> Alcotest.fail "empty aggregate")
+
+(* ------------------------------------------------------------------ *)
+(* Metric records                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_counters_json () =
+  let c = Exec.fresh () in
+  c.Exec.flops <- 10.0;
+  c.Exec.g_ld <- 4.0;
+  let expected =
+    Json.Obj
+      [ ("flops", Json.Float 10.0); ("global_loads", Json.Float 4.0);
+        ("global_stores", Json.Float 0.0); ("smem_loads", Json.Float 0.0);
+        ("smem_stores", Json.Float 0.0); ("syncs", Json.Float 0.0);
+        ("fences", Json.Float 0.0) ]
+  in
+  check golden "counters" expected (Exec.counters_json c);
+  check golden "counters round-trip" expected
+    (parse_exn (Json.to_string (Exec.counters_json c)))
+
+(* ------------------------------------------------------------------ *)
+(* Plan explain on a real kernel                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_explain_matmul () =
+  let p = Matmul.program ~n:64 in
+  let plan = Plan.plan_block ~arch:`Gpu p in
+  let verdicts = Plan.explain plan in
+  checkb "has verdicts" true (verdicts <> []);
+  List.iter (fun (v : Plan.verdict) ->
+    checkb "delta recorded" true (v.Plan.v_delta > 0.0);
+    if v.Plan.v_copied then
+      checkb "copied has buffer" true (v.Plan.v_buffer <> None))
+    verdicts;
+  (* the full JSON report round-trips and carries the Algorithm 1
+     verdict fields for every partition *)
+  let j =
+    parse_exn
+      (Json.to_string (Plan.explain_json ~capacity_words:4096 plan))
+  in
+  let parts =
+    match Json.member "partitions" j with
+    | Some l -> Json.to_list l
+    | None -> Alcotest.fail "no partitions"
+  in
+  Alcotest.(check int) "one partition per verdict" (List.length verdicts)
+    (List.length parts);
+  List.iter (fun part ->
+    let a1 =
+      match Json.member "algorithm1" part with
+      | Some a -> a
+      | None -> Alcotest.fail "no algorithm1 verdict"
+    in
+    List.iter (fun f ->
+      checkb (f ^ " present") true (Json.member f a1 <> None))
+      [ "rank_reuse"; "overlap_fraction"; "delta"; "beneficial" ];
+    match Json.member "copied" part, Json.member "buffer" part with
+    | Some (Json.Bool true), Some (Json.Obj _ as b) ->
+      checkb "buffer dims" true (Json.member "dims" b <> None)
+    | Some (Json.Bool true), _ -> Alcotest.fail "copied without buffer"
+    | _ -> ())
+    parts;
+  match Json.member "totals" j with
+  | Some t ->
+    checkb "capacity echoed" true
+      (Json.member "capacity_words" t = Some (Json.Int 4096));
+    checkb "fits flag" true (Json.member "fits_scratchpad" t <> None)
+  | None -> Alcotest.fail "no totals"
+
+let () =
+  Alcotest.run "obs"
+    [ ( "json",
+        [ Alcotest.test_case "print" `Quick test_json_print;
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse" `Quick test_json_parse ] );
+      ( "trace",
+        [ Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "disabled+errors" `Quick
+            test_span_disabled_and_errors;
+          Alcotest.test_case "chrome-json" `Quick test_chrome_json ] );
+      ( "metrics",
+        [ Alcotest.test_case "counters-json" `Quick test_counters_json ] );
+      ( "explain",
+        [ Alcotest.test_case "matmul" `Quick test_explain_matmul ] ) ]
