@@ -5,6 +5,11 @@
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- fig4    -- one artifact
      dune exec bench/main.exe -- micro   -- compiler-pass microbenches
+     dune exec bench/main.exe -- batch   -- kernel-suite batch compile
+
+   Every compilation goes through the Emsc_driver pipeline with a
+   shared in-memory pass cache, so a tile configuration planned for
+   one figure is not re-planned for the next.
 
    Absolute milliseconds come from a first-order machine model (see
    DESIGN.md); the claims under test are the *shapes*: who wins, by
@@ -16,9 +21,8 @@ open Emsc_core
 open Emsc_transform
 open Emsc_machine
 open Emsc_kernels
+open Emsc_driver
 
-let no_params name = failwith ("bench: unexpected parameter " ^ name)
-let zero_env _ = Zint.zero
 let gpu = Config.gtx8800
 let cpu = Config.core2duo
 
@@ -29,6 +33,23 @@ let human n =
   else if n >= 1 lsl 20 then Printf.sprintf "%dM" (n lsr 20)
   else if n >= 1 lsl 10 then Printf.sprintf "%dk" (n lsr 10)
   else string_of_int n
+
+(* one pass cache for the whole harness: figures that revisit a
+   (kernel, tile) configuration reuse its dependences and plan *)
+let bench_cache = Emsc_driver.Cache.in_memory ()
+
+let compiled job =
+  match Pipeline.compile ~cache:bench_cache job with
+  | Ok c -> c
+  | Error e -> failwith ("bench: " ^ Frontend.error_message e)
+
+let compile_text ?(options = Options.default) name text =
+  compiled (Pipeline.job ~options (Source.Text { name; text }))
+
+let plan_of c =
+  match c.Pipeline.plan with
+  | Some plan -> plan
+  | None -> failwith "bench: compilation carries no plan"
 
 (* ------------------------------------------------------------------ *)
 (* Machine-readable run metrics: every figure records its data points  *)
@@ -94,12 +115,16 @@ let write_bench_json ~figure_ms =
         ("kernel_counters", J.Obj kernels);
         ( "figure_wall_ms",
           J.Obj (List.map (fun (n, ms) -> (n, J.Float ms)) figure_ms) );
+        ( "pass_cache",
+          Emsc_driver.Cache.stats_json bench_cache );
         ("pass_timings", Emsc_obs.Trace.aggregate_json ()) ]
   in
   let oc = open_out path in
-  output_string oc (J.to_string ~pretty:true j);
-  output_char oc '\n';
-  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (J.to_string ~pretty:true j);
+      output_char oc '\n');
   pf "wrote %s\n" path
 
 (* ------------------------------------------------------------------ *)
@@ -109,42 +134,20 @@ let write_bench_json ~figure_ms =
 let ws = 16
 let me_threads = 256
 
-(* 32 thread blocks as in the paper: an 8 x 4 block grid *)
-let me_spec ~ni ~nj (ti, tj, tk, tl) =
-  [| { Tile.block = Some ((ni + 7) / 8); mem = Some ti; thread = None };
-     { Tile.block = Some ((nj + 3) / 4); mem = Some tj; thread = None };
-     { Tile.block = None; mem = Some tk; thread = None };
-     { Tile.block = None; mem = Some tl; thread = None } |]
-
 type me_run = {
   me_ms : float;
   me_fp_bytes : int;
 }
 
 let run_me ~ni ~nj ~tiles ~smem =
-  let p = Me.program ~ni ~nj ~ws in
-  let spec = me_spec ~ni ~nj tiles in
-  let tp = Tile.tile_program p spec in
-  let ctx = Tile.origin_context p spec in
-  let plan = Plan.plan_block ~arch:`Gpu ~param_context:ctx tp in
-  let movement, local_ref, fp_words =
-    if smem then
-      ( List.map (fun (b : Plan.buffered) -> (b.Plan.move_in, b.Plan.move_out))
-          plan.Plan.buffered,
-        Some (Plan.local_ref plan),
-        Zint.to_int_exn (Plan.total_footprint plan zero_env) )
-    else ([], None, 0)
-  in
-  let ast = Tile.generate p spec ~movement in
-  let memory = Memory.create_phantom p ~param_env:no_params in
-  List.iter (fun (b : Plan.buffered) ->
-    Memory.declare_local memory b.Plan.buffer.Alloc.local_name)
-    plan.Plan.buffered;
-  let result =
-    Exec.run ~prog:tp ?local_ref ~param_env:no_params ~memory
-      ~mode:(Exec.Sampled 6) ast
-  in
+  let c = compiled (Me.job ~ni ~nj ~ws ~tiles ~stage_data:smem ()) in
+  let _, result = Runner.simulate c in
   note_counters "me" result.Exec.totals;
+  let fp_words =
+    if smem then
+      Zint.to_int_exn (Plan.total_footprint (plan_of c) Runner.zero_env)
+    else 0
+  in
   let params =
     { Timing.threads = me_threads;
       smem_bytes_per_block = fp_words * gpu.Config.word_bytes;
@@ -167,18 +170,16 @@ let me_cpu_ms_per_op =
       let p = Me.program ~ni ~nj ~ws in
       let spec = Array.make 4 Tile.no_tiling in
       let ast = Tile.generate p spec ~movement:[] in
-      let memory = Memory.create p ~param_env:no_params in
-      let h = Cache.Hierarchy.create cpu in
-      let on_global _ addr _ = ignore (Cache.Hierarchy.access h addr) in
-      let r =
-        Exec.run ~prog:p ~param_env:no_params ~memory ~mode:Exec.Full
-          ~on_global ast
+      let h = Emsc_machine.Cache.Hierarchy.create cpu in
+      let on_global _ addr _ =
+        ignore (Emsc_machine.Cache.Hierarchy.access h addr)
       in
+      let _, r = Runner.execute ~prog:p ~mode:Exec.Full ~on_global ast in
       let ms =
         Timing.cpu_total_ms cpu ~flops:r.Exec.totals.Exec.flops
-          ~l1_hits:(Cache.Hierarchy.l1_hits h)
-          ~l2_hits:(Cache.Hierarchy.l2_hits h)
-          ~mem_accesses:(Cache.Hierarchy.mem_accesses h)
+          ~l1_hits:(Emsc_machine.Cache.Hierarchy.l1_hits h)
+          ~l2_hits:(Emsc_machine.Cache.Hierarchy.l2_hits h)
+          ~mem_accesses:(Emsc_machine.Cache.Hierarchy.mem_accesses h)
       in
       ms /. float_of_int (ni * nj * ws * ws)
     end
@@ -233,28 +234,43 @@ let fig6 () =
     pf " %10dB%s\n" !fp
       (if !fp > gpu.Config.smem_bytes then "  <- exceeds 16KB" else ""))
     me_tile_candidates;
-  (* and what does the Section 4.3 search pick? *)
+  (* and what does the Section 4.3 search pick?  Run it as the
+     pipeline's tilesearch stage. *)
   let ni = 2048 and nj = 2048 in
-  let prog = Me.program ~ni ~nj ~ws in
-  let problem =
-    Tilesearch.pipeline_problem ~prog
-      ~spec_of:(fun t -> me_spec ~ni ~nj (t.(0), t.(1), t.(2), t.(3)))
-      ~ranges:[| (8, 64); (8, 64); (16, 16); (16, 16) |]
-      ~mem_limit_words:(gpu.Config.smem_bytes / gpu.Config.word_bytes)
-      ~threads:(float_of_int me_threads) ~sync_cost:40.0 ~transfer_cost:4.0 ()
+  let search =
+    { Options.search_block =
+        [| Some ((ni + 7) / 8); Some ((nj + 3) / 4); None; None |];
+      search_ranges = [| (8, 64); (8, 64); (16, 16); (16, 16) |];
+      search_mem_limit_words = gpu.Config.smem_bytes / gpu.Config.word_bytes;
+      search_threads = float_of_int me_threads;
+      search_sync_cost = 40.0;
+      search_transfer_cost = 4.0;
+      search_max_evals = 60;
+      search_snap_pow2 = true }
   in
-  (match Tilesearch.search ~max_evals:60 ~snap_pow2:true problem with
-   | Some c ->
+  let c =
+    compiled
+      (Pipeline.job
+         ~options:
+           { Options.default with
+             arch = `Gpu; find_band = false;
+             tiling = Options.Search search }
+         (Source.Program
+            { name = Printf.sprintf "me-%dx%d-search" ni nj;
+              prog = Me.program ~ni ~nj ~ws }))
+  in
+  (match c.Pipeline.searched with
+   | Some cand ->
      let tiles =
        String.concat ","
-         (Array.to_list (Array.map string_of_int c.Tilesearch.t))
+         (Array.to_list (Array.map string_of_int cand.Tilesearch.t))
      in
      record_note ~fig:"fig6" "search_pick"
        (J.Obj
           [ ("tiles", J.Str tiles);
-            ("footprint_words", J.Int c.Tilesearch.footprint) ]);
+            ("footprint_words", J.Int cand.Tilesearch.footprint) ]);
      pf "tile-size search picks (%s), footprint %d words\n" tiles
-       c.Tilesearch.footprint
+       cand.Tilesearch.footprint
    | None ->
      record_note ~fig:"fig6" "search_pick" J.Null;
      pf "tile-size search found nothing feasible\n");
@@ -270,11 +286,9 @@ let jac_threads = 64
 let run_jacobi ~n ~ts ~tt =
   let p = Jacobi1d.program ~n ~steps:jac_steps in
   let k = Stencil.overlapped_1d ~n ~steps:jac_steps ~ts ~tt p in
-  let memory = Memory.create_phantom p ~param_env:no_params in
-  List.iter (Memory.declare_local memory) k.Stencil.locals;
-  let result =
-    Exec.run ~prog:p ~local_ref:k.Stencil.local_ref ~param_env:no_params
-      ~memory ~mode:(Exec.Sampled 6) k.Stencil.ast
+  let _, result =
+    Runner.execute ~prog:p ~local_ref:k.Stencil.local_ref
+      ~locals:k.Stencil.locals ~memory:Runner.Phantom k.Stencil.ast
   in
   note_counters "jacobi1d" result.Exec.totals;
   let params =
@@ -288,10 +302,8 @@ let run_jacobi ~n ~ts ~tt =
 let run_jacobi_dram ~n ~ts =
   let p = Jacobi1d.program ~n ~steps:jac_steps in
   let k = Stencil.dram_1d ~n ~steps:jac_steps ~ts p in
-  let memory = Memory.create_phantom p ~param_env:no_params in
-  let result =
-    Exec.run ~prog:p ~param_env:no_params ~memory ~mode:(Exec.Sampled 6)
-      k.Stencil.ast
+  let _, result =
+    Runner.execute ~prog:p ~memory:Runner.Phantom k.Stencil.ast
   in
   note_counters "jacobi1d" result.Exec.totals;
   let params =
@@ -305,15 +317,16 @@ let jac_cpu_ms_per_cell =
     begin
       let n = 8192 and steps = 32 in
       let p = Jacobi1d.program ~n ~steps in
-      let memory = Memory.create p ~param_env:no_params in
-      let h = Cache.Hierarchy.create cpu in
-      let on_global _ addr _ = ignore (Cache.Hierarchy.access h addr) in
-      let c = Reference.run p ~param_env:no_params memory ~on_global () in
+      let h = Emsc_machine.Cache.Hierarchy.create cpu in
+      let on_global _ addr _ =
+        ignore (Emsc_machine.Cache.Hierarchy.access h addr)
+      in
+      let _, c = Runner.reference ~on_global p in
       let ms =
         Timing.cpu_total_ms cpu ~flops:c.Exec.flops
-          ~l1_hits:(Cache.Hierarchy.l1_hits h)
-          ~l2_hits:(Cache.Hierarchy.l2_hits h)
-          ~mem_accesses:(Cache.Hierarchy.mem_accesses h)
+          ~l1_hits:(Emsc_machine.Cache.Hierarchy.l1_hits h)
+          ~l2_hits:(Emsc_machine.Cache.Hierarchy.l2_hits h)
+          ~mem_accesses:(Emsc_machine.Cache.Hierarchy.mem_accesses h)
       in
       ms /. (float_of_int n *. float_of_int steps)
     end
@@ -380,7 +393,10 @@ let fig8 () =
     jac_tile_candidates;
   (* the Section 4.3 search over (tt, ts), scratchpad limited as in the
      paper's experiment (2^9 words per buffer -> 2^10 words here since
-     the ping-pong keeps two buffers; see EXPERIMENTS.md) *)
+     the ping-pong keeps two buffers; see EXPERIMENTS.md).  This one
+     cannot go through the pipeline's tilesearch stage: its objective
+     is simulated execution time of the overlapped stencil kernel, not
+     the movement-cost model. *)
   let limit_words = 1024 in
   let problem =
     { Tilesearch.ranges = [| (8, 128); (32, 512) |];
@@ -423,7 +439,6 @@ let ablations () =
     for (i = 0; i <= 63; i++) { C[i] = A[i] + 1; }
     |}
   in
-  let p = Emsc_lang.Parser.parse src in
   let copies plan =
     List.fold_left (fun acc (b : Plan.buffered) ->
       let count stms =
@@ -441,15 +456,22 @@ let ablations () =
       acc + count b.Plan.move_in)
       0 plan.Plan.buffered
   in
-  let naive = Plan.plan_block ~arch:`Cell p in
-  let opt = Plan.plan_block ~arch:`Cell ~optimize_movement:true p in
+  let cell_opts = { Options.default with arch = `Cell; find_band = false } in
+  let c_naive = compile_text ~options:cell_opts "producer-consumer" src in
+  let c_opt =
+    compile_text
+      ~options:{ cell_opts with optimize_movement = true }
+      "producer-consumer" src
+  in
+  let naive = plan_of c_naive and opt = plan_of c_opt in
   record_note ~fig:"ablations" "move_in_nests"
     (J.Obj [ ("naive", J.Int (copies naive)); ("optimized", J.Int (copies opt)) ]);
   pf "3.1.4 movement optimizer: move-in loop nests %d -> %d\n"
     (copies naive) (copies opt);
   (* the A partition needs nothing moved in when the producer is in
      the block; verify via the data sets *)
-  let deps = Deps.analyze p in
+  let p = c_naive.Pipeline.prog in
+  let deps = Option.get c_naive.Pipeline.deps in
   let part_a = List.hd (Dataspaces.partition_array p "A") in
   let buf = Alloc.build p part_a in
   let needed = Movement.optimized_move_in_data p deps buf in
@@ -465,10 +487,15 @@ let ablations () =
        { Tile.block = Some 16; mem = None; thread = None };
        { Tile.block = None; mem = Some 8; thread = None } |]
   in
-  let tp = Tile.tile_program mm spec in
-  let plan =
-    Plan.plan_block ~arch:`Cell ~param_context:(Tile.origin_context mm spec) tp
+  let c_mm =
+    compiled
+      (Pipeline.job
+         ~options:
+           { Options.default with
+             arch = `Cell; find_band = false; tiling = Options.Spec spec }
+         (Source.Program { name = "matmul-n64-hoist"; prog = mm }))
   in
+  let plan = plan_of c_mm in
   let naive_occ = 8.0 (* innermost placement: once per kM sub-tile *) in
   List.iter (fun (bf : Plan.buffered) ->
     let occ =
@@ -481,27 +508,11 @@ let ablations () =
   (* 3. double-buffered staging (overlap movement with compute) *)
   let run_me_db ~double =
     let ni = 2048 and nj = 2048 in
-    let p = Me.program ~ni ~nj ~ws in
-    let sp = me_spec ~ni ~nj (32, 16, 16, 16) in
-    let tp = Tile.tile_program p sp in
-    let plan =
-      Plan.plan_block ~arch:`Gpu ~param_context:(Tile.origin_context p sp) tp
-    in
-    let movement =
-      List.map (fun (b : Plan.buffered) -> (b.Plan.move_in, b.Plan.move_out))
-        plan.Plan.buffered
-    in
-    let ast = Tile.generate p sp ~movement in
-    let memory = Memory.create_phantom p ~param_env:no_params in
-    List.iter (fun (b : Plan.buffered) ->
-      Memory.declare_local memory b.Plan.buffer.Alloc.local_name)
-      plan.Plan.buffered;
-    let r =
-      Exec.run ~prog:tp ~local_ref:(Plan.local_ref plan)
-        ~param_env:no_params ~memory ~mode:(Exec.Sampled 6) ast
-    in
+    let c = compiled (Me.job ~ni ~nj ~ws ~tiles:(32, 16, 16, 16) ()) in
+    let plan = plan_of c in
+    let _, r = Runner.simulate c in
     let fp =
-      Zint.to_int_exn (Plan.total_footprint plan zero_env)
+      Zint.to_int_exn (Plan.total_footprint plan Runner.zero_env)
       * gpu.Config.word_bytes
     in
     Timing.gpu_total_ms gpu
@@ -530,7 +541,12 @@ let ablations () =
     }
     |}
   in
-  let p2 = Emsc_lang.Parser.parse src2 in
+  let c2 =
+    compile_text
+      ~options:{ Options.default with stop = Options.Front_end }
+      "constant-reuse" src2
+  in
+  let p2 = c2.Pipeline.prog in
   let part = List.hd (Dataspaces.partition_array p2 "X") in
   List.iter (fun delta ->
     let r = Reuse.analyze ~delta p2 part in
@@ -550,6 +566,58 @@ let ablations () =
   pf "\n"
 
 (* ------------------------------------------------------------------ *)
+(* Batch compilation of the kernel suite                               *)
+(* ------------------------------------------------------------------ *)
+
+let batch () =
+  pf "=== Kernel-suite batch compilation (driver) ===\n";
+  let jobs = Suite.jobs () in
+  let n = List.length jobs in
+  let check label results =
+    List.iter
+      (function
+        | Ok _ -> ()
+        | Error e ->
+          failwith
+            (Printf.sprintf "bench: batch(%s): %s" label
+               (Frontend.error_message e)))
+      results
+  in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+  in
+  let seq, t_seq =
+    time (fun () ->
+      Pipeline.compile_many ~cache:Emsc_driver.Cache.off ~jobs:1 jobs)
+  in
+  check "sequential" seq;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "emsc-bench-cache-%d" (Unix.getpid ()))
+  in
+  let cache = Emsc_driver.Cache.create ~dir () in
+  let par, t_par =
+    time (fun () -> Pipeline.compile_many ~cache ~jobs:4 jobs)
+  in
+  check "parallel" par;
+  let warm, t_warm =
+    time (fun () -> Pipeline.compile_many ~cache ~jobs:4 jobs)
+  in
+  check "warm-cache" warm;
+  record_point ~fig:"batch" ~series:"sequential" ~x:(string_of_int n) t_seq;
+  record_point ~fig:"batch" ~series:"parallel-4" ~x:(string_of_int n) t_par;
+  record_point ~fig:"batch" ~series:"warm-cache" ~x:(string_of_int n) t_warm;
+  record_note ~fig:"batch" "kernels"
+    (J.List (List.map (fun s -> J.Str s) (Suite.names ())));
+  (* the speedup of the 4-worker run is bounded by the host's cores *)
+  record_note ~fig:"batch" "host_jobs" (J.Int (Pipeline.default_jobs ()));
+  pf "%d kernels: sequential %.1f ms, 4 workers %.1f ms (%.1fx, %d core(s)), warm cache %.1f ms\n\n"
+    n t_seq t_par (t_seq /. t_par) (Pipeline.default_jobs ()) t_warm
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the compiler passes                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -559,11 +627,6 @@ let micro () =
   let t_partition =
     Test.make ~name:"dataspaces+partition(fig1)"
       (Staged.stage (fun () -> ignore (Dataspaces.partition_all fig1)))
-  in
-  let t_plan =
-    Test.make ~name:"plan_block(fig1)"
-      (Staged.stage (fun () ->
-         ignore (Plan.plan_block ~arch:`Cell ~merge_per_array:true fig1)))
   in
   let t_deps =
     Test.make ~name:"dependence-analysis(fig1)"
@@ -575,22 +638,35 @@ let micro () =
     Test.make ~name:"hyperplane-band(matmul)"
       (Staged.stage (fun () -> ignore (Hyperplanes.find_band mm mm_deps)))
   in
-  let t_tile =
-    Test.make ~name:"tile+plan(matmul)"
+  (* end-to-end pipeline, cold vs warm pass cache *)
+  let t_pipeline_cold =
+    Test.make ~name:"driver-pipeline-cold(fig1)"
       (Staged.stage (fun () ->
-         let spec =
-           [| { Tile.block = Some 8; mem = None; thread = None };
-              { Tile.block = Some 8; mem = None; thread = None };
-              { Tile.block = None; mem = Some 4; thread = None } |]
-         in
-         let tp = Tile.tile_program mm spec in
-         ignore
-           (Plan.plan_block ~arch:`Cell
-              ~param_context:(Tile.origin_context mm spec) tp)))
+         match Pipeline.compile ~cache:Emsc_driver.Cache.off (Fig1.job ()) with
+         | Ok _ -> ()
+         | Error e -> failwith (Frontend.error_message e)))
+  in
+  let t_tile_cold =
+    Test.make ~name:"driver-tile+plan-cold(matmul)"
+      (Staged.stage (fun () ->
+         match
+           Pipeline.compile ~cache:Emsc_driver.Cache.off (Matmul.job ~n:16 ())
+         with
+         | Ok _ -> ()
+         | Error e -> failwith (Frontend.error_message e)))
+  in
+  let warm = Emsc_driver.Cache.in_memory () in
+  let t_tile_warm =
+    Test.make ~name:"driver-tile+plan-warm(matmul)"
+      (Staged.stage (fun () ->
+         match Pipeline.compile ~cache:warm (Matmul.job ~n:16 ()) with
+         | Ok _ -> ()
+         | Error e -> failwith (Frontend.error_message e)))
   in
   let tests =
     Test.make_grouped ~name:"compiler-passes"
-      [ t_partition; t_plan; t_deps; t_band; t_tile ]
+      [ t_partition; t_deps; t_band; t_pipeline_cold; t_tile_cold;
+        t_tile_warm ]
   in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
@@ -618,7 +694,8 @@ let micro () =
 
 let all_figs =
   [ ("fig4", fig4); ("fig5", fig5); ("fig6", fig6); ("fig7", fig7);
-    ("fig8", fig8); ("ablations", ablations); ("micro", micro) ]
+    ("fig8", fig8); ("ablations", ablations); ("batch", batch);
+    ("micro", micro) ]
 
 let () =
   let requested =

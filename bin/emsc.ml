@@ -1,46 +1,38 @@
 (* emsc — command-line driver.
 
-     emsc analyze FILE     data-management plan: partitions, Algorithm 1
-                           verdicts, buffer extents, movement code
-                           (--json for the machine-readable report)
-     emsc profile FILE     run on the simulated machine and report
-                           per-launch counters and timing breakdowns
-     emsc deps FILE        dependence analysis
-     emsc band FILE        tiling-hyperplane search
-     emsc run FILE         execute the program on the reference
-                           interpreter and print array checksums
+     emsc analyze FILE      data-management plan: partitions, Algorithm 1
+                            verdicts, buffer extents, movement code
+                            (--json for the machine-readable report)
+     emsc compile FILE...   batch-compile many programs in parallel and
+                            report per-stage timings and cache traffic
+     emsc profile FILE      run on the simulated machine and report
+                            per-launch counters and timing breakdowns
+     emsc deps FILE         dependence analysis
+     emsc band FILE         tiling-hyperplane search
+     emsc run FILE          execute the program on the reference
+                            interpreter and print array checksums
 
    FILE is a program in the affine input language (see
-   lib/lang/parser.mli); use '-' for stdin.  Commands that compile or
-   execute accept --trace FILE to dump a Chrome trace_event JSON of
-   the compilation/simulation (view in chrome://tracing or Perfetto). *)
+   lib/lang/parser.mli); use '-' for stdin.  Every command goes through
+   the Emsc_driver pipeline, so repeated compilations of unchanged
+   sources hit the on-disk pass cache (disable with --no-cache; relocate
+   with --cache-dir or $EMSC_CACHE_DIR).  Commands that compile or
+   execute accept --trace FILE to dump a Chrome trace_event JSON of the
+   compilation/simulation (view in chrome://tracing or Perfetto). *)
 
 open Emsc_arith
 open Emsc_ir
 open Emsc_codegen
 open Emsc_core
 open Emsc_obs
+open Emsc_driver
 open Cmdliner
 
-let read_input path =
-  if path = "-" then In_channel.input_all In_channel.stdin
-  else begin
-    let ic = open_in path in
-    let s = In_channel.input_all ic in
-    close_in ic;
-    s
-  end
+let die e =
+  Printf.eprintf "emsc: %s\n" (Frontend.error_message e);
+  exit 1
 
-let load path =
-  Trace.span "parse" ~args:[ ("file", Json.Str path) ] @@ fun () ->
-  match Emsc_lang.Parser.parse (read_input path) with
-  | p -> p
-  | exception Emsc_lang.Parser.Error e ->
-    Printf.eprintf "parse error: %s\n" e;
-    exit 1
-  | exception Emsc_lang.Lexer.Error e ->
-    Printf.eprintf "lex error: %s\n" e;
-    exit 1
+let ok_or_die = function Ok v -> v | Error e -> die e
 
 (* run [f] with tracing directed at [path] (when given); the trace file
    is written even when [f] fails, so aborted compilations can still be
@@ -65,9 +57,11 @@ let emit_json out j =
   | None -> print_string s; print_newline ()
   | Some path ->
     let oc = open_out path in
-    output_string oc s;
-    output_char oc '\n';
-    close_out oc
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc s;
+        output_char oc '\n')
 
 let file_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE")
@@ -117,22 +111,66 @@ let out_arg =
        & info [ "o"; "output" ] ~docv:"FILE"
            ~doc:"Write the JSON report to $(docv) instead of stdout.")
 
+let nocache_arg =
+  Arg.(value & flag
+       & info [ "no-cache" ]
+           ~doc:"Do not read or write the on-disk pass cache.")
+
+let cachedir_arg =
+  Arg.(value & opt (some string) None
+       & info [ "cache-dir" ] ~docv:"DIR"
+           ~doc:"Pass-cache location (default: \\$EMSC_CACHE_DIR, else \
+                 \\$XDG_CACHE_HOME/emsc, else ~/.cache/emsc).")
+
+let cache_of no_cache dir =
+  if no_cache then Emsc_driver.Cache.off else Emsc_driver.Cache.create ?dir ()
+
+let param_args =
+  Arg.(value & opt_all (pair ~sep:'=' string int) []
+       & info [ "p"; "param" ] ~docv:"NAME=VALUE"
+           ~doc:"Give a program parameter a value (repeatable).")
+
+let cli_env params name =
+  match List.assoc_opt name params with
+  | Some v -> Zint.of_int v
+  | None ->
+    Printf.eprintf "parameter %s needs a value (use -p %s=N)\n" name name;
+    exit 1
+
 let gpu_config = Emsc_machine.Config.gtx8800
 
+let capacity_words =
+  gpu_config.Emsc_machine.Config.smem_bytes
+  / gpu_config.Emsc_machine.Config.word_bytes
+
+let plan_of c =
+  match c.Pipeline.plan with
+  | Some plan -> plan
+  | None -> die { Frontend.origin = c.Pipeline.source_name;
+                  stage = "plan"; message = "pipeline produced no plan" }
+
 let analyze_cmd =
-  let run file arch merge delta optimize_movement json trace out =
+  let run file arch merge delta optimize_movement json trace no_cache
+      cache_dir out =
     with_trace trace @@ fun () ->
-    let p = load file in
-    let plan =
-      Plan.plan_block ~arch ~merge_per_array:merge ~delta
-        ~optimize_movement p
+    let cache = cache_of no_cache cache_dir in
+    let options =
+      { Options.default with
+        arch; merge_per_array = merge; delta;
+        optimize_movement }
     in
+    let c =
+      ok_or_die (Pipeline.compile_source ~cache ~options (Source.file file))
+    in
+    let plan = plan_of c in
     if json then
-      let capacity_words =
-        gpu_config.Emsc_machine.Config.smem_bytes
-        / gpu_config.Emsc_machine.Config.word_bytes
+      let fields =
+        match Plan.explain_json ~capacity_words plan with
+        | Json.Obj fields -> fields
+        | j -> [ ("plan", j) ]
       in
-      emit_json out (Plan.explain_json ~capacity_words plan)
+      emit_json out
+        (Json.Obj (fields @ [ ("pipeline", Pipeline.report_json c) ]))
     else begin
       Format.printf "%a@." Plan.pp plan;
       List.iter (fun (b : Plan.buffered) ->
@@ -145,67 +183,64 @@ let analyze_cmd =
           b.Plan.move_in;
         Format.printf "/* data move-out code */@.%a@." Ast.pp_block
           b.Plan.move_out)
-        plan.Plan.buffered
+        plan.Plan.buffered;
+      if Emsc_driver.Cache.enabled cache then
+        Printf.printf "\n// pass cache: %d hit(s), %d miss(es)\n"
+          c.Pipeline.cache_hits c.Pipeline.cache_misses
     end
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Data-management plan for a program block")
     Term.(const run $ file_arg $ arch_arg $ merge_arg $ delta_arg
-          $ optmove_arg $ json_arg $ trace_arg $ out_arg)
+          $ optmove_arg $ json_arg $ trace_arg $ nocache_arg $ cachedir_arg
+          $ out_arg)
 
 let deps_cmd =
-  let run file =
-    let p = load file in
-    let deps = Deps.analyze p in
-    if deps = [] then print_endline "no dependences"
-    else List.iter (fun d -> Format.printf "%a@." Deps.pp d) deps
+  let run file no_cache cache_dir =
+    let cache = cache_of no_cache cache_dir in
+    let options = { Options.default with stop = Options.Dependences } in
+    let c =
+      ok_or_die (Pipeline.compile_source ~cache ~options (Source.file file))
+    in
+    match c.Pipeline.deps with
+    | None | Some [] -> print_endline "no dependences"
+    | Some deps -> List.iter (fun d -> Format.printf "%a@." Deps.pp d) deps
   in
   Cmd.v (Cmd.info "deps" ~doc:"Polyhedral dependence analysis")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ nocache_arg $ cachedir_arg)
 
 let band_cmd =
-  let run file =
-    let p = load file in
-    let deps = Deps.analyze p in
-    match Emsc_transform.Hyperplanes.find_band p deps with
-    | band ->
+  let run file no_cache cache_dir =
+    let cache = cache_of no_cache cache_dir in
+    let options = { Options.default with stop = Options.Band } in
+    let c =
+      ok_or_die (Pipeline.compile_source ~cache ~options (Source.file file))
+    in
+    match c.Pipeline.band with
+    | Some band ->
       List.iteri (fun k h ->
         Format.printf "h%d = %a%s@." k Emsc_linalg.Vec.pp h
           (if List.nth band.Emsc_transform.Hyperplanes.parallel k then
              "  (parallel / space loop)"
            else "  (sequential)"))
         band.Emsc_transform.Hyperplanes.hyperplanes
-    | exception Invalid_argument e -> Printf.eprintf "band search: %s\n" e
+    | None -> Printf.eprintf "band search: no common permutable band\n"
   in
   Cmd.v
     (Cmd.info "band" ~doc:"Find the permutable tiling-hyperplane band")
-    Term.(const run $ file_arg)
-
-let param_args =
-  Arg.(value & opt_all (pair ~sep:'=' string int) []
-       & info [ "p"; "param" ] ~docv:"NAME=VALUE"
-           ~doc:"Give a program parameter a value (repeatable).")
+    Term.(const run $ file_arg $ nocache_arg $ cachedir_arg)
 
 let run_cmd =
   let run file params =
-    let p = load file in
-    let env name =
-      match List.assoc_opt name params with
-      | Some v -> Zint.of_int v
-      | None ->
-        Printf.eprintf "parameter %s needs a value (use -p %s=N)\n" name name;
-        exit 1
+    let options = { Options.default with stop = Options.Front_end } in
+    let c = ok_or_die (Pipeline.compile_source ~options (Source.file file)) in
+    let p = c.Pipeline.prog in
+    let m, counters =
+      Runner.reference ~memory:Runner.Pseudorandom
+        ~param_env:(cli_env params) p
     in
-    let m = Emsc_machine.Memory.create p ~param_env:env in
-    (* deterministic pseudo-random inputs *)
-    List.iter (fun (d : Prog.array_decl) ->
-      Emsc_machine.Memory.fill m d.Prog.array_name (fun idx ->
-        let h = Array.fold_left (fun acc i -> (acc * 31) + i) 17 idx in
-        float_of_int (h mod 101) /. 101.0))
-      p.Prog.arrays;
-    let c = Emsc_machine.Reference.run p ~param_env:env m () in
     Printf.printf "executed: %.0f statement flops, %.0f loads, %.0f stores\n"
-      c.Emsc_machine.Exec.flops c.Emsc_machine.Exec.g_ld
-      c.Emsc_machine.Exec.g_st;
+      counters.Emsc_machine.Exec.flops counters.Emsc_machine.Exec.g_ld
+      counters.Emsc_machine.Exec.g_st;
     List.iter (fun (d : Prog.array_decl) ->
       let data = Emsc_machine.Memory.global_data m d.Prog.array_name in
       let sum = Array.fold_left ( +. ) 0.0 data in
@@ -237,84 +272,56 @@ let spec_of_lists ~depth ~block ~mem ~thread =
     { Emsc_transform.Tile.block = get block j; mem = get mem j;
       thread = get thread j })
 
-let gpu_profile p ~arch ~merge ~delta ~optimize_movement ~spec ~threads
-    ~global_sync =
-  let open Emsc_machine in
-  let open Emsc_transform in
-  let no_params name = failwith ("profile: unbound parameter " ^ name) in
-  let zero_env _ = Zint.zero in
-  let tp = Tile.tile_program p spec in
-  let ctx = Tile.origin_context p spec in
-  let plan =
-    Plan.plan_block ~arch ~merge_per_array:merge ~delta ~optimize_movement
-      ~param_context:ctx tp
+let gpu_profile ~cache ~name ~prog ~arch ~merge ~delta ~optimize_movement
+    ~spec ~threads ~global_sync =
+  let options =
+    { Options.default with
+      arch; merge_per_array = merge; delta; optimize_movement;
+      find_band = false; tiling = Options.Spec spec }
   in
-  let movement =
-    List.map (fun (b : Plan.buffered) -> (b.Plan.move_in, b.Plan.move_out))
-      plan.Plan.buffered
+  let c =
+    ok_or_die
+      (Pipeline.compile ~cache
+         (Pipeline.job ~options (Source.Program { name; prog })))
   in
-  let ast = Tile.generate p spec ~movement in
-  let memory = Memory.create_phantom p ~param_env:no_params in
-  List.iter (fun (b : Plan.buffered) ->
-    Memory.declare_local memory b.Plan.buffer.Alloc.local_name)
-    plan.Plan.buffered;
-  let local_ref =
-    if plan.Plan.buffered = [] then None else Some (Plan.local_ref plan)
-  in
-  let result =
-    Trace.span "exec.simulate" @@ fun () ->
-    Exec.run ~prog:tp ?local_ref ~param_env:no_params ~memory
-      ~mode:(Exec.Sampled 6) ast
-  in
-  let fp_words = Zint.to_int_exn (Plan.total_footprint plan zero_env) in
+  let plan = plan_of c in
+  let _, result = Runner.simulate c in
+  let fp_words = Zint.to_int_exn (Plan.total_footprint plan Runner.zero_env) in
   let gp =
-    { Timing.threads;
-      smem_bytes_per_block = fp_words * gpu_config.Config.word_bytes;
+    { Emsc_machine.Timing.threads;
+      smem_bytes_per_block = fp_words * gpu_config.Emsc_machine.Config.word_bytes;
       coalesce_eff = (if plan.Plan.buffered <> [] then 16.0 else 4.0);
       global_sync; double_buffer = false }
   in
-  let capacity_words =
-    gpu_config.Config.smem_bytes / gpu_config.Config.word_bytes
-  in
   [ ("mode", Json.Str "gpu-sim");
     ("plan", Plan.explain_json ~capacity_words plan);
-    ("profile", Timing.profile_json gpu_config gp result) ]
+    ("profile", Emsc_machine.Timing.profile_json gpu_config gp result);
+    ("pipeline", Pipeline.report_json c) ]
 
 let cpu_profile p ~params =
-  let open Emsc_machine in
-  let env name =
-    match List.assoc_opt name params with
-    | Some v -> Zint.of_int v
-    | None ->
-      Printf.eprintf "parameter %s needs a value (use -p %s=N)\n" name name;
-      exit 1
+  let env = cli_env params in
+  let cpu = Emsc_machine.Config.core2duo in
+  let h = Emsc_machine.Cache.Hierarchy.create cpu in
+  let on_global _ addr _ =
+    ignore (Emsc_machine.Cache.Hierarchy.access h addr)
   in
-  let m = Memory.create p ~param_env:env in
-  List.iter (fun (d : Prog.array_decl) ->
-    Memory.fill m d.Prog.array_name (fun idx ->
-      let h = Array.fold_left (fun acc i -> (acc * 31) + i) 17 idx in
-      float_of_int (h mod 101) /. 101.0))
-    p.Prog.arrays;
-  let cpu = Config.core2duo in
-  let h = Cache.Hierarchy.create cpu in
-  let on_global _ addr _ = ignore (Cache.Hierarchy.access h addr) in
-  let c =
-    Trace.span "exec.reference" @@ fun () ->
-    Reference.run p ~param_env:env m ~on_global ()
+  let _, c =
+    Runner.reference ~memory:Runner.Pseudorandom ~param_env:env ~on_global p
   in
   let cpu_ms =
-    Timing.cpu_total_ms cpu ~flops:c.Exec.flops
-      ~l1_hits:(Cache.Hierarchy.l1_hits h)
-      ~l2_hits:(Cache.Hierarchy.l2_hits h)
-      ~mem_accesses:(Cache.Hierarchy.mem_accesses h)
+    Emsc_machine.Timing.cpu_total_ms cpu ~flops:c.Emsc_machine.Exec.flops
+      ~l1_hits:(Emsc_machine.Cache.Hierarchy.l1_hits h)
+      ~l2_hits:(Emsc_machine.Cache.Hierarchy.l2_hits h)
+      ~mem_accesses:(Emsc_machine.Cache.Hierarchy.mem_accesses h)
   in
   [ ("mode", Json.Str "cpu-reference");
-    ("totals", Exec.counters_json c);
+    ("totals", Emsc_machine.Exec.counters_json c);
     ( "cache",
       Json.Obj
-        [ ("l1_hits", Json.Float (Cache.Hierarchy.l1_hits h));
-          ("l2_hits", Json.Float (Cache.Hierarchy.l2_hits h));
-          ("mem_accesses", Json.Float (Cache.Hierarchy.mem_accesses h)) ] );
+        [ ("l1_hits", Json.Float (Emsc_machine.Cache.Hierarchy.l1_hits h));
+          ("l2_hits", Json.Float (Emsc_machine.Cache.Hierarchy.l2_hits h));
+          ( "mem_accesses",
+            Json.Float (Emsc_machine.Cache.Hierarchy.mem_accesses h) ) ] );
     ("cpu_ms", Json.Float cpu_ms) ]
 
 let profile_cmd =
@@ -339,9 +346,10 @@ let profile_cmd =
              ~doc:"Charge a cross-block synchronization per launch.")
   in
   let run file arch merge delta optimize_movement block mem thread threads
-      global_sync params trace out =
+      global_sync params trace no_cache cache_dir out =
     with_trace trace @@ fun () ->
-    let p = load file in
+    let cache = cache_of no_cache cache_dir in
+    let p, _digest = ok_or_die (Frontend.load (Source.file file)) in
     let block = parse_tile_list block
     and mem = parse_tile_list mem
     and thread = parse_tile_list thread in
@@ -356,8 +364,8 @@ let profile_cmd =
           let spec =
             spec_of_lists ~depth:s.Prog.depth ~block ~mem ~thread
           in
-          gpu_profile p ~arch ~merge ~delta ~optimize_movement ~spec
-            ~threads ~global_sync
+          gpu_profile ~cache ~name:file ~prog:p ~arch ~merge ~delta
+            ~optimize_movement ~spec ~threads ~global_sync
         | _ ->
           Printf.eprintf
             "profile: tiling flags need a single-statement program\n";
@@ -379,7 +387,89 @@ let profile_cmd =
              compute/bandwidth/latency timing breakdown")
     Term.(const run $ file_arg $ arch_arg $ merge_arg $ delta_arg
           $ optmove_arg $ block_arg $ mem_arg $ thread_arg $ threads_arg
-          $ globalsync_arg $ param_args $ trace_arg $ out_arg)
+          $ globalsync_arg $ param_args $ trace_arg $ nocache_arg
+          $ cachedir_arg $ out_arg)
+
+(* --- emsc compile ------------------------------------------------------- *)
+
+let compile_cmd =
+  let files_arg =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE")
+  in
+  let jobs_arg =
+    Arg.(value & opt int 0
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Worker processes for the batch (0 = one per core).")
+  in
+  let run files arch merge delta optimize_movement json jobs trace no_cache
+      cache_dir out =
+    with_trace trace @@ fun () ->
+    let cache = cache_of no_cache cache_dir in
+    let options =
+      { Options.default with
+        arch; merge_per_array = merge; delta; optimize_movement }
+    in
+    let jobs = if jobs <= 0 then Pipeline.default_jobs () else jobs in
+    let batch = List.map (fun f -> Pipeline.job ~options (Source.file f)) files in
+    let t0 = Unix.gettimeofday () in
+    let results = Pipeline.compile_many ~cache ~jobs batch in
+    let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    let errors =
+      List.filter_map (function Error e -> Some e | Ok _ -> None) results
+    in
+    let hits, misses =
+      List.fold_left
+        (fun (h, m) -> function
+          | Ok c -> (h + c.Pipeline.cache_hits, m + c.Pipeline.cache_misses)
+          | Error _ -> (h, m))
+        (0, 0) results
+    in
+    if json then
+      emit_json out
+        (Json.Obj
+           [ ("schema", Json.Str "emsc-compile/1");
+             ( "files",
+               Json.List
+                 (List.map2
+                    (fun f -> function
+                      | Ok c -> Pipeline.report_json c
+                      | Error e ->
+                        Json.Obj
+                          [ ("source", Json.Str f);
+                            ("error", Json.Str (Frontend.error_message e)) ])
+                    files results) );
+             ( "summary",
+               Json.Obj
+                 [ ("files", Json.Int (List.length files));
+                   ("errors", Json.Int (List.length errors));
+                   ("wall_ms", Json.Float wall_ms);
+                   ( "cache",
+                     Json.Obj
+                       [ ("hits", Json.Int hits);
+                         ("misses", Json.Int misses) ] );
+                   ("jobs", Json.Int jobs) ] ) ])
+    else begin
+      List.iter2
+        (fun f -> function
+          | Ok c ->
+            Printf.printf "%-32s ok    %2d stage(s), %d cache hit(s)\n" f
+              (List.length c.Pipeline.timings) c.Pipeline.cache_hits
+          | Error e ->
+            Printf.printf "%-32s ERROR %s\n" f (Frontend.error_message e))
+        files results;
+      Printf.printf "%d file(s), %d error(s), %.1f ms, %d worker(s)\n"
+        (List.length files) (List.length errors) wall_ms jobs
+    end;
+    if errors <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Batch-compile programs through the full pipeline in parallel \
+             worker processes, reporting per-stage timings and pass-cache \
+             traffic")
+    Term.(const run $ files_arg $ arch_arg $ merge_arg $ delta_arg
+          $ optmove_arg $ json_arg $ jobs_arg $ trace_arg $ nocache_arg
+          $ cachedir_arg $ out_arg)
 
 let () =
   let info =
@@ -389,4 +479,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ analyze_cmd; profile_cmd; deps_cmd; band_cmd; run_cmd ]))
+          [ analyze_cmd; compile_cmd; profile_cmd; deps_cmd; band_cmd;
+            run_cmd ]))

@@ -2,41 +2,47 @@
 
      dune exec examples/jacobi.exe
 
-   Shows the hyperplane search discovering the skewed permutable band
-   of the time-expanded stencil, then runs the overlapped (halo) tiled
-   kernel — the paper's [27] treatment — and verifies it against the
-   reference executor before projecting large-size execution times. *)
+   Shows the pipeline's band stage discovering the skewed permutable
+   band of the time-expanded stencil, then runs the overlapped (halo)
+   tiled kernel — the paper's [27] treatment — and verifies it against
+   the reference executor before projecting large-size execution
+   times. *)
 
-open Emsc_ir
 open Emsc_transform
 open Emsc_machine
+open Emsc_driver
 open Emsc_kernels
 
-let no_params name = failwith name
 let gpu = Config.gtx8800
 
 let () =
   (* 1. the transform story: Jacobi needs skewing to tile *)
-  let pex = Jacobi1d.program_expanded ~n:64 ~steps:8 in
-  let band = Hyperplanes.find_band pex (Deps.analyze pex) in
-  Format.printf "permutable band of the time-expanded stencil:@.";
-  List.iter (fun h -> Format.printf "  %a@." Emsc_linalg.Vec.pp h)
-    band.Hyperplanes.hyperplanes;
+  let c =
+    match Pipeline.compile (Jacobi1d.job ()) with
+    | Ok c -> c
+    | Error e ->
+      Format.eprintf "%a@." Frontend.pp_error e;
+      exit 1
+  in
+  (match c.Pipeline.band with
+   | Some band ->
+     Format.printf "permutable band of the time-expanded stencil:@.";
+     List.iter (fun h -> Format.printf "  %a@." Emsc_linalg.Vec.pp h)
+       band.Hyperplanes.hyperplanes
+   | None -> Format.printf "no permutable band?!@.");
 
   (* 2. overlapped tiling: correctness *)
   let n = 4096 and steps = 64 and ts = 128 and tt = 16 in
   let p = Jacobi1d.program ~n ~steps in
   let k = Stencil.overlapped_1d ~n ~steps ~ts ~tt p in
   let init idx = sin (float_of_int idx.(0) /. 10.0) in
-  let m_ref = Memory.create p ~param_env:no_params in
-  Memory.fill m_ref "cur" init;
-  let (_ : Exec.counters) = Reference.run p ~param_env:no_params m_ref () in
-  let m = Memory.create p ~param_env:no_params in
-  Memory.fill m "cur" init;
-  List.iter (Memory.declare_local m) k.Stencil.locals;
-  let r =
-    Exec.run ~prog:p ~local_ref:k.Stencil.local_ref ~param_env:no_params
-      ~memory:m ~mode:Exec.Full k.Stencil.ast
+  let m_ref, (_ : Exec.counters) =
+    Runner.reference ~memory:(Runner.Filled [ ("cur", init) ]) p
+  in
+  let m, r =
+    Runner.execute ~prog:p ~local_ref:k.Stencil.local_ref
+      ~locals:k.Stencil.locals ~mode:Exec.Full
+      ~memory:(Runner.Filled [ ("cur", init) ]) k.Stencil.ast
   in
   let a = Memory.global_data m_ref "cur" in
   let b = Memory.global_data m k.Stencil.result_array in
@@ -57,11 +63,9 @@ let () =
   let n = 524288 and steps = 4096 in
   let p = Jacobi1d.program ~n ~steps in
   let time_of kernel coalesce =
-    let m = Memory.create_phantom p ~param_env:no_params in
-    List.iter (Memory.declare_local m) kernel.Stencil.locals;
-    let r =
-      Exec.run ~prog:p ~local_ref:kernel.Stencil.local_ref
-        ~param_env:no_params ~memory:m ~mode:(Exec.Sampled 6)
+    let _, r =
+      Runner.execute ~prog:p ~local_ref:kernel.Stencil.local_ref
+        ~locals:kernel.Stencil.locals ~memory:Runner.Phantom
         kernel.Stencil.ast
     in
     Timing.gpu_total_ms gpu

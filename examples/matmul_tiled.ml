@@ -2,43 +2,42 @@
 
      dune exec examples/matmul_tiled.exe
 
-   Dependence analysis -> hyperplane band (i and j parallel, k
-   sequential) -> multi-level tiling -> scratchpad buffers with
-   hoisted movement for the accumulator -> verified execution. *)
+   One driver compilation carries the entire flow: dependence analysis
+   -> hyperplane band (i and j parallel, k sequential) -> multi-level
+   tiling -> scratchpad buffers with hoisted movement for the
+   accumulator -> verified execution. *)
 
-open Emsc_ir
 open Emsc_codegen
 open Emsc_core
-open Emsc_transform
 open Emsc_machine
+open Emsc_driver
 open Emsc_kernels
-
-let no_params name = failwith name
 
 let () =
   let n = 32 in
-  let p = Matmul.program ~n in
+  let c =
+    match Pipeline.compile (Matmul.job ~n ()) with
+    | Ok c -> c
+    | Error e ->
+      Format.eprintf "%a@." Frontend.pp_error e;
+      exit 1
+  in
 
   (* 1. what parallelism is there? *)
-  let deps = Deps.analyze p in
-  let band = Hyperplanes.find_band p deps in
-  Format.printf "hyperplane band (space loops first):@.";
-  List.iteri (fun k h ->
-    Format.printf "  %a %s@." Emsc_linalg.Vec.pp h
-      (if List.nth band.Hyperplanes.parallel k then "(parallel)"
-       else "(sequential)"))
-    band.Hyperplanes.hyperplanes;
+  (match c.Pipeline.band with
+   | Some band ->
+     Format.printf "hyperplane band (space loops first):@.";
+     List.iteri (fun k h ->
+       Format.printf "  %a %s@." Emsc_linalg.Vec.pp h
+         (if List.nth band.Emsc_transform.Hyperplanes.parallel k then
+            "(parallel)"
+          else "(sequential)"))
+       band.Emsc_transform.Hyperplanes.hyperplanes
+   | None -> Format.printf "no common permutable band?!@.");
 
-  (* 2. tile: i, j across blocks; k sub-tiled to bound the buffers *)
-  let spec =
-    [| { Tile.block = Some 16; mem = None; thread = Some 4 };
-       { Tile.block = Some 16; mem = None; thread = Some 4 };
-       { Tile.block = None; mem = Some 8; thread = None } |]
-  in
-  let tp = Tile.tile_program p spec in
-  let plan =
-    Plan.plan_block ~arch:`Cell ~param_context:(Tile.origin_context p spec) tp
-  in
+  (* 2. the tiled plan: i, j across blocks; k sub-tiled to bound the
+     buffers *)
+  let plan = Option.get c.Pipeline.plan in
   List.iter (fun (b : Plan.buffered) ->
     Format.printf "buffer %s: sizes %a@." b.Plan.buffer.Alloc.local_name
       (Format.pp_print_list ~pp_sep:(fun f () -> Format.fprintf f " x ")
@@ -46,13 +45,9 @@ let () =
       (Array.to_list (Alloc.size_exprs b.Plan.buffer)))
     plan.Plan.buffered;
 
-  let movement =
-    List.map (fun (b : Plan.buffered) -> (b.Plan.move_in, b.Plan.move_out))
-      plan.Plan.buffered
-  in
-  let ast = Tile.generate p spec ~movement in
+  let tiled = Option.get c.Pipeline.tiled in
   Format.printf "@.generated kernel (movement for C hoisted above kM):@.%a@.@."
-    Ast.pp_block ast;
+    Ast.pp_block tiled.Pipeline.ast;
 
   (* 3. verify against the reference *)
   let init =
@@ -60,18 +55,10 @@ let () =
       ("B", fun idx -> float_of_int (((idx.(0) * 3) + (idx.(1) * 5)) mod 11));
       ("C", fun _ -> 0.0) ]
   in
-  let m_ref = Memory.create p ~param_env:no_params in
-  List.iter (fun (a, f) -> Memory.fill m_ref a f) init;
-  let (_ : Exec.counters) = Reference.run p ~param_env:no_params m_ref () in
-  let m = Memory.create p ~param_env:no_params in
-  List.iter (fun (a, f) -> Memory.fill m a f) init;
-  List.iter (fun (b : Plan.buffered) ->
-    Memory.declare_local m b.Plan.buffer.Alloc.local_name)
-    plan.Plan.buffered;
-  let r =
-    Exec.run ~prog:tp ~local_ref:(Plan.local_ref plan) ~param_env:no_params
-      ~memory:m ~mode:Exec.Full ast
+  let m_ref, (_ : Exec.counters) =
+    Runner.reference ~memory:(Runner.Filled init) c.Pipeline.prog
   in
+  let m, r = Runner.simulate ~mode:Exec.Full ~memory:(Runner.Filled init) c in
   Printf.printf "result: %s\n"
     (if Memory.arrays_equal m_ref m "C" then "matches reference"
      else "MISMATCH");

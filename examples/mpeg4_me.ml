@@ -2,64 +2,41 @@
 
      dune exec examples/mpeg4_me.exe
 
-   Builds the Figure 2 kernel, applies the multi-level tiling of
-   Section 4 with the paper's tile sizes, buffers the sliding windows
-   in scratchpad, verifies the transformed code against the reference
-   executor at a small frame, and projects execution times for a large
-   frame with and without scratchpad staging. *)
+   Compiles the Figure 2 kernel through the driver pipeline with the
+   multi-level tiling of Section 4 and the paper's tile sizes, buffers
+   the sliding windows in scratchpad, verifies the transformed code
+   against the reference executor at a small frame, and projects
+   execution times for a large frame with and without scratchpad
+   staging. *)
 
 open Emsc_arith
 open Emsc_core
-open Emsc_transform
 open Emsc_machine
+open Emsc_driver
 open Emsc_kernels
 
-let no_params name = failwith name
-let zero_env _ = Zint.zero
 let gpu = Config.gtx8800
 
-let spec ~ni ~nj (ti, tj, tk, tl) =
-  [| { Tile.block = Some ((ni + 7) / 8); mem = Some ti; thread = None };
-     { Tile.block = Some ((nj + 3) / 4); mem = Some tj; thread = None };
-     { Tile.block = None; mem = Some tk; thread = None };
-     { Tile.block = None; mem = Some tl; thread = None } |]
-
 let build ~ni ~nj ~ws ~tiles ~smem =
-  let p = Me.program ~ni ~nj ~ws in
-  let sp = spec ~ni ~nj tiles in
-  let tp = Tile.tile_program p sp in
-  let plan =
-    Plan.plan_block ~arch:`Gpu ~param_context:(Tile.origin_context p sp) tp
-  in
-  let movement =
-    if smem then
-      List.map (fun (b : Plan.buffered) -> (b.Plan.move_in, b.Plan.move_out))
-        plan.Plan.buffered
-    else []
-  in
-  (p, tp, plan, Tile.generate p sp ~movement)
+  match Pipeline.compile (Me.job ~ni ~nj ~ws ~tiles ~stage_data:smem ()) with
+  | Ok c -> c
+  | Error e ->
+    Format.eprintf "%a@." Frontend.pp_error e;
+    exit 1
 
 let () =
   (* 1. correctness at a small frame *)
   let ni = 32 and nj = 32 and ws = 8 in
-  let p, tp, plan, ast = build ~ni ~nj ~ws ~tiles:(8, 8, 8, 8) ~smem:true in
+  let c = build ~ni ~nj ~ws ~tiles:(8, 8, 8, 8) ~smem:true in
   let init =
     [ ("cur", fun idx -> float_of_int (((idx.(0) * 13) + idx.(1)) mod 31));
       ("refb", fun idx -> float_of_int (((idx.(0) * 5) + (idx.(1) * 3)) mod 23));
       ("sad", fun _ -> 0.0) ]
   in
-  let m_ref = Memory.create p ~param_env:no_params in
-  List.iter (fun (a, f) -> Memory.fill m_ref a f) init;
-  let (_ : Exec.counters) = Reference.run p ~param_env:no_params m_ref () in
-  let m = Memory.create p ~param_env:no_params in
-  List.iter (fun (a, f) -> Memory.fill m a f) init;
-  List.iter (fun (b : Plan.buffered) ->
-    Memory.declare_local m b.Plan.buffer.Alloc.local_name)
-    plan.Plan.buffered;
-  let r =
-    Exec.run ~prog:tp ~local_ref:(Plan.local_ref plan) ~param_env:no_params
-      ~memory:m ~mode:Exec.Full ast
+  let m_ref, (_ : Exec.counters) =
+    Runner.reference ~memory:(Runner.Filled init) c.Pipeline.prog
   in
+  let m, r = Runner.simulate ~mode:Exec.Full ~memory:(Runner.Filled init) c in
   Printf.printf "correctness (%dx%d, ws=%d): %s\n" ni nj ws
     (if Memory.arrays_equal m_ref m "sad" then "OK" else "MISMATCH");
   Printf.printf "global words: %.0f, scratchpad words: %.0f\n\n"
@@ -69,19 +46,12 @@ let () =
   (* 2. projected times at a 2048x2048 frame *)
   let ni = 2048 and nj = 2048 and ws = 16 in
   let project ~smem =
-    let _, tp, plan, ast = build ~ni ~nj ~ws ~tiles:(32, 16, 16, 16) ~smem in
-    let m = Memory.create_phantom (Me.program ~ni ~nj ~ws) ~param_env:no_params in
-    List.iter (fun (b : Plan.buffered) ->
-      Memory.declare_local m b.Plan.buffer.Alloc.local_name)
-      plan.Plan.buffered;
-    let local_ref = if smem then Some (Plan.local_ref plan) else None in
-    let r =
-      Exec.run ~prog:tp ?local_ref ~param_env:no_params ~memory:m
-        ~mode:(Exec.Sampled 6) ast
-    in
+    let c = build ~ni ~nj ~ws ~tiles:(32, 16, 16, 16) ~smem in
+    let plan = Option.get c.Pipeline.plan in
+    let _, r = Runner.simulate c in
     let fp =
       if smem then
-        Zint.to_int_exn (Plan.total_footprint plan zero_env)
+        Zint.to_int_exn (Plan.total_footprint plan Runner.zero_env)
         * gpu.Config.word_bytes
       else 0
     in

@@ -2,14 +2,16 @@
 
      dune exec examples/quickstart.exe
 
-   This walks the paper's Figure 1 example end to end: parse the loop
-   nest, partition the data spaces of each array, run the reuse test
-   (Algorithm 1), allocate local buffers (Algorithm 2), and print the
-   generated move-in / move-out loop nests. *)
+   This walks the paper's Figure 1 example end to end through the
+   driver pipeline: parse the loop nest, partition the data spaces of
+   each array, run the reuse test (Algorithm 1), allocate local buffers
+   (Algorithm 2), and print the generated move-in / move-out loop
+   nests. *)
 
 open Emsc_ir
 open Emsc_codegen
 open Emsc_core
+open Emsc_driver
 
 let source =
   {|
@@ -27,16 +29,27 @@ let source =
   |}
 
 let () =
-  let prog = Emsc_lang.Parser.parse source in
+  (* the paper's example allocates one buffer per array *)
+  let options =
+    { Options.default with arch = `Cell; merge_per_array = true }
+  in
+  let c =
+    match
+      Pipeline.compile_source ~options (Source.Text { name = "fig1"; text = source })
+    with
+    | Ok c -> c
+    | Error e ->
+      Format.eprintf "%a@." Frontend.pp_error e;
+      exit 1
+  in
+  let prog = c.Pipeline.prog in
   Format.printf "parsed %d statements over arrays %s@.@."
     (List.length prog.Prog.stmts)
     (String.concat ", "
        (List.map (fun (d : Prog.array_decl) -> d.Prog.array_name)
           prog.Prog.arrays));
 
-  (* the paper's example allocates one buffer per array *)
-  let plan = Plan.plan_block ~arch:`Cell ~merge_per_array:true prog in
-
+  let plan = Option.get c.Pipeline.plan in
   List.iter (fun (b : Plan.buffered) ->
     let buf = b.Plan.buffer in
     Format.printf "=== local array %s for %s ===@." buf.Alloc.local_name

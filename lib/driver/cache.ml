@@ -1,0 +1,142 @@
+type t = {
+  on : bool;
+  dir : string option;
+  mem : (string, string) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable stores : int;
+}
+
+(* bump when any stage's result type changes: stored values are
+   untyped, the key is the only type witness *)
+let version = "emsc-driver-cache/1"
+
+let off =
+  { on = false; dir = None; mem = Hashtbl.create 1; hits = 0; misses = 0;
+    stores = 0 }
+
+let in_memory () =
+  { on = true; dir = None; mem = Hashtbl.create 64; hits = 0; misses = 0;
+    stores = 0 }
+
+let default_dir () =
+  let non_empty = function Some d when d <> "" -> Some d | _ -> None in
+  match non_empty (Sys.getenv_opt "EMSC_CACHE_DIR") with
+  | Some d -> d
+  | None ->
+    (match non_empty (Sys.getenv_opt "XDG_CACHE_HOME") with
+     | Some d -> Filename.concat d "emsc"
+     | None ->
+       (match non_empty (Sys.getenv_opt "HOME") with
+        | Some h -> Filename.concat (Filename.concat h ".cache") "emsc"
+        | None -> Filename.concat (Filename.get_temp_dir_name ()) "emsc-cache"))
+
+let rec mkdir_p d =
+  if d <> "" && not (Sys.file_exists d) then begin
+    let parent = Filename.dirname d in
+    if parent <> d then mkdir_p parent;
+    try Unix.mkdir d 0o755
+    with Unix.Unix_error ((Unix.EEXIST | Unix.EISDIR), _, _) -> ()
+  end
+
+let create ?dir () =
+  let dir = match dir with Some d -> d | None -> default_dir () in
+  let dir =
+    try
+      mkdir_p dir;
+      if Sys.is_directory dir then Some dir else None
+    with Unix.Unix_error _ | Sys_error _ -> None
+  in
+  { on = true; dir; mem = Hashtbl.create 64; hits = 0; misses = 0; stores = 0 }
+
+let enabled t = t.on
+let dir t = t.dir
+let hits t = t.hits
+let misses t = t.misses
+let stores t = t.stores
+
+let key ~digest ~stage ~extra =
+  Digest.to_hex
+    (Digest.string (String.concat "\x00" [ version; digest; stage; extra ]))
+
+let read_all path =
+  match open_in_bin path with
+  | ic ->
+    (try
+       Some
+         (Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> In_channel.input_all ic))
+     with Sys_error _ -> None)
+  | exception Sys_error _ -> None
+
+let decode bytes = try Some (Marshal.from_string bytes 0) with _ -> None
+
+let find t ~key =
+  if not t.on then None
+  else
+    match Hashtbl.find_opt t.mem key with
+    | Some bytes -> decode bytes
+    | None ->
+      (match t.dir with
+       | None -> None
+       | Some dir ->
+         let path = Filename.concat dir key in
+         if Sys.file_exists path then
+           match read_all path with
+           | Some bytes ->
+             (match decode bytes with
+              | Some v ->
+                Hashtbl.replace t.mem key bytes;
+                Some v
+              | None -> None)
+           | None -> None
+         else None)
+
+let store t ~key v =
+  if t.on then begin
+    let bytes = Marshal.to_string v [] in
+    Hashtbl.replace t.mem key bytes;
+    t.stores <- t.stores + 1;
+    match t.dir with
+    | None -> ()
+    | Some dir ->
+      (* atomic publish: concurrent batch workers may race on the same
+         entry; last rename wins and every intermediate state is a
+         complete file *)
+      (try
+         let tmp =
+           Filename.concat dir
+             (Printf.sprintf ".%s.%d.tmp" key (Unix.getpid ()))
+         in
+         let oc = open_out_bin tmp in
+         Fun.protect
+           ~finally:(fun () -> close_out_noerr oc)
+           (fun () -> output_string oc bytes);
+         Sys.rename tmp (Filename.concat dir key)
+       with Sys_error _ | Unix.Unix_error _ -> ())
+  end
+
+let memo t ~key f =
+  if not t.on then (f (), false)
+  else
+    match find t ~key with
+    | Some v ->
+      t.hits <- t.hits + 1;
+      (v, true)
+    | None ->
+      t.misses <- t.misses + 1;
+      let v = f () in
+      store t ~key v;
+      (v, false)
+
+let stats_json t =
+  Emsc_obs.Json.Obj
+    [ ("enabled", Emsc_obs.Json.Bool t.on);
+      ( "dir",
+        match t.dir with
+        | Some d -> Emsc_obs.Json.Str d
+        | None -> Emsc_obs.Json.Null );
+      ("hits", Emsc_obs.Json.Int t.hits);
+      ("misses", Emsc_obs.Json.Int t.misses);
+      ("stores", Emsc_obs.Json.Int t.stores) ]

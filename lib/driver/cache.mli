@@ -1,0 +1,53 @@
+(** Content-addressed memoization of pipeline stage results.
+
+    Keys are digests of (source content, stage name, option
+    fingerprint, cache format version); values are marshalled OCaml
+    values.  Two layers: an in-process table (hits within one run, and
+    across the workers of a batch via fork inheritance of warm state)
+    and an optional on-disk store (hits across processes — this is
+    what makes a repeated [emsc analyze] skip the hyperplane search,
+    the tile-size search, and [Plan.plan_block]).
+
+    Lookups never fail the compilation: a corrupt or unreadable entry
+    is a miss, an unwritable directory silently degrades to the
+    in-memory layer. *)
+
+type t
+
+val off : t
+(** Never hits, never stores, counts nothing. *)
+
+val in_memory : unit -> t
+
+val create : ?dir:string -> unit -> t
+(** Disk-backed cache at [dir] (created if missing; falls back to
+    memory-only if creation fails).  [dir] defaults to
+    {!default_dir}. *)
+
+val default_dir : unit -> string
+(** [$EMSC_CACHE_DIR], else [$XDG_CACHE_HOME/emsc], else
+    [~/.cache/emsc], else a directory under the system temp dir. *)
+
+val enabled : t -> bool
+val dir : t -> string option
+
+val key : digest:string -> stage:string -> extra:string -> string
+(** The content-addressed key: digest of source digest + stage name +
+    option fingerprint + format version. *)
+
+val memo : t -> key:string -> (unit -> 'a) -> 'a * bool
+(** Cached value (and [true]), or [f ()] stored under [key] (and
+    [false]).  Counters are updated accordingly.
+
+    The stored representation is untyped (Marshal); soundness comes
+    from the key: a given (version, stage) pair always stores the same
+    type, and the version constant must be bumped whenever a stage's
+    result type changes. *)
+
+val find : t -> key:string -> 'a option
+val store : t -> key:string -> 'a -> unit
+
+val hits : t -> int
+val misses : t -> int
+val stores : t -> int
+val stats_json : t -> Emsc_obs.Json.t

@@ -1,0 +1,46 @@
+type error = {
+  origin : string;
+  stage : string;
+  message : string;
+}
+
+let error_message e = Printf.sprintf "%s: %s error: %s" e.origin e.stage e.message
+let pp_error fmt e = Format.pp_print_string fmt (error_message e)
+
+let read_file path =
+  match open_in_bin path with
+  | ic ->
+    (try
+       Ok
+         (Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> In_channel.input_all ic))
+     with Sys_error m -> Error { origin = path; stage = "read"; message = m })
+  | exception Sys_error m ->
+    Error { origin = path; stage = "read"; message = m }
+
+let parse ~name text =
+  match Emsc_lang.Parser.parse text with
+  | p -> Ok p
+  | exception Emsc_lang.Parser.Error m ->
+    Error { origin = name; stage = "parse"; message = m }
+  | exception Emsc_lang.Lexer.Error m ->
+    Error { origin = name; stage = "lex"; message = m }
+
+let digest_text text = Digest.to_hex (Digest.string text)
+
+let digest_prog prog =
+  Digest.to_hex (Digest.string (Marshal.to_string prog [ Marshal.No_sharing ]))
+
+let load source =
+  let parsed name text =
+    Result.map (fun p -> (p, digest_text text)) (parse ~name text)
+  in
+  match (source : Source.t) with
+  | Source.Stdin -> parsed "<stdin>" (In_channel.input_all In_channel.stdin)
+  | Source.File path ->
+    (match read_file path with
+     | Error e -> Error e
+     | Ok text -> parsed path text)
+  | Source.Text { name; text } -> parsed name text
+  | Source.Program { name = _; prog } -> Ok (prog, digest_prog prog)

@@ -1,0 +1,70 @@
+open Emsc_transform
+
+type tile_search = {
+  search_block : int option array;
+  search_ranges : (int * int) array;
+  search_mem_limit_words : int;
+  search_threads : float;
+  search_sync_cost : float;
+  search_transfer_cost : float;
+  search_max_evals : int;
+  search_snap_pow2 : bool;
+}
+
+type tiling =
+  | No_tiling
+  | Spec of Tile.spec
+  | Search of tile_search
+
+type stop = Front_end | Dependences | Band | Full
+
+type t = {
+  arch : [ `Gpu | `Cell ];
+  merge_per_array : bool;
+  delta : float;
+  optimize_movement : bool;
+  find_band : bool;
+  tiling : tiling;
+  stage_data : bool;
+  stop : stop;
+}
+
+let default =
+  { arch = `Gpu;
+    merge_per_array = false;
+    delta = 0.3;
+    optimize_movement = false;
+    find_band = true;
+    tiling = No_tiling;
+    stage_data = true;
+    stop = Full }
+
+let opt_int = function None -> "_" | Some n -> string_of_int n
+
+let spec_fingerprint spec =
+  String.concat ";"
+    (Array.to_list
+       (Array.map
+          (fun (d : Tile.dim_spec) ->
+            Printf.sprintf "%s,%s,%s" (opt_int d.Tile.block)
+              (opt_int d.Tile.mem) (opt_int d.Tile.thread))
+          spec))
+
+let tiling_fingerprint t =
+  match t.tiling with
+  | No_tiling -> "none"
+  | Spec s -> "spec:" ^ spec_fingerprint s
+  | Search ts ->
+    Printf.sprintf "search:block=%s;ranges=%s;mem=%d;P=%g;S=%g;L=%g;evals=%d;pow2=%b"
+      (String.concat ";" (Array.to_list (Array.map opt_int ts.search_block)))
+      (String.concat ";"
+         (Array.to_list
+            (Array.map (fun (lo, hi) -> Printf.sprintf "%d-%d" lo hi)
+               ts.search_ranges)))
+      ts.search_mem_limit_words ts.search_threads ts.search_sync_cost
+      ts.search_transfer_cost ts.search_max_evals ts.search_snap_pow2
+
+let plan_fingerprint t =
+  Printf.sprintf "arch=%s;merge=%b;delta=%g;optmove=%b;%s"
+    (match t.arch with `Gpu -> "gpu" | `Cell -> "cell")
+    t.merge_per_array t.delta t.optimize_movement (tiling_fingerprint t)

@@ -1,0 +1,61 @@
+(** Pass options for the canonical EMSC pipeline.
+
+    The option record is the second half of every cache key (the first
+    is the source digest), so each field either changes what a stage
+    computes — and then appears in that stage's fingerprint — or is
+    purely structural ({!stop}, {!field-stage_data}) and deliberately
+    kept out, so e.g. [emsc deps] warms the cache for a later
+    [emsc analyze] of the same file. *)
+
+open Emsc_transform
+
+type tile_search = {
+  search_block : int option array;
+      (** fixed block-level tile per dimension ([None] = untiled) *)
+  search_ranges : (int * int) array;
+      (** inclusive range of the searched memory-level tile per
+          dimension; a degenerate range pins that dimension *)
+  search_mem_limit_words : int;  (** scratchpad capacity *)
+  search_threads : float;        (** P of the Section 4.3 model *)
+  search_sync_cost : float;      (** S *)
+  search_transfer_cost : float;  (** L *)
+  search_max_evals : int;
+  search_snap_pow2 : bool;
+}
+
+type tiling =
+  | No_tiling
+  | Spec of Tile.spec           (** caller-supplied tile sizes *)
+  | Search of tile_search       (** Section 4.3 tile-size search *)
+
+(** How far to run the pipeline.  Later stages are skipped entirely
+    (not just cached): [emsc deps] must not fail because a program
+    cannot be buffered. *)
+type stop = Front_end | Dependences | Band | Full
+
+type t = {
+  arch : [ `Gpu | `Cell ];
+  merge_per_array : bool;
+  delta : float;                 (** Algorithm 1 threshold *)
+  optimize_movement : bool;      (** Section 3.1.4 refinement *)
+  find_band : bool;              (** run the hyperplane search *)
+  tiling : tiling;
+  stage_data : bool;
+      (** when false the plan is still computed but the generated
+          kernel keeps every access in global memory (the bench
+          harness's no-scratchpad baselines) *)
+  stop : stop;
+}
+
+val default : t
+(** GPU arch, delta 0.3, no movement optimization, band search on, no
+    tiling, staging on, full pipeline. *)
+
+val tiling_fingerprint : t -> string
+(** Stable rendering of the tiling request (tile / tilesearch stage
+    keys). *)
+
+val plan_fingerprint : t -> string
+(** Everything {!Emsc_core.Plan.plan_block} depends on: arch, merge,
+    delta, movement optimization, and the tiling (the plan runs on the
+    tiled program). *)

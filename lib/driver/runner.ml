@@ -1,0 +1,82 @@
+open Emsc_arith
+open Emsc_ir
+open Emsc_core
+open Emsc_machine
+open Emsc_obs
+
+type memory_kind =
+  | Phantom
+  | Zeroed
+  | Filled of (string * (int array -> float)) list
+  | Pseudorandom
+
+let no_params name = failwith ("unbound parameter " ^ name)
+
+let zero_env _ = Zint.zero
+
+let env_of_params params name =
+  match List.assoc_opt name params with
+  | Some v -> Zint.of_int v
+  | None -> failwith ("parameter " ^ name ^ " needs a value")
+
+let pseudorandom_fill m (p : Prog.t) =
+  List.iter
+    (fun (d : Prog.array_decl) ->
+      Memory.fill m d.Prog.array_name (fun idx ->
+        let h = Array.fold_left (fun acc i -> (acc * 31) + i) 17 idx in
+        float_of_int (h mod 101) /. 101.0))
+    p.Prog.arrays
+
+let prepare ?(memory = Zeroed) ~param_env (p : Prog.t) =
+  match memory with
+  | Phantom -> Memory.create_phantom p ~param_env
+  | Zeroed -> Memory.create p ~param_env
+  | Filled inits ->
+    let m = Memory.create p ~param_env in
+    List.iter (fun (a, f) -> Memory.fill m a f) inits;
+    m
+  | Pseudorandom ->
+    let m = Memory.create p ~param_env in
+    pseudorandom_fill m p;
+    m
+
+let execute ~prog ?local_ref ?(locals = []) ?(mode = Exec.Sampled 6) ?memory
+    ?(param_env = no_params) ?on_global ast =
+  let m = prepare ?memory ~param_env prog in
+  List.iter (Memory.declare_local m) locals;
+  let result =
+    Trace.span "driver.execute" @@ fun () ->
+    Exec.run ~prog ?local_ref ~param_env ~memory:m ~mode ?on_global ast
+  in
+  (m, result)
+
+let simulate ?(mode = Exec.Sampled 6) ?(memory = Phantom) ?param_env
+    ?on_global (c : Pipeline.compiled) =
+  match (c.Pipeline.tiled, c.Pipeline.plan) with
+  | Some t, Some plan ->
+    let staged = c.Pipeline.options.Options.stage_data in
+    let locals =
+      if staged then
+        List.map
+          (fun (b : Plan.buffered) -> b.Plan.buffer.Alloc.local_name)
+          plan.Plan.buffered
+      else []
+    in
+    let local_ref =
+      if staged && plan.Plan.buffered <> [] then Some (Plan.local_ref plan)
+      else None
+    in
+    execute ~prog:t.Pipeline.tiled_prog ?local_ref ~locals ~mode ~memory
+      ?param_env ?on_global t.Pipeline.ast
+  | _ ->
+    invalid_arg
+      "Emsc_driver.Runner.simulate: compilation has no generated kernel \
+       (compile with tiling)"
+
+let reference ?memory ?(param_env = no_params) ?on_global (p : Prog.t) =
+  let m = prepare ?memory ~param_env p in
+  let counters =
+    Trace.span "driver.reference" @@ fun () ->
+    Reference.run p ~param_env m ?on_global ()
+  in
+  (m, counters)

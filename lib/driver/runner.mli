@@ -1,0 +1,70 @@
+(** Execution back end of the pipeline: the memory-setup /
+    local-buffer / executor glue every consumer used to hand-roll.
+
+    {!simulate} runs a compiled (tiled) kernel on the simulated
+    machine; {!reference} runs the original program on the exact
+    reference interpreter; {!execute} is the generic form for kernels
+    produced outside the plan pipeline (e.g. the overlapped stencil
+    tiler). *)
+
+open Emsc_arith
+open Emsc_ir
+open Emsc_machine
+
+(** How to populate global arrays before running. *)
+type memory_kind =
+  | Phantom
+      (** shape-only memory for sampled timing runs (huge sizes) *)
+  | Zeroed
+  | Filled of (string * (int array -> float)) list
+  | Pseudorandom
+      (** deterministic hash fill — the CLI's reproducible inputs *)
+
+val no_params : string -> Zint.t
+(** Raises [Failure]; the param env for parameter-free programs. *)
+
+val zero_env : string -> Zint.t
+
+val env_of_params : (string * int) list -> string -> Zint.t
+(** Raises [Failure "parameter <p> needs a value"] on unbound names. *)
+
+val prepare :
+  ?memory:memory_kind -> param_env:(string -> Zint.t) -> Prog.t -> Memory.t
+(** Memory with globals allocated and populated ([Zeroed] default). *)
+
+val execute :
+  prog:Prog.t ->
+  ?local_ref:(Prog.stmt -> Prog.access -> Emsc_codegen.Ast.ref_expr option) ->
+  ?locals:string list ->
+  ?mode:Exec.mode ->
+  ?memory:memory_kind ->
+  ?param_env:(string -> Zint.t) ->
+  ?on_global:(string -> int -> [ `Ld | `St ] -> unit) ->
+  Emsc_codegen.Ast.stm list ->
+  Memory.t * Exec.result
+(** Run an AST: prepare memory, declare [locals], execute under a
+    ["driver.execute"] trace span.  Defaults: [Zeroed] memory,
+    [Sampled 6] mode, parameter-free env. *)
+
+val simulate :
+  ?mode:Exec.mode ->
+  ?memory:memory_kind ->
+  ?param_env:(string -> Zint.t) ->
+  ?on_global:(string -> int -> [ `Ld | `St ] -> unit) ->
+  Pipeline.compiled ->
+  Memory.t * Exec.result
+(** Run a compiled kernel: the tiled AST against the tiled program,
+    with the plan's buffers declared and accesses redirected when the
+    compilation staged data (its options had [stage_data], the
+    default).  Defaults: [Phantom] memory, [Sampled 6].
+    @raise Invalid_argument if the compilation has no generated kernel
+    (untiled, or stopped early). *)
+
+val reference :
+  ?memory:memory_kind ->
+  ?param_env:(string -> Zint.t) ->
+  ?on_global:(string -> int -> [ `Ld | `St ] -> unit) ->
+  Prog.t ->
+  Memory.t * Exec.counters
+(** Exact reference interpretation under a ["driver.reference"]
+    span.  Default memory: [Zeroed]. *)

@@ -1,0 +1,13 @@
+type t =
+  | File of string
+  | Stdin
+  | Text of { name : string; text : string }
+  | Program of { name : string; prog : Emsc_ir.Prog.t }
+
+let name = function
+  | File p -> p
+  | Stdin -> "<stdin>"
+  | Text { name; _ } -> name
+  | Program { name; _ } -> name
+
+let file path = if path = "-" then Stdin else File path

@@ -1,0 +1,20 @@
+(** Where a compilation job's program comes from.
+
+    The driver is consumed both by the CLI (textual programs in the
+    affine input language) and by the kernel/bench layers (programs
+    built directly in the IR); a [t] names either kind uniformly so
+    the rest of the pipeline never cares. *)
+
+type t =
+  | File of string  (** path to a program in the affine input language *)
+  | Stdin
+  | Text of { name : string; text : string }
+      (** in-memory source text; [name] is used in error messages and
+          reports only — the cache key is the content *)
+  | Program of { name : string; prog : Emsc_ir.Prog.t }
+      (** an already-built IR program (kernel generators) *)
+
+val name : t -> string
+
+val file : string -> t
+(** [file "-"] is {!Stdin}. *)

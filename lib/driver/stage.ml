@@ -1,0 +1,41 @@
+open Emsc_obs
+
+type ('a, 'b) t = {
+  name : string;
+  run : 'a -> 'b;
+}
+
+let v name run = { name; run }
+
+let ( >>> ) a b = { name = a.name ^ ">>" ^ b.name; run = (fun x -> b.run (a.run x)) }
+
+type timing = {
+  stage : string;
+  ms : float;
+  cacheable : bool;
+  cached : bool;
+}
+
+let timing_json t =
+  Json.Obj
+    [ ("stage", Json.Str t.stage);
+      ("ms", Json.Float t.ms);
+      ("cached", Json.Bool t.cached) ]
+
+let exec ?cache ~record st x =
+  let t0 = Unix.gettimeofday () in
+  let result, cacheable, cached =
+    Trace.span ("driver." ^ st.name) @@ fun () ->
+    match cache with
+    | Some (c, key) when Cache.enabled c ->
+      let value, hit = Cache.memo c ~key (fun () -> st.run x) in
+      Trace.count (if hit then "cache.hit" else "cache.miss") 1.0;
+      (value, true, hit)
+    | _ -> (st.run x, false, false)
+  in
+  record
+    { stage = st.name;
+      ms = (Unix.gettimeofday () -. t0) *. 1000.0;
+      cacheable;
+      cached };
+  result

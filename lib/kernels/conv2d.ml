@@ -38,3 +38,17 @@ let program ~n ~kw =
         Build.array2 "img" (n + kw) (n + kw) ~np;
         Build.array2 "w" kw kw ~np ];
     stmts = [ s ] }
+
+let job ?(n = 16) ?(kw = 3) () =
+  let spec =
+    [| { Emsc_transform.Tile.block = Some 8; mem = None; thread = None };
+       { Emsc_transform.Tile.block = Some 8; mem = None; thread = None };
+       { Emsc_transform.Tile.block = None; mem = Some kw; thread = None };
+       { Emsc_transform.Tile.block = None; mem = Some kw; thread = None } |]
+  in
+  Emsc_driver.Pipeline.job
+    ~options:
+      { Emsc_driver.Options.default with
+        tiling = Emsc_driver.Options.Spec spec }
+    (Emsc_driver.Source.Program
+       { name = Printf.sprintf "conv2d-n%d-k%d" n kw; prog = program ~n ~kw })

@@ -6,3 +6,7 @@
     v} *)
 
 val program : n:int -> kw:int -> Emsc_ir.Prog.t
+
+val job : ?n:int -> ?kw:int -> unit -> Emsc_driver.Pipeline.job
+(** Full-pipeline configuration: 8-blocks over the image, the window
+    loops memory-tiled at the kernel width. *)

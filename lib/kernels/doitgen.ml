@@ -45,3 +45,18 @@ let program ~nr ~nq ~np_ =
                Emsc_linalg.Vec.of_ints [ np_ ] |] };
         Build.array2 "c4" np_ np_ ~np ];
     stmts = [ s ] }
+
+let job ?(nr = 8) ?(nq = 8) ?(np_ = 16) () =
+  let spec =
+    [| { Emsc_transform.Tile.block = Some 4; mem = None; thread = None };
+       { Emsc_transform.Tile.block = Some 4; mem = None; thread = None };
+       { Emsc_transform.Tile.block = None; mem = Some 8; thread = None };
+       { Emsc_transform.Tile.block = None; mem = Some 8; thread = None } |]
+  in
+  Emsc_driver.Pipeline.job
+    ~options:
+      { Emsc_driver.Options.default with
+        tiling = Emsc_driver.Options.Spec spec }
+    (Emsc_driver.Source.Program
+       { name = Printf.sprintf "doitgen-%dx%dx%d" nr nq np_;
+         prog = program ~nr ~nq ~np_ })

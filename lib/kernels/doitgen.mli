@@ -3,3 +3,7 @@
     and a read-only coefficient matrix with order-of-magnitude reuse. *)
 
 val program : nr:int -> nq:int -> np_:int -> Emsc_ir.Prog.t
+
+val job : ?nr:int -> ?nq:int -> ?np_:int -> unit -> Emsc_driver.Pipeline.job
+(** Full-pipeline configuration: 4-blocks over (r, q), the
+    contraction loops memory-tiled by 8. *)

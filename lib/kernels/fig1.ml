@@ -44,3 +44,9 @@ let program =
   { Prog.params = [||];
     arrays = [ Build.array2 "A" 200 200 ~np; Build.array2 "B" 200 200 ~np ];
     stmts = [ s1; s2 ] }
+
+let job () =
+  Emsc_driver.Pipeline.job
+    ~options:
+      { Emsc_driver.Options.default with arch = `Cell; merge_per_array = true }
+    (Emsc_driver.Source.Program { name = "fig1"; prog = program })

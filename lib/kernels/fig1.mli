@@ -15,3 +15,9 @@
     framework reproduces those exact extents. *)
 
 val program : Emsc_ir.Prog.t
+
+val job : unit -> Emsc_driver.Pipeline.job
+(** Pipeline configuration: Cell-style planning with one buffer per
+    array — the paper's Figure 1 treatment.  The block is untiled (it
+    is already a single small block) and its statements have mixed
+    depths, so the band stage reports no common band. *)

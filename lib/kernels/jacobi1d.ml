@@ -72,3 +72,10 @@ let program_expanded ~n ~steps =
   { Prog.params = [||];
     arrays = [ Build.array2 "a" (steps + 1) n ~np ];
     stmts = [ s ] }
+
+let job ?(n = 64) ?(steps = 8) () =
+  Emsc_driver.Pipeline.job
+    ~options:{ Emsc_driver.Options.default with stop = Emsc_driver.Options.Band }
+    (Emsc_driver.Source.Program
+       { name = Printf.sprintf "jacobi1d-n%d-s%d" n steps;
+         prog = program_expanded ~n ~steps })

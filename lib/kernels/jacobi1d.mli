@@ -20,3 +20,9 @@ val program_expanded : n:int -> steps:int -> Emsc_ir.Prog.t
     [(1, -1), (1, 0), (1, 1)] admit the skewed permutable band
     {(1,0), (1,1)} — use for transform tests at small sizes (memory
     grows with [steps]). *)
+
+val job : ?n:int -> ?steps:int -> unit -> Emsc_driver.Pipeline.job
+(** Pipeline configuration over {!program_expanded}, stopping after
+    the band stage: the skewed permutable band is the result under
+    test, and the executable kernel comes from
+    {!Emsc_transform.Stencil}, not the rectangular tiler. *)

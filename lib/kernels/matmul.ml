@@ -33,3 +33,17 @@ let program ~n =
       [ Build.array2 "C" n n ~np; Build.array2 "A" n n ~np;
         Build.array2 "B" n n ~np ];
     stmts = [ s ] }
+
+let spec =
+  [| { Emsc_transform.Tile.block = Some 16; mem = None; thread = Some 4 };
+     { Emsc_transform.Tile.block = Some 16; mem = None; thread = Some 4 };
+     { Emsc_transform.Tile.block = None; mem = Some 8; thread = None } |]
+
+let job ?(n = 32) () =
+  Emsc_driver.Pipeline.job
+    ~options:
+      { Emsc_driver.Options.default with
+        arch = `Cell;
+        tiling = Emsc_driver.Options.Spec spec }
+    (Emsc_driver.Source.Program
+       { name = Printf.sprintf "matmul-n%d" n; prog = program ~n })

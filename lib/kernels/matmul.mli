@@ -3,3 +3,11 @@
 
 val program : n:int -> Emsc_ir.Prog.t
 (** Single statement of depth 3 (i, j, k) over an [n x n] problem. *)
+
+val spec : Emsc_transform.Tile.spec
+(** The canonical tiling: i, j across 16-blocks with 4-thread tiles,
+    k sub-tiled by 8 to bound the accumulator buffer. *)
+
+val job : ?n:int -> unit -> Emsc_driver.Pipeline.job
+(** Full-pipeline configuration (Cell planning over {!spec});
+    [n] defaults to 32. *)

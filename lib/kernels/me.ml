@@ -39,3 +39,24 @@ let program ~ni ~nj ~ws =
         Build.array2 "cur" (ni + ws) (nj + ws) ~np;
         Build.array2 "refb" (ni + ws) (nj + ws) ~np ];
     stmts = [ s ] }
+
+let spec ~ni ~nj (ti, tj, tk, tl) =
+  [| { Emsc_transform.Tile.block = Some ((ni + 7) / 8); mem = Some ti;
+       thread = None };
+     { Emsc_transform.Tile.block = Some ((nj + 3) / 4); mem = Some tj;
+       thread = None };
+     { Emsc_transform.Tile.block = None; mem = Some tk; thread = None };
+     { Emsc_transform.Tile.block = None; mem = Some tl; thread = None } |]
+
+let job ?(ni = 32) ?(nj = 32) ?(ws = 8) ?tiles ?(stage_data = true) () =
+  let tiles = match tiles with Some t -> t | None -> (ws, ws, ws, ws) in
+  let ti, tj, tk, tl = tiles in
+  Emsc_driver.Pipeline.job
+    ~options:
+      { Emsc_driver.Options.default with
+        arch = `Gpu;
+        stage_data;
+        tiling = Emsc_driver.Options.Spec (spec ~ni ~nj tiles) }
+    (Emsc_driver.Source.Program
+       { name = Printf.sprintf "me-%dx%d-ws%d-t%d.%d.%d.%d" ni nj ws ti tj tk tl;
+         prog = program ~ni ~nj ~ws })

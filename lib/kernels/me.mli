@@ -19,3 +19,15 @@
     reproducing the Figure 6 feasibility frontier. *)
 
 val program : ni:int -> nj:int -> ws:int -> Emsc_ir.Prog.t
+
+val spec :
+  ni:int -> nj:int -> int * int * int * int -> Emsc_transform.Tile.spec
+(** The paper's 8 x 4 block grid with memory tiles [(ti, tj, tk, tl)]. *)
+
+val job :
+  ?ni:int -> ?nj:int -> ?ws:int -> ?tiles:int * int * int * int ->
+  ?stage_data:bool -> unit -> Emsc_driver.Pipeline.job
+(** GPU pipeline configuration over {!spec}.  Defaults: a 32 x 32
+    frame with [ws = 8] and window-sized memory tiles;
+    [~stage_data:false] plans but does not emit movement (the
+    DRAM-only ablation). *)

@@ -1,0 +1,9 @@
+let jobs () =
+  [ Fig1.job (); Matmul.job (); Me.job (); Jacobi1d.job (); Conv2d.job ();
+    Doitgen.job () ]
+
+let names () =
+  List.map
+    (fun (j : Emsc_driver.Pipeline.job) ->
+      Emsc_driver.Source.name j.Emsc_driver.Pipeline.source)
+    (jobs ())

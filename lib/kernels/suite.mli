@@ -1,0 +1,9 @@
+(** The kernel suite as pipeline jobs — the batch every consumer
+    (tests, bench, [emsc compile] smoke runs) compiles. *)
+
+val jobs : unit -> Emsc_driver.Pipeline.job list
+(** One job per kernel at its default (small, fast) configuration,
+    in a fixed order: fig1, matmul, me, jacobi1d, conv2d, doitgen. *)
+
+val names : unit -> string list
+(** Source names of {!jobs}, in the same order. *)

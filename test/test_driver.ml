@@ -1,0 +1,262 @@
+(* The driver pipeline: stage memoization semantics, cross-process
+   (disk) cache persistence, batch-vs-sequential equivalence, trace
+   integration, and recoverable front-end errors. *)
+
+open Emsc_driver
+
+let matmul_src =
+  {|
+  array A[24][24];
+  array B[24][24];
+  array C[24][24];
+  for (i = 0; i <= 23; i++) {
+    for (j = 0; j <= 23; j++) {
+      for (k = 0; k <= 23; k++) {
+        C[i][j] += A[i][k] * B[k][j];
+      }
+    }
+  }
+  |}
+
+let src () = Source.Text { name = "matmul-test"; text = matmul_src }
+
+let compile_ok ?cache ?(options = Options.default) source =
+  match Pipeline.compile_source ?cache ~options source with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "compile failed: %s" (Frontend.error_message e)
+
+let stage_cached c name =
+  match
+    List.find_opt (fun (t : Stage.timing) -> t.Stage.stage = name)
+      c.Pipeline.timings
+  with
+  | Some t -> t.Stage.cached
+  | None -> Alcotest.failf "no %S stage in timings" name
+
+(* --- memoization semantics ------------------------------------------- *)
+
+let test_cache_hits () =
+  let cache = Cache.in_memory () in
+  let c1 = compile_ok ~cache (src ()) in
+  Alcotest.(check int) "first run misses" 0 c1.Pipeline.cache_hits;
+  Alcotest.(check bool) "first run has misses" true
+    (c1.Pipeline.cache_misses > 0);
+  let c2 = compile_ok ~cache (src ()) in
+  Alcotest.(check int) "second run all hits" c1.Pipeline.cache_misses
+    c2.Pipeline.cache_hits;
+  Alcotest.(check int) "second run no misses" 0 c2.Pipeline.cache_misses;
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " cached") true (stage_cached c2 name))
+    [ "deps"; "hyperplanes"; "plan" ];
+  Alcotest.(check string) "same digest" c1.Pipeline.digest c2.Pipeline.digest
+
+let test_option_change_misses_plan_only () =
+  let cache = Cache.in_memory () in
+  let (_ : Pipeline.compiled) = compile_ok ~cache (src ()) in
+  (* a different delta invalidates the plan, not the analyses *)
+  let c =
+    compile_ok ~cache ~options:{ Options.default with delta = 0.7 } (src ())
+  in
+  Alcotest.(check bool) "deps still hits" true (stage_cached c "deps");
+  Alcotest.(check bool) "hyperplanes still hits" true
+    (stage_cached c "hyperplanes");
+  Alcotest.(check bool) "plan misses" false (stage_cached c "plan")
+
+let test_tiling_change_misses () =
+  let cache = Cache.in_memory () in
+  let spec1 =
+    [| { Emsc_transform.Tile.block = Some 8; mem = None; thread = None };
+       { Emsc_transform.Tile.block = Some 8; mem = None; thread = None };
+       { Emsc_transform.Tile.block = None; mem = Some 4; thread = None } |]
+  in
+  let with_spec s =
+    { Options.default with arch = `Cell; tiling = Options.Spec s }
+  in
+  let (_ : Pipeline.compiled) =
+    compile_ok ~cache ~options:(with_spec spec1) (src ())
+  in
+  let c1 = compile_ok ~cache ~options:(with_spec spec1) (src ()) in
+  Alcotest.(check bool) "same spec: tile hits" true (stage_cached c1 "tile");
+  Alcotest.(check bool) "same spec: plan hits" true (stage_cached c1 "plan");
+  let spec2 =
+    [| spec1.(0); spec1.(1);
+       { Emsc_transform.Tile.block = None; mem = Some 8; thread = None } |]
+  in
+  let c2 = compile_ok ~cache ~options:(with_spec spec2) (src ()) in
+  Alcotest.(check bool) "changed spec: deps hits" true (stage_cached c2 "deps");
+  Alcotest.(check bool) "changed spec: tile misses" false
+    (stage_cached c2 "tile");
+  Alcotest.(check bool) "changed spec: plan misses" false
+    (stage_cached c2 "plan")
+
+let test_source_change_misses () =
+  let cache = Cache.in_memory () in
+  let (_ : Pipeline.compiled) = compile_ok ~cache (src ()) in
+  let other =
+    Source.Text
+      { name = "matmul-test";
+        text =
+          String.concat ""
+            [ matmul_src; "\n// a comment changes the content digest\n" ] }
+  in
+  let c = compile_ok ~cache other in
+  Alcotest.(check int) "different text: no hits" 0 c.Pipeline.cache_hits
+
+let test_disk_persistence () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "emsc-test-cache-%d" (Unix.getpid ()))
+  in
+  (* two distinct cache values over the same directory model two
+     separate processes: the second must hit via the disk layer *)
+  let c1 = compile_ok ~cache:(Cache.create ~dir ()) (src ()) in
+  Alcotest.(check int) "cold" 0 c1.Pipeline.cache_hits;
+  let c2 = compile_ok ~cache:(Cache.create ~dir ()) (src ()) in
+  Alcotest.(check int) "warm via disk" c1.Pipeline.cache_misses
+    c2.Pipeline.cache_hits;
+  Alcotest.(check int) "no misses" 0 c2.Pipeline.cache_misses
+
+let test_corrupt_entry_is_miss () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "emsc-test-corrupt-%d" (Unix.getpid ()))
+  in
+  let (_ : Pipeline.compiled) = compile_ok ~cache:(Cache.create ~dir ()) (src ()) in
+  Array.iter
+    (fun f ->
+      let path = Filename.concat dir f in
+      let oc = open_out path in
+      output_string oc "garbage";
+      close_out oc)
+    (Sys.readdir dir);
+  let c = compile_ok ~cache:(Cache.create ~dir ()) (src ()) in
+  Alcotest.(check int) "corrupt entries all miss" 0 c.Pipeline.cache_hits
+
+(* --- batch ------------------------------------------------------------ *)
+
+let fingerprint (c : Pipeline.compiled) =
+  let plan_s =
+    match c.Pipeline.plan with
+    | Some p ->
+      Emsc_obs.Json.to_string (Emsc_core.Plan.explain_json p)
+    | None -> "<no plan>"
+  in
+  let band_s =
+    match c.Pipeline.band with
+    | Some b ->
+      String.concat ";"
+        (List.map
+           (fun v -> Format.asprintf "%a" Emsc_linalg.Vec.pp v)
+           b.Emsc_transform.Hyperplanes.hyperplanes)
+    | None -> "<no band>"
+  in
+  (c.Pipeline.source_name, c.Pipeline.digest, band_s, plan_s)
+
+let test_batch_matches_sequential () =
+  let jobs = Emsc_kernels.Suite.jobs () in
+  let seq = Pipeline.compile_many ~jobs:1 jobs in
+  let par = Pipeline.compile_many ~jobs:3 jobs in
+  Alcotest.(check int) "same cardinality" (List.length seq) (List.length par);
+  List.iter2
+    (fun a b ->
+      match (a, b) with
+      | Ok a, Ok b ->
+        let na, da, ba, pa = fingerprint a in
+        let nb, db, bb, pb = fingerprint b in
+        Alcotest.(check string) "name" na nb;
+        Alcotest.(check string) "digest" da db;
+        Alcotest.(check string) ("band " ^ na) ba bb;
+        Alcotest.(check string) ("plan " ^ na) pa pb
+      | Error e, _ | _, Error e ->
+        Alcotest.failf "suite kernel failed: %s" (Frontend.error_message e))
+    seq par
+
+let test_batch_reports_bad_file () =
+  let jobs =
+    [ Pipeline.job (src ());
+      Pipeline.job (Source.Text { name = "broken"; text = "for (;;)" });
+      Pipeline.job (src ()) ]
+  in
+  let results = Pipeline.compile_many ~jobs:2 jobs in
+  (match results with
+   | [ Ok _; Error e; Ok _ ] ->
+     Alcotest.(check string) "failure origin" "broken" e.Frontend.origin
+   | _ -> Alcotest.fail "expected [Ok; Error; Ok] in input order");
+  ()
+
+(* --- tracing ---------------------------------------------------------- *)
+
+let test_stage_spans () =
+  Emsc_obs.Trace.reset ();
+  Emsc_obs.Trace.enable ();
+  let finally () =
+    Emsc_obs.Trace.disable ();
+    Emsc_obs.Trace.reset ()
+  in
+  Fun.protect ~finally (fun () ->
+    let (_ : Pipeline.compiled) = compile_ok ~cache:(Cache.in_memory ()) (src ()) in
+    let names = List.map (fun (n, _, _) -> n) (Emsc_obs.Trace.aggregate ()) in
+    List.iter
+      (fun n ->
+        Alcotest.(check bool) ("span " ^ n) true (List.mem n names))
+      [ "driver.parse"; "driver.deps"; "driver.hyperplanes"; "driver.plan" ])
+
+(* --- front-end errors ------------------------------------------------- *)
+
+let test_parse_error () =
+  match Pipeline.compile_source (Source.Text { name = "bad"; text = "for (" }) with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error e ->
+    Alcotest.(check string) "origin" "bad" e.Frontend.origin;
+    Alcotest.(check string) "stage" "parse" e.Frontend.stage
+
+let test_missing_file () =
+  match Pipeline.compile_source (Source.file "/nonexistent/x.emsc") with
+  | Ok _ -> Alcotest.fail "expected a read error"
+  | Error e -> Alcotest.(check string) "stage" "read" e.Frontend.stage
+
+let test_pipeline_failure_is_error () =
+  (* an unbounded parametric block cannot size its buffers: the plan
+     stage fails, and the failure must surface as a result, not an
+     exception or exit *)
+  let text =
+    {|
+    param N;
+    array A[N];
+    for (i = 0; i <= N - 1; i++) { A[i] = A[i] + 1; }
+    |}
+  in
+  match
+    Pipeline.compile_source
+      ~options:{ Options.default with arch = `Cell; find_band = false }
+      (Source.Text { name = "unbounded"; text })
+  with
+  | Ok c -> Alcotest.(check bool) "plan exists" true (c.Pipeline.plan <> None)
+  | Error e -> Alcotest.(check string) "stage" "pipeline" e.Frontend.stage
+
+let () =
+  Alcotest.run "driver"
+    [ ( "cache",
+        [ Alcotest.test_case "repeat compilation hits" `Quick test_cache_hits;
+          Alcotest.test_case "delta change misses plan only" `Quick
+            test_option_change_misses_plan_only;
+          Alcotest.test_case "tile change misses tile+plan" `Quick
+            test_tiling_change_misses;
+          Alcotest.test_case "source change misses" `Quick
+            test_source_change_misses;
+          Alcotest.test_case "disk persistence" `Quick test_disk_persistence;
+          Alcotest.test_case "corrupt entry is a miss" `Quick
+            test_corrupt_entry_is_miss ] );
+      ( "batch",
+        [ Alcotest.test_case "parallel equals sequential" `Slow
+            test_batch_matches_sequential;
+          Alcotest.test_case "bad file is isolated" `Quick
+            test_batch_reports_bad_file ] );
+      ( "observability",
+        [ Alcotest.test_case "stage spans present" `Quick test_stage_spans ] );
+      ( "frontend",
+        [ Alcotest.test_case "parse error" `Quick test_parse_error;
+          Alcotest.test_case "missing file" `Quick test_missing_file;
+          Alcotest.test_case "pipeline failure is a result" `Quick
+            test_pipeline_failure_is_error ] ) ]
