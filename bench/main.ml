@@ -618,6 +618,28 @@ let batch () =
     n t_seq t_par (t_seq /. t_par) (Pipeline.default_jobs ()) t_warm
 
 (* ------------------------------------------------------------------ *)
+(* Differential-testing health: a small fixed-seed fuzz run            *)
+(* ------------------------------------------------------------------ *)
+
+let check () =
+  pf "=== Differential testing (emsc check, fuzz=10 seed=1) ===\n";
+  let t0 = Unix.gettimeofday () in
+  let r = Emsc_check.Fuzz.run ~fuzz:10 ~seed:1 () in
+  let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  record_point ~fig:"check" ~series:"wall" ~x:"fuzz-10" ms;
+  record_point ~fig:"check" ~series:"checks" ~x:"fuzz-10" ~unit_:"count"
+    (float_of_int r.Emsc_check.Fuzz.checks);
+  record_note ~fig:"check" "failures"
+    (J.Int (List.length r.Emsc_check.Fuzz.failures));
+  pf "%d generated, %d suite kernel(s), %d check(s), %d failure(s), %.1f ms\n\n"
+    r.Emsc_check.Fuzz.generated r.Emsc_check.Fuzz.suite
+    r.Emsc_check.Fuzz.checks
+    (List.length r.Emsc_check.Fuzz.failures)
+    ms;
+  if r.Emsc_check.Fuzz.failures <> [] then
+    failwith "bench: check artifact found failures"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the compiler passes                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -695,7 +717,7 @@ let micro () =
 let all_figs =
   [ ("fig4", fig4); ("fig5", fig5); ("fig6", fig6); ("fig7", fig7);
     ("fig8", fig8); ("ablations", ablations); ("batch", batch);
-    ("micro", micro) ]
+    ("check", check); ("micro", micro) ]
 
 let () =
   let requested =

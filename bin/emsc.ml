@@ -11,6 +11,10 @@
      emsc band FILE         tiling-hyperplane search
      emsc run FILE          execute the program on the reference
                             interpreter and print array checksums
+     emsc check             differential testing: random affine programs
+                            and the kernel suite through the pipeline,
+                            transformed execution vs. the reference
+                            interpreter, plus static plan invariants
 
    FILE is a program in the affine input language (see
    lib/lang/parser.mli); use '-' for stdin.  Every command goes through
@@ -390,6 +394,42 @@ let profile_cmd =
           $ globalsync_arg $ param_args $ trace_arg $ nocache_arg
           $ cachedir_arg $ out_arg)
 
+(* --- emsc check --------------------------------------------------------- *)
+
+let check_cmd =
+  let fuzz_arg =
+    Arg.(value & opt int 50
+         & info [ "fuzz" ] ~docv:"N"
+             ~doc:"Number of random affine programs to generate and check.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1
+         & info [ "seed" ] ~docv:"S"
+             ~doc:"Seed of the program generator (same seed, same programs).")
+  in
+  let run fuzz seed json trace out =
+    with_trace trace @@ fun () ->
+    let progress =
+      if json then fun _ -> () else fun m -> Printf.eprintf "emsc check: %s\n%!" m
+    in
+    let report =
+      Emsc_check.Fuzz.run ~fuzz ~seed ~capacity_words ~progress ()
+    in
+    if json then emit_json out (Emsc_check.Fuzz.report_json report)
+    else Format.printf "%a@." Emsc_check.Fuzz.pp_report report;
+    if report.Emsc_check.Fuzz.failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Differential testing and invariant checking: run randomly \
+             generated affine programs and the kernel suite through the \
+             pipeline at several planner settings, compare transformed \
+             execution against the reference interpreter bit-for-bit, and \
+             verify the static plan invariants (single transfer, bounds, \
+             capacity, write-back safety).  Failing random programs are \
+             shrunk to a minimal reproducer.  Exits 1 on any failure.")
+    Term.(const run $ fuzz_arg $ seed_arg $ json_arg $ trace_arg $ out_arg)
+
 (* --- emsc compile ------------------------------------------------------- *)
 
 let compile_cmd =
@@ -480,4 +520,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ analyze_cmd; compile_cmd; profile_cmd; deps_cmd; band_cmd;
-            run_cmd ]))
+            run_cmd; check_cmd ]))

@@ -1,0 +1,36 @@
+(** The check harness behind [emsc check]: differential fuzzing of the
+    whole pipeline plus static plan invariants.
+
+    Every generated program (see {!Gen}) is compiled under several
+    planner settings (per-array merging, movement optimization, both
+    architectures, two delta values, and — when the program is
+    dependence-free and single-statement — rectangular tiling), then
+    validated by the {!Oracle} and by {!Invariants}.  A failing program
+    is minimized with {!Shrink} before being reported.  The kernel
+    suite ({!Emsc_kernels.Suite}) runs through the same two validators
+    under its own per-kernel options. *)
+
+type failure = {
+  origin : string;  (** ["gen#i"] or the suite kernel name *)
+  setting : string;
+  reason : string;
+  program : string;  (** minimized program, pretty-printed *)
+}
+
+type report = {
+  generated : int;
+  suite : int;
+  checks : int;  (** (program, setting) pairs validated *)
+  failures : failure list;
+}
+
+val run :
+  ?fuzz:int -> ?seed:int -> ?capacity_words:int -> ?progress:(string -> unit) ->
+  unit -> report
+(** Defaults: [fuzz = 50], [seed = 1], [capacity_words = 4096] (the
+    GTX 8800 scratchpad).  Program [i] is drawn from
+    [Random.State.make [| seed; i |]], so any failure reproduces from
+    its index alone. *)
+
+val report_json : report -> Emsc_obs.Json.t
+val pp_report : Format.formatter -> report -> unit

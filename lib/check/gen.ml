@@ -1,0 +1,193 @@
+open Emsc_arith
+open Emsc_linalg
+open Emsc_poly
+open Emsc_ir
+
+type access_spec = {
+  arr : string;
+  kind : Prog.access_kind;
+  rows : int array array;
+}
+
+type stmt_spec = {
+  depth : int;
+  lo : int array;
+  hi : int array;
+  param_ub : bool array;
+  write : access_spec;
+  reads : access_spec list;
+}
+
+type t = {
+  uses_param : bool;
+  n_value : int;
+  ranks : (string * int) list;
+  stmts : stmt_spec list;
+}
+
+(* ---- generation ------------------------------------------------------- *)
+
+let array_names = [| "A"; "B"; "C" |]
+let iter_names_pool = [| "i"; "j" |]
+
+let pick rng a = a.(Random.State.int rng (Array.length a))
+
+(* dimensions bounded by [n-1] only take coefficients in {0,1}: the
+   subscript minimum then does not depend on n, so the non-negativity
+   shift stays a constant and extents stay affine in n *)
+let coef_const = [| 0; 1; 1; 1; -1; 2 |]
+let coef_param = [| 0; 1; 1 |]
+
+let gen_access rng (ranks : (string * int) list) ~depth ~param_ub kind =
+  let arr, rank = List.nth ranks (Random.State.int rng (List.length ranks)) in
+  let rows =
+    Array.init rank (fun _ ->
+      let row = Array.make (depth + 1) 0 in
+      for d = 0 to depth - 1 do
+        row.(d) <-
+          pick rng (if param_ub.(d) then coef_param else coef_const)
+      done;
+      row.(depth) <- Random.State.int rng 3;
+      row)
+  in
+  { arr; kind; rows }
+
+let gen_stmt rng ~uses_param ranks =
+  let depth = 1 + Random.State.int rng 2 in
+  let lo = Array.init depth (fun _ -> Random.State.int rng 3) in
+  let hi = Array.map (fun l -> l + 1 + Random.State.int rng 6) lo in
+  let param_ub =
+    Array.init depth (fun _ -> uses_param && Random.State.bool rng)
+  in
+  let write = gen_access rng ranks ~depth ~param_ub Prog.Write in
+  let nreads = Random.State.int rng 4 in
+  let reads =
+    List.init nreads (fun _ -> gen_access rng ranks ~depth ~param_ub Prog.Read)
+  in
+  { depth; lo; hi; param_ub; write; reads }
+
+let generate rng =
+  let uses_param = Random.State.int rng 4 = 0 in
+  let n_value = 4 + Random.State.int rng 5 in
+  let narrays = 2 + Random.State.int rng 2 in
+  let ranks =
+    List.init narrays (fun k ->
+      (array_names.(k), 1 + Random.State.int rng 2))
+  in
+  let nstmts = 1 + Random.State.int rng 3 in
+  let stmts = List.init nstmts (fun _ -> gen_stmt rng ~uses_param ranks) in
+  { uses_param; n_value; ranks; stmts }
+
+(* ---- materialization -------------------------------------------------- *)
+
+let param_env t name =
+  if t.uses_param && name = "n" then Zint.of_int t.n_value
+  else failwith ("Gen.param_env: unbound parameter " ^ name)
+
+(* per subscript row: the constant shift making its minimum 0, and its
+   affine maximum (p*n + c form) after that shift *)
+let row_shift_and_max (s : stmt_spec) (row : int array) =
+  let minv = ref row.(s.depth) and maxc = ref row.(s.depth) and maxp = ref 0 in
+  for d = 0 to s.depth - 1 do
+    let c = row.(d) in
+    if s.param_ub.(d) then begin
+      (* c is in {0,1}: minimum at lo, maximum at n-1 *)
+      minv := !minv + (c * s.lo.(d));
+      maxp := !maxp + c;
+      maxc := !maxc - c
+    end
+    else begin
+      let a = c * s.lo.(d) and b = c * s.hi.(d) in
+      minv := !minv + min a b;
+      maxc := !maxc + max a b
+    end
+  done;
+  let shift = if !minv < 0 then - !minv else 0 in
+  (shift, (!maxp, !maxc + shift))
+
+let materialize t =
+  let np = if t.uses_param then 1 else 0 in
+  let params = if t.uses_param then [| "n" |] else [||] in
+  (* (array, dim) -> affine extent candidates as (n coeff, const) *)
+  let extent_max : (string * int, int * int) Hashtbl.t = Hashtbl.create 16 in
+  let note_extent arr k (p, c) =
+    (* extent must cover index max + 1; among affine candidates keep
+       the one largest at the actual runtime value of n *)
+    let cand = (p, c + 1) in
+    let at_n (p, c) = (p * t.n_value) + c in
+    match Hashtbl.find_opt extent_max (arr, k) with
+    | Some cur when at_n cur >= at_n cand -> ()
+    | _ -> Hashtbl.replace extent_max (arr, k) cand
+  in
+  let mk_access (s : stmt_spec) (a : access_spec) =
+    let rows =
+      Array.to_list a.rows
+      |> List.mapi (fun k row ->
+           let shift, mx = row_shift_and_max s row in
+           note_extent a.arr k mx;
+           List.init (s.depth + np + 1) (fun j ->
+             if j < s.depth then row.(j)
+             else if j < s.depth + np then 0
+             else row.(s.depth) + shift))
+    in
+    Prog.mk_access ~array:a.arr ~kind:a.kind ~rows
+  in
+  let mk_stmt idx (s : stmt_spec) =
+    let dim = s.depth + np in
+    let ineqs =
+      List.concat
+        (List.init s.depth (fun d ->
+           let ge = Vec.make (dim + 1) in
+           ge.(d) <- Zint.one;
+           ge.(dim) <- Zint.of_int (- s.lo.(d));
+           let le = Vec.make (dim + 1) in
+           le.(d) <- Zint.minus_one;
+           if s.param_ub.(d) then begin
+             le.(s.depth) <- Zint.one;
+             le.(dim) <- Zint.minus_one
+           end
+           else le.(dim) <- Zint.of_int s.hi.(d);
+           [ ge; le ]))
+    in
+    let domain = Poly.make ~dim ~eqs:[] ~ineqs in
+    let write = mk_access s s.write in
+    let reads = List.map (mk_access s) s.reads in
+    let seed =
+      Prog.Eadd (Prog.Econst (1.0 +. (0.25 *. float_of_int idx)), Prog.Eiter 0)
+    in
+    let rhs =
+      List.fold_left
+        (fun e r -> Prog.Eadd (Prog.Emul (Prog.Econst 0.75, e), Prog.Eref r))
+        seed reads
+    in
+    Build.stmt ~id:(idx + 1)
+      ~name:(Printf.sprintf "S%d" idx)
+      ~np ~depth:s.depth
+      ~iter_names:(Array.sub iter_names_pool 0 s.depth)
+      ~domain ~writes:[ write ] ~reads ~body:(write, rhs)
+      ~beta:(idx :: List.init s.depth (fun _ -> 0))
+      ()
+  in
+  (* statements first: materializing accesses populates [extent_max] *)
+  let stmts = List.mapi mk_stmt t.stmts in
+  let arrays =
+    List.map (fun (arr, rank) ->
+      let extents =
+        Array.init rank (fun k ->
+          let p, c =
+            match Hashtbl.find_opt extent_max (arr, k) with
+            | Some e -> e
+            | None -> (0, 1)  (* dimension never accessed *)
+          in
+          let row = Vec.make (np + 1) in
+          if np > 0 then row.(0) <- Zint.of_int p;
+          row.(np) <- Zint.of_int c;
+          row)
+      in
+      { Prog.array_name = arr; rank; extents })
+      t.ranks
+  in
+  { Prog.params; arrays; stmts }
+
+let to_string t =
+  Format.asprintf "n=%d@.%a" t.n_value Prog.pp (materialize t)

@@ -1,0 +1,58 @@
+(** Seeded random affine programs for the differential oracle.
+
+    A generated program is described by a small shrinkable [spec]; the
+    spec materializes deterministically into a {!Emsc_ir.Prog.t}, so a
+    failing spec can be minimized (see {!Shrink}) and re-materialized
+    without re-running the random draw.
+
+    The generated space covers what the Section 3 framework accepts:
+    1-3 statements of depth 1-2 with constant (or, for a quarter of the
+    programs, parametric [n-1]) rectangular bounds, each statement with
+    one affine write and up to three affine reads over a shared pool of
+    1-2 dimensional arrays.  Subscripts mix shifts, coefficient-2
+    scalings and reversals, so data spaces overlap, nest and interleave
+    between statements. *)
+
+open Emsc_arith
+open Emsc_ir
+
+type access_spec = {
+  arr : string;
+  kind : Prog.access_kind;
+  rows : int array array;
+      (** one row per array dimension: iterator coefficients (width =
+          statement depth) then the constant.  Parameters never appear
+          in subscripts; a dimension bounded by [n-1] keeps its
+          subscript coefficients in [{0,1}] so extents stay affine. *)
+}
+
+type stmt_spec = {
+  depth : int;
+  lo : int array;
+  hi : int array;  (** inclusive; ignored where [param_ub] holds *)
+  param_ub : bool array;  (** upper bound is [n-1] instead of [hi] *)
+  write : access_spec;
+  reads : access_spec list;
+}
+
+type t = {
+  uses_param : bool;  (** program parameter ["n"] exists *)
+  n_value : int;  (** runtime value of ["n"] for the oracle *)
+  ranks : (string * int) list;  (** array name -> rank, fixed up front *)
+  stmts : stmt_spec list;
+}
+
+val generate : Random.State.t -> t
+(** Draw a spec.  All randomness comes from the given state, so a seed
+    reproduces the program exactly. *)
+
+val materialize : t -> Prog.t
+(** Deterministic spec-to-IR elaboration: subscripts are shifted so
+    every access lands at non-negative indices and array extents are
+    derived from the maximal subscript values. *)
+
+val param_env : t -> string -> Zint.t
+(** Binds ["n"] to [n_value]; fails on other names. *)
+
+val to_string : t -> string
+(** The materialized program, pretty-printed (for failure reports). *)

@@ -1,0 +1,45 @@
+(** Static invariants of a finished {!Emsc_core.Plan.t}, checked by
+    abstract interpretation of the movement code under a concrete
+    parameter valuation:
+
+    - single transfer: the move-in (resp. move-out) scans of a buffer
+      touch each global element at most once, even when the member data
+      spaces overlap — the paper's disjoint-scan guarantee;
+    - movement matches the data spaces: move-in copies exactly the
+      instantiated read union (at most, under optimized movement), and
+      move-out writes exactly the instantiated write union of live-out
+      arrays and nothing when an array is not live-out;
+    - bounds: every copy's local index and every rewritten access
+      [F'(y) - g] stays inside the buffer's [0, size) box;
+    - write-back safety: every element the move-out scan copies to
+      global memory holds a defined value — it was either staged by the
+      move-in scan or produced by some rewritten write instance (this is
+      the invariant that catches rational-image "lattice holes" of
+      strided writes being copied out of uninitialized buffer cells);
+    - capacity: the summed buffer footprint fits the scratchpad.
+
+    The valuation [env] must bind every parameter of the plan's program
+    (for a tiled plan: the tile origins, which should be taken inside
+    the tile-origin context — e.g. each dimension's lower bound). *)
+
+open Emsc_arith
+open Emsc_core
+
+type violation = {
+  buffer : string;  (** local buffer name, or ["<plan>"] for capacity *)
+  invariant : string;  (** short machine-usable tag *)
+  detail : string;
+}
+
+val check :
+  ?capacity_words:int ->
+  ?live_out:(string -> bool) ->
+  ?optimized_movement:bool ->
+  env:(string -> Zint.t) ->
+  Plan.t ->
+  violation list
+(** Empty list = all invariants hold.  [optimized_movement] relaxes the
+    exact-cover checks to containment (the Section 3.1.4 optimization
+    legitimately copies less). *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,26 @@
+(** Differential oracle: transformed execution versus the reference
+    interpreter, bit-for-bit.
+
+    Equality (not approximate closeness) is the right notion here: a
+    correct plan only re-routes loads and stores through scratchpad
+    buffers and never re-associates arithmetic, so every float produced
+    must be identical to the reference run.  Both executions start from
+    the same pseudorandom memory image ({!Emsc_driver.Runner}'s
+    deterministic initializer).
+
+    Two harnesses:
+    - compilations with a generated kernel ([tiled <> None]) run the
+      tiled AST through the machine simulator in [Full] mode;
+    - untiled compilations replay the reference instance stream (exact
+      schedule order) with accesses rewritten into the plan's buffers,
+      bracketed by the plan's move-in and move-out code — this
+      validates allocation, access rewriting and movement in
+      isolation from the (separately tested) tiling transformation. *)
+
+open Emsc_arith
+open Emsc_driver
+
+val check_compiled :
+  param_env:(string -> Zint.t) -> Pipeline.compiled -> (unit, string) result
+(** [Error reason] on the first mismatching array element, on a missing
+    plan, or on an execution failure (the reason says which). *)

@@ -1,0 +1,128 @@
+(* candidate order matters: structural deletions first (they shrink the
+   search space the most), then bound and coefficient reductions *)
+
+let drop_nth l n = List.filteri (fun i _ -> i <> n) l
+
+let map_nth l n f = List.mapi (fun i x -> if i = n then f x else x) l
+
+let drop_statements (t : Gen.t) =
+  if List.length t.Gen.stmts <= 1 then []
+  else
+    List.init (List.length t.Gen.stmts) (fun i ->
+      { t with Gen.stmts = drop_nth t.Gen.stmts i })
+
+let drop_reads (t : Gen.t) =
+  List.concat
+    (List.mapi
+       (fun si (s : Gen.stmt_spec) ->
+         List.init (List.length s.Gen.reads) (fun ri ->
+           { t with
+             Gen.stmts =
+               map_nth t.Gen.stmts si (fun s ->
+                 { s with Gen.reads = drop_nth s.Gen.reads ri }) }))
+       t.Gen.stmts)
+
+let shrink_bounds (t : Gen.t) =
+  List.concat
+    (List.mapi
+       (fun si (s : Gen.stmt_spec) ->
+         List.concat
+           (List.init s.Gen.depth (fun d ->
+              let lo = s.Gen.lo.(d) and hi = s.Gen.hi.(d) in
+              if hi - lo < 2 then []
+              else begin
+                (* halve the extent, keeping it non-empty *)
+                let hi' = lo + ((hi - lo) / 2) in
+                [ { t with
+                    Gen.stmts =
+                      map_nth t.Gen.stmts si (fun s ->
+                        let hi2 = Array.copy s.Gen.hi in
+                        hi2.(d) <- hi';
+                        { s with Gen.hi = hi2 }) } ]
+              end)))
+       t.Gen.stmts)
+
+let clear_param_ubs (t : Gen.t) =
+  List.concat
+    (List.mapi
+       (fun si (s : Gen.stmt_spec) ->
+         List.concat
+           (List.init s.Gen.depth (fun d ->
+              if not s.Gen.param_ub.(d) then []
+              else
+                [ { t with
+                    Gen.stmts =
+                      map_nth t.Gen.stmts si (fun s ->
+                        let pu = Array.copy s.Gen.param_ub in
+                        pu.(d) <- false;
+                        { s with Gen.param_ub = pu }) } ])))
+       t.Gen.stmts)
+
+let drop_param (t : Gen.t) =
+  let uses_ub =
+    List.exists (fun (s : Gen.stmt_spec) -> Array.exists Fun.id s.Gen.param_ub)
+      t.Gen.stmts
+  in
+  if t.Gen.uses_param && not uses_ub then [ { t with Gen.uses_param = false } ]
+  else []
+
+let shrink_n (t : Gen.t) =
+  if t.Gen.uses_param && t.Gen.n_value > 4 then
+    [ { t with Gen.n_value = t.Gen.n_value - 1 } ]
+  else []
+
+let shrink_access (a : Gen.access_spec) =
+  let rows = a.Gen.rows in
+  List.concat
+    (List.init (Array.length rows) (fun r ->
+       List.concat
+         (List.init (Array.length rows.(r)) (fun c ->
+            if rows.(r).(c) = 0 then []
+            else
+              [ { a with
+                  Gen.rows =
+                    Array.mapi (fun i row ->
+                      if i <> r then row
+                      else
+                        Array.mapi (fun j v -> if j = c then 0 else v) row)
+                      rows } ]))))
+
+let shrink_coefficients (t : Gen.t) =
+  List.concat
+    (List.mapi
+       (fun si (s : Gen.stmt_spec) ->
+         let with_write =
+           List.map (fun w ->
+             { t with
+               Gen.stmts =
+                 map_nth t.Gen.stmts si (fun s -> { s with Gen.write = w }) })
+             (shrink_access s.Gen.write)
+         in
+         let with_read =
+           List.concat
+             (List.mapi
+                (fun ri r ->
+                  List.map (fun r' ->
+                    { t with
+                      Gen.stmts =
+                        map_nth t.Gen.stmts si (fun s ->
+                          { s with Gen.reads = map_nth s.Gen.reads ri (fun _ -> r') }) })
+                    (shrink_access r))
+                s.Gen.reads)
+         in
+         with_write @ with_read)
+       t.Gen.stmts)
+
+let candidates t =
+  drop_statements t @ drop_reads t @ clear_param_ubs t @ drop_param t
+  @ shrink_n t @ shrink_bounds t @ shrink_coefficients t
+
+let minimize ?(max_steps = 200) ~still_fails spec =
+  let rec go steps spec =
+    if steps <= 0 then spec
+    else
+      match List.find_opt still_fails (candidates spec) with
+      | Some smaller -> go (steps - 1) smaller
+      | None -> spec
+  in
+  go max_steps spec

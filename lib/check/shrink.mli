@@ -1,0 +1,14 @@
+(** Greedy minimizer for failing generated programs.
+
+    A shrink candidate is a strictly simpler {!Gen.t} (fewer
+    statements, fewer reads, smaller bounds, smaller coefficients, no
+    parameter).  [minimize] repeatedly replaces the spec by its first
+    candidate that still fails, so the failure reported to the user is
+    near-minimal while remaining deterministic. *)
+
+val candidates : Gen.t -> Gen.t list
+(** Strictly simpler variants, most aggressive first. *)
+
+val minimize : ?max_steps:int -> still_fails:(Gen.t -> bool) -> Gen.t -> Gen.t
+(** [minimize ~still_fails spec] assumes [still_fails spec = true] and
+    returns a spec on which it still holds. *)

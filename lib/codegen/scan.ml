@@ -43,33 +43,48 @@ let scan_poly ?context ~names ~outer ~body p =
     in
     let guards =
       List.map (Ast.vec_to_aexpr ~names:name) guard_rows
-      |> List.filter (function Ast.Const _ -> false | _ -> true)
     in
-    let rec build j =
-      if j >= dim then body
-      else begin
-        let { Bounds.lowers; uppers } = levels.(j) in
-        if lowers = [] || uppers = [] then
-          invalid_arg
-            (Printf.sprintf "Scan.scan_poly: dimension %d (%s) unbounded" j
-               (name j));
-        let lb =
-          Ast.simplify
-            (Ast.Max
-               (List.map (bound_to_aexpr ~names:name ~kind:`Lower) lowers))
-        in
-        let ub =
-          Ast.simplify
-            (Ast.Min
-               (List.map (bound_to_aexpr ~names:name ~kind:`Upper) uppers))
-        in
-        [ Ast.Loop
-            { var = name j; lb; ub; step = Zint.one; par = Ast.Seq;
-              body = build (j + 1) } ]
-      end
+    let always_false =
+      List.exists
+        (function Ast.Const c -> Zint.is_negative c | _ -> false)
+        guards
     in
-    let loops = build outer in
-    match guards with [] -> loops | _ -> [ Ast.Guard (guards, loops) ]
+    let guards =
+      List.filter (function Ast.Const _ -> false | _ -> true) guards
+    in
+    (* the FM chain behind [loop_bounds] tightens each bound to the
+       integer grid, so a piece with rational points but no integer
+       points (e.g. a make_disjoint sliver pinning a dim between 10/3
+       and 10/3) projects to a contradictory residue: scan nothing
+       rather than misreport the missing bound rows as "unbounded" *)
+    if always_false || Poly.is_empty residual then []
+    else begin
+      let rec build j =
+        if j >= dim then body
+        else begin
+          let { Bounds.lowers; uppers } = levels.(j) in
+          if lowers = [] || uppers = [] then
+            invalid_arg
+              (Printf.sprintf "Scan.scan_poly: dimension %d (%s) unbounded" j
+                 (name j));
+          let lb =
+            Ast.simplify
+              (Ast.Max
+                 (List.map (bound_to_aexpr ~names:name ~kind:`Lower) lowers))
+          in
+          let ub =
+            Ast.simplify
+              (Ast.Min
+                 (List.map (bound_to_aexpr ~names:name ~kind:`Upper) uppers))
+          in
+          [ Ast.Loop
+              { var = name j; lb; ub; step = Zint.one; par = Ast.Seq;
+                body = build (j + 1) } ]
+        end
+      in
+      let loops = build outer in
+      match guards with [] -> loops | _ -> [ Ast.Guard (guards, loops) ]
+    end
   end
 
 let scan_uset ?context ~names ~outer ~body u =

@@ -100,3 +100,47 @@ let reads_union p part =
 
 let writes_union p part =
   union_of p part (fun d -> d.access.Prog.kind = Prog.Write)
+
+(* Sufficient test that the rational image has no integer "holes": all
+   iterator coefficients are unit, and rows discharge one by one, each
+   owning an iterator (unit coefficient) no other remaining row uses —
+   the map is then completable to a unimodular change of basis, so
+   every integer point of the image has an integer preimage.  Rows with
+   no iterator at all (constant subscripts) are exact by themselves. *)
+let exact_image (s : Prog.stmt) (a : Prog.access) =
+  let depth = s.Prog.depth in
+  let unit_coef v = Zint.compare (Zint.abs v) Zint.one <= 0 in
+  let iter_part =
+    Array.to_list (Array.map (fun row -> Array.sub row 0 depth) a.Prog.map)
+  in
+  List.for_all (fun r -> Array.for_all unit_coef r) iter_part
+  && begin
+    let remaining =
+      ref
+        (List.filter
+           (fun r -> Array.exists (fun c -> not (Zint.is_zero c)) r)
+           iter_part)
+    in
+    let progress = ref true in
+    while !progress && !remaining <> [] do
+      progress := false;
+      let owns_pivot r =
+        let found = ref false in
+        Array.iteri (fun c v ->
+          if
+            (not !found)
+            && (not (Zint.is_zero v))
+            && List.for_all (fun r' -> r' == r || Zint.is_zero r'.(c))
+                 !remaining
+          then found := true)
+          r;
+        !found
+      in
+      match List.find_opt owns_pivot !remaining with
+      | Some r ->
+        remaining := List.filter (fun r' -> r' != r) !remaining;
+        progress := true
+      | None -> ()
+    done;
+    !remaining = []
+  end

@@ -46,3 +46,16 @@ val reads_union : Prog.t -> partition -> Uset.t
 (** Union of the member spaces whose access reads. *)
 
 val writes_union : Prog.t -> partition -> Uset.t
+
+val exact_image : Prog.stmt -> Prog.access -> bool
+(** Is the access's data space (a rational image of the iteration
+    domain) guaranteed to contain no integer point the access never
+    touches?  Sufficient syntactic test: every iterator coefficient is
+    in [{-1,0,1}] and the iterator part of the map reduces by greedy
+    pivoting (repeatedly discharging a row that owns an iterator with a
+    unit coefficient appearing in no other remaining row).  A stride-2
+    subscript like [A[2j]] fails the test: its rational image covers
+    the odd elements the access skips.  [false] only means "not
+    provably exact" — callers must treat the space as possibly
+    over-approximate (see the move-in widening in
+    {!Emsc_core.Plan.plan_block}). *)

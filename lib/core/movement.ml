@@ -138,9 +138,14 @@ let volume_upper_bound p (part : Dataspaces.partition) ~kind ~env =
       part.Dataspaces.members
   in
   let groups = components spaces in
+  (* an uncountable (unbounded) group poisons the whole bound: callers
+     must not mistake "unknown" for "free", so the unknown propagates *)
   List.fold_left (fun acc group ->
-    let u = Uset.of_pieces ~dim:part.Dataspaces.rank group in
-    match Count.box_volume_uset u with
-    | Some v -> Zint.add acc v
-    | None -> acc)
-    Zint.zero groups
+    match acc with
+    | None -> None
+    | Some acc ->
+      let u = Uset.of_pieces ~dim:part.Dataspaces.rank group in
+      (match Count.box_volume_uset u with
+       | Some v -> Some (Zint.add acc v)
+       | None -> None))
+    (Some Zint.zero) groups

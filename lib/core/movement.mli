@@ -43,7 +43,10 @@ val optimized_move_out_data :
 
 val volume_upper_bound :
   Prog.t -> Dataspaces.partition -> kind:[ `Read | `Write ] ->
-  env:(string -> Zint.t) -> Zint.t
+  env:(string -> Zint.t) -> Zint.t option
 (** The paper's Vin/Vout estimate: partition the read (write) spaces
     into maximal non-overlapping groups and sum the local-storage box
-    sizes of the groups, under a parameter valuation. *)
+    sizes of the groups, under a parameter valuation.  [None] when any
+    group is unbounded (uncountable): the bound is unknown, and callers
+    like tile-size search must treat it pessimistically rather than as
+    zero movement. *)

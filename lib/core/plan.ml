@@ -66,16 +66,31 @@ let plan_block ?(delta = 0.3) ?param_env ?param_context ?(arch = `Gpu)
         Emsc_obs.Trace.span "alloc.build" @@ fun () ->
         Alloc.build ~local_name:(fresh_name part.Dataspaces.array) p part
       in
-      let in_data =
-        if optimize_movement then Movement.optimized_move_in_data p deps buffer
-        else Dataspaces.reads_union p part
-      in
       let out_data =
         if optimize_movement then
           Movement.optimized_move_out_data p ~live_out buffer
         else if live_out part.Dataspaces.array then
           Dataspaces.writes_union p part
         else Uset.empty (Prog.nparams p + part.Dataspaces.rank)
+      in
+      let in_data =
+        if optimize_movement then Movement.optimized_move_in_data p deps buffer
+        else Dataspaces.reads_union p part
+      in
+      (* the move-out scan walks the rational image of the writes; when
+         that image is not provably exact (e.g. a stride-2 subscript),
+         it covers elements no statement instance writes, and copying
+         them out of an uninitialized buffer cell would corrupt global
+         memory.  Staging the move-out set on the way in makes those
+         elements round-trip unchanged (read-modify-write staging). *)
+      let in_data =
+        let write_exact =
+          List.for_all (fun (m : Dataspaces.dspace) ->
+            m.Dataspaces.access.Prog.kind <> Prog.Write
+            || Dataspaces.exact_image m.Dataspaces.stmt m.Dataspaces.access)
+            part.Dataspaces.members
+        in
+        if write_exact then in_data else Uset.union in_data out_data
       in
       let move_in =
         Emsc_obs.Trace.span "movement.copy_code_in" @@ fun () ->

@@ -47,23 +47,23 @@ let overlap_fraction ~count_limit np env (part : Dataspaces.partition) =
   | None -> None
   | Some total when total <= 0.0 -> None
   | Some total ->
-    let rec pairs acc = function
+    (* Overlap volume is Σ|DSᵢ| − |∪DSᵢ|: every element is counted once
+       per extra reference covering it.  Summing pairwise intersections
+       instead double-counts k-way overlaps (an element shared by k
+       references contributes C(k,2) times, not k−1), which can push
+       the fraction above 1.0 and mis-trigger the δ test. *)
+    let rec sum acc = function
       | [] -> Some acc
-      | p :: rest ->
-        let rec inner acc = function
-          | [] -> Some acc
-          | q :: qs -> begin
-            match volume ~limit:count_limit (Poly.intersect p q) with
-            | Some v -> inner (acc +. v) qs
-            | None -> None
-          end
-        in
-        (match inner acc rest with
-         | Some acc -> pairs acc rest
-         | None -> None)
+      | p :: rest -> begin
+        match volume ~limit:count_limit p with
+        | Some v -> sum (acc +. v) rest
+        | None -> None
+      end
     in
-    (match pairs 0.0 spaces with
-     | Some overlap -> Some (overlap /. total)
+    (match sum 0.0 spaces with
+     | Some member_sum ->
+       let overlap = member_sum -. total in
+       Some (Float.max 0.0 (Float.min 1.0 (overlap /. total)))
      | None -> None)
 
 let analyze ?(delta = 0.3) ?param_env ?(count_limit = 200_000) p part =
@@ -83,6 +83,8 @@ let analyze ?(delta = 0.3) ?param_env ?(count_limit = 200_000) p part =
       | Some _ -> None
       | None -> if np = 0 then overlap_fraction ~count_limit 0 [||] part else None
     in
+    (* Section 3.1: copy when the overlap "exceeds" δ — strictly
+       greater, so a fraction exactly equal to δ is not beneficial *)
     let beneficial = match frac with Some f -> f > delta | None -> false in
     { nonconstant = false; overlap_fraction = frac; beneficial }
   end

@@ -4,9 +4,11 @@
     A partition qualifies if (a) some member reference has
     order-of-magnitude reuse — the rank of its access function
     restricted to the iteration dimensions is smaller than the
-    iteration-space dimensionality — or (b) the summed volume of
-    pairwise overlaps exceeds a fraction δ of the union's volume
-    (δ = 30% by default, the paper's empirical setting). *)
+    iteration-space dimensionality — or (b) the overlap volume
+    Σ|DSᵢ| − |∪DSᵢ| exceeds a fraction δ of the union's volume
+    (δ = 30% by default, the paper's empirical setting).  The fraction
+    is clamped to [0, 1]; Section 3.1 says "exceeds δ", so the
+    comparison is strict ([>], not [>=]). *)
 
 open Emsc_arith
 open Emsc_ir

@@ -93,7 +93,7 @@ let find t ~key =
            | None -> None
          else None)
 
-let store t ~key v =
+let store ?(writer = output_string) t ~key v =
   if t.on then begin
     let bytes = Marshal.to_string v [] in
     Hashtbl.replace t.mem key bytes;
@@ -103,17 +103,23 @@ let store t ~key v =
     | Some dir ->
       (* atomic publish: concurrent batch workers may race on the same
          entry; last rename wins and every intermediate state is a
-         complete file *)
+         complete file.  A failed write must not orphan the .tmp file:
+         close and unlink before the error is swallowed (or re-raised
+         for non-I/O exceptions). *)
       (try
          let tmp =
            Filename.concat dir
              (Printf.sprintf ".%s.%d.tmp" key (Unix.getpid ()))
          in
          let oc = open_out_bin tmp in
-         Fun.protect
-           ~finally:(fun () -> close_out_noerr oc)
-           (fun () -> output_string oc bytes);
-         Sys.rename tmp (Filename.concat dir key)
+         (match writer oc bytes with
+          | () ->
+            close_out_noerr oc;
+            Sys.rename tmp (Filename.concat dir key)
+          | exception e ->
+            close_out_noerr oc;
+            (try Sys.remove tmp with Sys_error _ -> ());
+            raise e)
        with Sys_error _ | Unix.Unix_error _ -> ())
   end
 

@@ -45,7 +45,14 @@ val memo : t -> key:string -> (unit -> 'a) -> 'a * bool
     result type changes. *)
 
 val find : t -> key:string -> 'a option
-val store : t -> key:string -> 'a -> unit
+
+val store :
+  ?writer:(out_channel -> string -> unit) -> t -> key:string -> 'a -> unit
+(** [writer] (default [output_string]) performs the on-disk write of
+    the marshalled bytes; tests inject a failing writer to exercise the
+    error path.  If it raises, the temporary file is closed and
+    unlinked — never orphaned — and I/O errors degrade silently to the
+    in-memory layer as usual. *)
 
 val hits : t -> int
 val misses : t -> int

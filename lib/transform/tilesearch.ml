@@ -198,9 +198,16 @@ let pipeline_problem ~prog ~spec_of ~ranges ~mem_limit_words ~threads
             Tile.movement_profile prog spec (b.Plan.move_in, b.Plan.move_out)
           in
           let vol kind =
-            Zint.to_float
-              (Movement.volume_upper_bound tp
-                 b.Plan.buffer.Alloc.partition ~kind ~env:zero_env)
+            (* an unknown movement volume is treated pessimistically:
+               infinite cost keeps the search away from candidates whose
+               data-movement bound cannot be established, instead of the
+               old behaviour of silently pricing them at zero *)
+            match
+              Movement.volume_upper_bound tp
+                b.Plan.buffer.Alloc.partition ~kind ~env:zero_env
+            with
+            | Some v -> Zint.to_float v
+            | None -> Float.infinity
           in
           let vin = vol `Read and vout = vol `Write in
           let term v =

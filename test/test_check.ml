@@ -1,0 +1,187 @@
+(* lib/check: generator, shrinker, differential oracle, invariants *)
+
+open Emsc_ir
+open Emsc_core
+open Emsc_check
+
+(* --- generator ----------------------------------------------------------- *)
+
+let test_gen_deterministic () =
+  let once () =
+    let rng = Random.State.make [| 42; 7 |] in
+    Gen.to_string (Gen.generate rng)
+  in
+  Alcotest.(check string) "same seed, same program" (once ()) (once ())
+
+let test_gen_validates () =
+  for i = 0 to 39 do
+    let rng = Random.State.make [| 11; i |] in
+    let spec = Gen.generate rng in
+    match Prog.validate (Gen.materialize spec) with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "generated program %d invalid: %s" i e
+  done
+
+(* --- shrinker ------------------------------------------------------------ *)
+
+let total_reads (s : Gen.t) =
+  List.fold_left (fun n (st : Gen.stmt_spec) -> n + List.length st.Gen.reads)
+    0 s.Gen.stmts
+
+let test_shrink_minimizes () =
+  (* synthetic failure: "some statement has a read".  The greedy
+     shrinker must reach a single statement with a single read. *)
+  let rng = Random.State.make [| 5; 0 |] in
+  let rec find_spec k =
+    if k > 200 then Alcotest.fail "no spec with >= 2 reads generated"
+    else
+      let spec = Gen.generate rng in
+      if total_reads spec >= 2 && List.length spec.Gen.stmts >= 2 then spec
+      else find_spec (k + 1)
+  in
+  let spec = find_spec 0 in
+  let still_fails s = total_reads s >= 1 in
+  let small = Shrink.minimize ~max_steps:200 ~still_fails spec in
+  Alcotest.(check bool) "still fails" true (still_fails small);
+  Alcotest.(check int) "one statement" 1 (List.length small.Gen.stmts);
+  Alcotest.(check int) "one read" 1 (total_reads small)
+
+(* --- fuzz run ------------------------------------------------------------ *)
+
+let test_fuzz_clean () =
+  let r = Fuzz.run ~fuzz:15 ~seed:2 () in
+  Alcotest.(check int) "no failures" 0 (List.length r.Fuzz.failures);
+  Alcotest.(check bool) "checks ran" true (r.Fuzz.checks > 0);
+  Alcotest.(check bool) "suite covered" true (r.Fuzz.suite > 0)
+
+(* --- invariants catch corrupted plans ------------------------------------ *)
+
+let no_params _ = failwith "no parameters"
+
+let fig1_plan () =
+  let p = Emsc_kernels.Fig1.program in
+  Plan.plan_block ~arch:`Cell ~merge_per_array:true p
+
+let test_invariants_accept_fig1 () =
+  match Invariants.check ~capacity_words:4096 ~env:no_params (fig1_plan ()) with
+  | [] -> ()
+  | vs ->
+    Alcotest.failf "clean plan flagged: %a"
+      (Format.pp_print_list Invariants.pp_violation)
+      vs
+
+let test_invariants_catch_missing_move_in () =
+  let plan = fig1_plan () in
+  let corrupted =
+    { plan with
+      Plan.buffered =
+        List.map (fun (b : Plan.buffered) -> { b with Plan.move_in = [] })
+          plan.Plan.buffered }
+  in
+  let vs = Invariants.check ~env:no_params corrupted in
+  Alcotest.(check bool) "movement-cover violated" true
+    (List.exists (fun v -> v.Invariants.invariant = "movement-cover") vs)
+
+let test_invariants_catch_doubled_move_in () =
+  let plan = fig1_plan () in
+  let corrupted =
+    { plan with
+      Plan.buffered =
+        List.map (fun (b : Plan.buffered) ->
+          { b with Plan.move_in = b.Plan.move_in @ b.Plan.move_in })
+          plan.Plan.buffered }
+  in
+  let vs = Invariants.check ~env:no_params corrupted in
+  Alcotest.(check bool) "single-transfer violated" true
+    (List.exists (fun v -> v.Invariants.invariant = "single-transfer") vs)
+
+let test_invariants_catch_dead_move_out () =
+  let plan = fig1_plan () in
+  let vs =
+    Invariants.check ~live_out:(fun _ -> false) ~env:no_params plan
+  in
+  Alcotest.(check bool) "live-out violated" true
+    (List.exists (fun v -> v.Invariants.invariant = "live-out") vs)
+
+let test_invariants_catch_tiny_capacity () =
+  let vs =
+    Invariants.check ~capacity_words:1 ~env:no_params (fig1_plan ())
+  in
+  Alcotest.(check bool) "capacity violated" true
+    (List.exists (fun v -> v.Invariants.invariant = "capacity") vs)
+
+(* --- the strided-write staging fix --------------------------------------- *)
+
+(* S: A[2i] = ... for 0 <= i <= 3 over A[8].  The write's rational image
+   covers the odd elements no instance writes. *)
+let strided_prog () =
+  let wr = Prog.mk_access ~array:"A" ~kind:Prog.Write ~rows:[ [ 2; 0 ] ] in
+  let s =
+    Build.stmt ~id:1 ~name:"S" ~np:0 ~depth:1
+      ~domain:(Build.domain_rows ~np:0 ~depth:1 [ [ 1; 0 ]; [ -1; 3 ] ])
+      ~writes:[ wr ]
+      ~body:(wr, Prog.Eadd (Prog.Econst 1.0, Prog.Eiter 0))
+      ~beta:[ 0; 0 ] ()
+  in
+  { Prog.params = [||];
+    arrays = [ Build.array1 "A" 8 ~np:0 ];
+    stmts = [ s ] }
+
+let test_exact_image () =
+  let p = strided_prog () in
+  let s = List.hd p.Prog.stmts in
+  let stride2 = List.hd s.Prog.writes in
+  Alcotest.(check bool) "stride-2 write not exact" false
+    (Dataspaces.exact_image s stride2);
+  let unit_row = Prog.mk_access ~array:"A" ~kind:Prog.Read ~rows:[ [ 1; 1 ] ] in
+  Alcotest.(check bool) "unit-coefficient access exact" true
+    (Dataspaces.exact_image s unit_row)
+
+let test_strided_write_staged () =
+  (* without the widening the buffer has no reads, so nothing is staged
+     and move-out copies uninitialized cells over the skipped elements *)
+  let plan = Plan.plan_block ~arch:`Cell (strided_prog ()) in
+  (match plan.Plan.buffered with
+   | [ b ] ->
+     Alcotest.(check bool) "move-in stages the write image" true
+       (b.Plan.move_in <> [])
+   | bs -> Alcotest.failf "expected one buffer, got %d" (List.length bs));
+  match Invariants.check ~env:no_params plan with
+  | [] -> ()
+  | vs ->
+    Alcotest.failf "staged plan flagged: %a"
+      (Format.pp_print_list Invariants.pp_violation)
+      vs
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "gen",
+        [
+          Alcotest.test_case "deterministic" `Quick test_gen_deterministic;
+          Alcotest.test_case "programs validate" `Quick test_gen_validates;
+        ] );
+      ( "shrink",
+        [ Alcotest.test_case "minimizes" `Quick test_shrink_minimizes ] );
+      ( "fuzz",
+        [ Alcotest.test_case "small run clean" `Slow test_fuzz_clean ] );
+      ( "invariants",
+        [
+          Alcotest.test_case "accept fig1 plan" `Quick
+            test_invariants_accept_fig1;
+          Alcotest.test_case "missing move-in" `Quick
+            test_invariants_catch_missing_move_in;
+          Alcotest.test_case "doubled move-in" `Quick
+            test_invariants_catch_doubled_move_in;
+          Alcotest.test_case "dead move-out" `Quick
+            test_invariants_catch_dead_move_out;
+          Alcotest.test_case "tiny capacity" `Quick
+            test_invariants_catch_tiny_capacity;
+        ] );
+      ( "staging",
+        [
+          Alcotest.test_case "exact image" `Quick test_exact_image;
+          Alcotest.test_case "strided write staged" `Quick
+            test_strided_write_staged;
+        ] );
+    ]

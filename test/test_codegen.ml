@@ -197,6 +197,25 @@ let test_scan_uset_single_visit () =
     (List.init 13 (fun i -> i))
     sorted
 
+let test_scan_lattice_empty_piece () =
+  (* rationally non-empty but integer-empty: x0 is pinned between 10/3
+     and 10/3 on the line x0 + x1 = 7.  Integer-tightened elimination
+     exposes the contradiction; the scan must emit nothing instead of
+     reporting the dimension unbounded. *)
+  let p =
+    Poly.make ~dim:2
+      ~eqs:[ Vec.of_ints [ 1; 1; -7 ] ]
+      ~ineqs:
+        [ Vec.of_ints [ -2; 1; 3 ]; Vec.of_ints [ 0; -1; 7 ];
+          Vec.of_ints [ 0; 1; -2 ]; Vec.of_ints [ 1; 0; -1 ];
+          Vec.of_ints [ 2; -1; -3 ] ]
+  in
+  Alcotest.(check bool) "rationally non-empty" false (Poly.is_empty p);
+  let ast =
+    Scan.scan_poly ~names:[| "c0"; "c1" |] ~outer:0 ~body:[ Ast.Sync ] p
+  in
+  Alcotest.(check int) "no code generated" 0 (List.length ast)
+
 let test_scan_context_prunes_guards () =
   (* scanning {(p, i) : p <= i <= p + 3} with context 0 <= p <= 10:
      no residual guard on p should remain *)
@@ -232,6 +251,8 @@ let () =
             test_scan_uset_single_visit;
           Alcotest.test_case "context prunes guards" `Quick
             test_scan_context_prunes_guards;
+          Alcotest.test_case "lattice-empty piece" `Quick
+            test_scan_lattice_empty_piece;
           QCheck_alcotest.to_alcotest prop_scan_matches_enumeration;
         ] );
     ]

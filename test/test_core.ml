@@ -169,6 +169,116 @@ let test_reuse_constant_overlap () =
    | None -> Alcotest.fail "expected overlap fraction");
   Alcotest.(check bool) "beneficial by δ" true r.Reuse.beneficial
 
+let test_overlap_three_way () =
+  (* regression: three mutually-overlapping reads A[i], A[i+1], A[i+2]
+     over i in [0,5] give spaces [0,5], [1,6], [2,7]: union [0,7] has 8
+     elements, Σ|DSᵢ| = 18.  The old pairwise-intersection sum counted
+     5 + 4 + 5 = 14 → 14/8 = 1.75, an impossible fraction (> 1.0) that
+     over-states reuse; Σ|DSᵢ| − |∪DSᵢ| = 10 clamps to fraction 1.0 *)
+  let acc c =
+    Prog.mk_access ~array:"A" ~kind:Prog.Read ~rows:[ [ 1; c ] ]
+  in
+  let w = Prog.mk_access ~array:"C" ~kind:Prog.Write ~rows:[ [ 1; 0 ] ] in
+  let s =
+    Build.stmt ~id:1 ~name:"S" ~np:0 ~depth:1
+      ~domain:(Build.box_domain ~np:0 [ (0, 5) ])
+      ~writes:[ w ]
+      ~reads:[ acc 0; acc 1; acc 2 ]
+      ~body:
+        ( w,
+          Prog.Eadd
+            (Prog.Eref (acc 0), Prog.Eadd (Prog.Eref (acc 1), Prog.Eref (acc 2)))
+        )
+      ~beta:[ 0; 0 ] ()
+  in
+  let p =
+    { Prog.params = [||];
+      arrays = [ Build.array1 "A" 16 ~np:0; Build.array1 "C" 16 ~np:0 ];
+      stmts = [ s ] }
+  in
+  let parts = Dataspaces.partition_array p "A" in
+  Alcotest.(check int) "one partition" 1 (List.length parts);
+  let r = Reuse.analyze p (List.hd parts) in
+  match r.Reuse.overlap_fraction with
+  | None -> Alcotest.fail "expected an overlap fraction"
+  | Some f ->
+    Alcotest.(check bool) "fraction within [0,1]" true (f >= 0.0 && f <= 1.0);
+    Alcotest.(check (float 1e-9)) "clamped to 1.0" 1.0 f
+
+(* --- Algorithm 1 boundary cases ----------------------------------------- *)
+
+let empty_partition rank =
+  { Dataspaces.array = "A"; rank; members = []; union = Uset.empty rank }
+
+let test_empty_partition () =
+  let r = Reuse.analyze { Prog.params = [||]; arrays = []; stmts = [] }
+      (empty_partition 1)
+  in
+  Alcotest.(check bool) "no rank reuse" false r.Reuse.nonconstant;
+  Alcotest.(check bool) "no fraction" true (r.Reuse.overlap_fraction = None);
+  Alcotest.(check bool) "not beneficial" false r.Reuse.beneficial
+
+let test_zero_volume_union () =
+  (* an empty statement domain instantiates to a zero-volume union:
+     the fraction is undefined (None), and the partition must not be
+     judged beneficial *)
+  let acc = Prog.mk_access ~array:"A" ~kind:Prog.Read ~rows:[ [ 1; 0 ] ] in
+  let s =
+    Build.stmt ~id:1 ~name:"S" ~np:0 ~depth:1
+      ~domain:(Build.box_domain ~np:0 [ (5, 4) ]) (* lo > hi: empty *)
+      ~reads:[ acc ] ~beta:[ 0; 0 ] ()
+  in
+  let p =
+    { Prog.params = [||];
+      arrays = [ Build.array1 "A" 8 ~np:0 ];
+      stmts = [ s ] }
+  in
+  let part =
+    { Dataspaces.array = "A"; rank = 1;
+      members =
+        [ { Dataspaces.stmt = s; access = acc;
+            space = Dataspaces.space_of_access p s acc } ];
+      union = Uset.empty 1 }
+  in
+  let r = Reuse.analyze p part in
+  Alcotest.(check bool) "zero volume: no fraction" true
+    (r.Reuse.overlap_fraction = None);
+  Alcotest.(check bool) "zero volume: not beneficial" false r.Reuse.beneficial
+
+let test_fraction_exactly_delta () =
+  (* Section 3.1 says copy when the overlap "exceeds" δ: a fraction of
+     exactly δ must NOT qualify (the code pins [>], not [>=]).
+     S1 reads A[i] over [0,6] (7 elts), S2 reads A[i] over [4,9]
+     (6 elts): union [0,9] = 10, overlap = 13 − 10 = 3 → exactly 0.3 *)
+  let acc = Prog.mk_access ~array:"A" ~kind:Prog.Read ~rows:[ [ 1; 0 ] ] in
+  let s1 =
+    Build.stmt ~id:1 ~name:"S1" ~np:0 ~depth:1
+      ~domain:(Build.box_domain ~np:0 [ (0, 6) ])
+      ~reads:[ acc ] ~beta:[ 0; 0 ] ()
+  in
+  let s2 =
+    Build.stmt ~id:2 ~name:"S2" ~np:0 ~depth:1
+      ~domain:(Build.box_domain ~np:0 [ (4, 9) ])
+      ~reads:[ acc ] ~beta:[ 1; 0 ] ()
+  in
+  let p =
+    { Prog.params = [||];
+      arrays = [ Build.array1 "A" 16 ~np:0 ];
+      stmts = [ s1; s2 ] }
+  in
+  let parts = Dataspaces.partition_array p "A" in
+  Alcotest.(check int) "one partition" 1 (List.length parts);
+  let part = List.hd parts in
+  let r = Reuse.analyze ~delta:0.3 p part in
+  (match r.Reuse.overlap_fraction with
+   | Some f -> Alcotest.(check (float 1e-9)) "fraction = 0.3" 0.3 f
+   | None -> Alcotest.fail "expected an overlap fraction");
+  Alcotest.(check bool) "equal to δ is not beneficial" false
+    r.Reuse.beneficial;
+  (* strictly above a smaller δ it must qualify *)
+  let r' = Reuse.analyze ~delta:0.25 p part in
+  Alcotest.(check bool) "above δ is beneficial" true r'.Reuse.beneficial
+
 (* --- Figure 1 reproduction ---------------------------------------------- *)
 
 let fig1_plan () =
@@ -345,12 +455,39 @@ let test_volume_bounds () =
   let env _ = failwith "no params" in
   let total =
     List.fold_left (fun acc part ->
-      acc
-      + Zint.to_int_exn (Movement.volume_upper_bound fig1 part ~kind:`Read ~env))
+      match Movement.volume_upper_bound fig1 part ~kind:`Read ~env with
+      | Some v -> acc + Zint.to_int_exn v
+      | None -> Alcotest.fail "bounded space must be countable")
       0 parts
   in
   (* read space of B is [20,28] x [11,20]: box of 90 *)
   Alcotest.(check int) "Vin(B) = 90" 90 total
+
+let test_volume_unknown_propagates () =
+  (* regression: an unbounded group used to contribute zero, silently
+     underestimating Vin; the unknown must propagate as None *)
+  let r_a = Prog.mk_access ~array:"A" ~kind:Prog.Read ~rows:[ [ 1; 0 ] ] in
+  let s =
+    Build.stmt ~id:1 ~name:"U" ~np:0 ~depth:1
+      ~domain:(Build.domain_rows ~np:0 ~depth:1 [ [ 1; 0 ] ]) (* i >= 0 only *)
+      ~reads:[ r_a ]
+      ~beta:[ 0; 0 ] ()
+  in
+  let p =
+    { Prog.params = [||];
+      arrays = [ Build.array1 "A" 16 ~np:0 ];
+      stmts = [ s ] }
+  in
+  let parts = Dataspaces.partition_array p "A" in
+  Alcotest.(check int) "one partition" 1 (List.length parts);
+  let env _ = failwith "no params" in
+  (match
+     Movement.volume_upper_bound p (List.hd parts) ~kind:`Read ~env
+   with
+   | None -> ()
+   | Some v ->
+     Alcotest.failf "unbounded group must yield None, got %d"
+       (Zint.to_int_exn v))
 
 (* --- validation of the program itself ------------------------------------ *)
 
@@ -374,6 +511,12 @@ let () =
           Alcotest.test_case "per-partition" `Quick test_reuse_partitions;
           Alcotest.test_case "constant overlap δ" `Quick
             test_reuse_constant_overlap;
+          Alcotest.test_case "three-way overlap not double-counted" `Quick
+            test_overlap_three_way;
+          Alcotest.test_case "empty partition" `Quick test_empty_partition;
+          Alcotest.test_case "zero-volume union" `Quick test_zero_volume_union;
+          Alcotest.test_case "fraction exactly δ" `Quick
+            test_fraction_exactly_delta;
         ] );
       ( "fig1",
         [
@@ -390,5 +533,7 @@ let () =
           Alcotest.test_case "flow deps found" `Quick test_fig1_flow_dep;
           Alcotest.test_case "optimizer (3.1.4)" `Quick test_movement_optimizer;
           Alcotest.test_case "volume bounds" `Quick test_volume_bounds;
+          Alcotest.test_case "unknown volume propagates" `Quick
+            test_volume_unknown_propagates;
         ] );
     ]

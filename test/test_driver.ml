@@ -133,6 +133,36 @@ let test_corrupt_entry_is_miss () =
   let c = compile_ok ~cache:(Cache.create ~dir ()) (src ()) in
   Alcotest.(check int) "corrupt entries all miss" 0 c.Pipeline.cache_hits
 
+let test_failing_writer_leaves_no_tmp () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "emsc-test-writer-%d" (Unix.getpid ()))
+  in
+  let cache = Cache.create ~dir () in
+  let key = Cache.key ~digest:"d" ~stage:"s" ~extra:"" in
+  (* a writer failing mid-write models a full disk: the .tmp file must
+     be closed and unlinked, not orphaned *)
+  Cache.store ~writer:(fun _ _ -> raise (Sys_error "injected: disk full"))
+    cache ~key 42;
+  let tmp_files () =
+    Array.to_list (Sys.readdir dir)
+    |> List.filter (fun f -> Filename.check_suffix f ".tmp")
+  in
+  Alcotest.(check (list string)) "no orphaned tmp after Sys_error" []
+    (tmp_files ());
+  Alcotest.(check bool) "entry not published to disk" false
+    (Sys.file_exists (Filename.concat dir key));
+  Alcotest.(check (option int)) "in-memory layer still serves it" (Some 42)
+    (Cache.find cache ~key);
+  (* non-I/O exceptions propagate, but still without leaking the tmp *)
+  (match
+     Cache.store ~writer:(fun _ _ -> failwith "boom") cache ~key:"k2" 1
+   with
+   | () -> Alcotest.fail "expected the writer's exception to propagate"
+   | exception Failure _ -> ());
+  Alcotest.(check (list string)) "no orphaned tmp after Failure" []
+    (tmp_files ())
+
 (* --- batch ------------------------------------------------------------ *)
 
 let fingerprint (c : Pipeline.compiled) =
@@ -247,7 +277,9 @@ let () =
             test_source_change_misses;
           Alcotest.test_case "disk persistence" `Quick test_disk_persistence;
           Alcotest.test_case "corrupt entry is a miss" `Quick
-            test_corrupt_entry_is_miss ] );
+            test_corrupt_entry_is_miss;
+          Alcotest.test_case "failing writer leaks no tmp file" `Quick
+            test_failing_writer_leaves_no_tmp ] );
       ( "batch",
         [ Alcotest.test_case "parallel equals sequential" `Slow
             test_batch_matches_sequential;
