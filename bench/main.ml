@@ -94,6 +94,9 @@ let note_counters kernel (c : Exec.counters) =
   acc.Exec.syncs <- acc.Exec.syncs +. c.Exec.syncs;
   acc.Exec.fences <- acc.Exec.fences +. c.Exec.fences
 
+(* cost-model audit rows (one per suite kernel), in suite order *)
+let audit_results : J.t list ref = ref []
+
 let write_bench_json ~figure_ms =
   let t = Unix.localtime (Unix.time ()) in
   let stamp fmt =
@@ -115,6 +118,8 @@ let write_bench_json ~figure_ms =
         ("kernel_counters", J.Obj kernels);
         ( "figure_wall_ms",
           J.Obj (List.map (fun (n, ms) -> (n, J.Float ms)) figure_ms) );
+        ("audit", J.List (List.rev !audit_results));
+        ("metrics", Emsc_obs.Metrics.snapshot_json (Emsc_obs.Metrics.snapshot ()));
         ( "pass_cache",
           Emsc_driver.Cache.stats_json bench_cache );
         ("pass_timings", Emsc_obs.Trace.aggregate_json ()) ]
@@ -640,6 +645,34 @@ let check () =
     failwith "bench: check artifact found failures"
 
 (* ------------------------------------------------------------------ *)
+(* Cost-model audit: predicted vs measured over the kernel suite       *)
+(* ------------------------------------------------------------------ *)
+
+let audit () =
+  pf "=== Cost-model audit (emsc audit --suite) ===\n";
+  let module A = Emsc_audit.Audit in
+  let failures = ref 0 in
+  List.iter (fun (job : Pipeline.job) ->
+    let name = Source.name job.Pipeline.source in
+    let o = A.audit_job ~cache:bench_cache job in
+    audit_results := A.outcome_json ~name o :: !audit_results;
+    (match o with
+     | A.Audited t ->
+       if t.A.a_verdict = A.Fail then incr failures;
+       pf "%-24s %-4s  worst %s\n" name
+         (A.verdict_string t.A.a_verdict)
+         (match t.A.a_worst with
+          | Some w -> Printf.sprintf "%s %+.3f" w.A.q_name w.A.q_rel_err
+          | None -> "-")
+     | A.Skipped reason -> pf "%-24s skip  (%s)\n" name reason
+     | A.Failed reason ->
+       incr failures;
+       pf "%-24s FAIL  (%s)\n" name reason))
+    (Suite.jobs ());
+  pf "\n";
+  if !failures > 0 then failwith "bench: cost-model audit found failures"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the compiler passes                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -717,7 +750,7 @@ let micro () =
 let all_figs =
   [ ("fig4", fig4); ("fig5", fig5); ("fig6", fig6); ("fig7", fig7);
     ("fig8", fig8); ("ablations", ablations); ("batch", batch);
-    ("check", check); ("micro", micro) ]
+    ("check", check); ("audit", audit); ("micro", micro) ]
 
 let () =
   let requested =
@@ -725,8 +758,11 @@ let () =
     | _ :: (_ :: _ as args) -> args
     | _ -> List.map fst all_figs
   in
-  (* pass timings in the artifact come from the tracing layer *)
+  (* pass timings in the artifact come from the tracing layer; counter
+     totals (pass cache, exec movement, fuzz progress) from the
+     metrics registry *)
   Emsc_obs.Trace.enable ();
+  Emsc_obs.Metrics.enable ();
   let figure_ms =
     List.filter_map (fun name ->
       match List.assoc_opt name all_figs with

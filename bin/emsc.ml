@@ -163,9 +163,16 @@ let analyze_cmd =
         arch; merge_per_array = merge; delta;
         optimize_movement }
     in
+    (* the registry picks up pass-cache and per-stage counters during
+       compilation; the JSON report carries the resulting snapshot *)
+    let metrics_were_on = Metrics.enabled () in
+    if json then Metrics.enable ();
+    let snap0 = Metrics.snapshot () in
     let c =
       ok_or_die (Pipeline.compile_source ~cache ~options (Source.file file))
     in
+    let metrics = Metrics.diff snap0 (Metrics.snapshot ()) in
+    if json && not metrics_were_on then Metrics.disable ();
     let plan = plan_of c in
     if json then
       let fields =
@@ -174,7 +181,10 @@ let analyze_cmd =
         | j -> [ ("plan", j) ]
       in
       emit_json out
-        (Json.Obj (fields @ [ ("pipeline", Pipeline.report_json c) ]))
+        (Json.Obj
+           (fields
+            @ [ ("pipeline", Pipeline.report_json c);
+                ("metrics", Metrics.snapshot_json metrics) ]))
     else begin
       Format.printf "%a@." Plan.pp plan;
       List.iter (fun (b : Plan.buffered) ->
@@ -511,6 +521,136 @@ let compile_cmd =
           $ optmove_arg $ json_arg $ jobs_arg $ trace_arg $ nocache_arg
           $ cachedir_arg $ out_arg)
 
+(* --- emsc audit --------------------------------------------------------- *)
+
+let audit_cmd =
+  let files_arg = Arg.(value & pos_all string [] & info [] ~docv:"FILE") in
+  let tolerance_arg =
+    Arg.(value & opt float Emsc_audit.Audit.default_tolerance
+         & info [ "tolerance" ] ~docv:"R"
+             ~doc:"Maximum tolerated absolute relative error between a \
+                   predicted and a measured quantity.")
+  in
+  let suite_arg =
+    Arg.(value & flag
+         & info [ "suite" ] ~doc:"Also audit the built-in kernel suite.")
+  in
+  let run files suite tolerance arch merge delta optimize_movement params
+      json trace no_cache cache_dir out =
+    with_trace trace @@ fun () ->
+    if files = [] && not suite then begin
+      Printf.eprintf "audit: give FILE arguments or --suite\n";
+      exit 1
+    end;
+    let cache = cache_of no_cache cache_dir in
+    let options =
+      { Options.default with
+        arch; merge_per_array = merge; delta; optimize_movement }
+    in
+    let param_env =
+      if params = [] then Runner.zero_env else cli_env params
+    in
+    let file_jobs =
+      List.map (fun f -> (f, Pipeline.job ~options (Source.file f))) files
+    in
+    let suite_jobs =
+      if suite then
+        List.map (fun (j : Pipeline.job) -> (Source.name j.Pipeline.source, j))
+          (Emsc_kernels.Suite.jobs ())
+      else []
+    in
+    let results =
+      List.map (fun (name, job) ->
+        (name, Emsc_audit.Audit.audit_job ~cache ~tolerance ~param_env job))
+        (file_jobs @ suite_jobs)
+    in
+    let all_ok =
+      List.for_all (fun (_, o) -> Emsc_audit.Audit.ok o) results
+    in
+    if json then
+      emit_json out
+        (Json.Obj
+           [ ("schema", Json.Str "emsc-audit-batch/1");
+             ("tolerance", Json.Float tolerance);
+             ("ok", Json.Bool all_ok);
+             ( "results",
+               Json.List
+                 (List.map (fun (name, o) ->
+                    Emsc_audit.Audit.outcome_json ~name o)
+                    results) ) ])
+    else
+      List.iter (fun (name, o) ->
+        Format.printf "%a@." (Emsc_audit.Audit.pp_outcome ~name) o)
+        results;
+    if not all_ok then exit 1
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:"Cost-model audit: compile, replay on the simulated machine in \
+             full fidelity, and report the relative error of every \
+             predicted quantity (per-buffer movement volume, footprint, \
+             counter totals, timing-model terms) against the measured \
+             telemetry.  Exits 1 when a compilation fails or drift \
+             exceeds the tolerance.")
+    Term.(const run $ files_arg $ suite_arg $ tolerance_arg $ arch_arg
+          $ merge_arg $ delta_arg $ optmove_arg $ param_args $ json_arg
+          $ trace_arg $ nocache_arg $ cachedir_arg $ out_arg)
+
+(* --- emsc bench-compare ------------------------------------------------- *)
+
+let bench_compare_cmd =
+  let old_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"OLD")
+  in
+  let new_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"NEW")
+  in
+  let wall_arg =
+    Arg.(value & opt float Emsc_audit.Bench_compare.default_wall_tolerance
+         & info [ "wall-tolerance" ] ~docv:"R"
+             ~doc:"Tolerated relative wall-time growth per figure (wall \
+                   time is machine-dependent; loosen this across hosts).")
+  in
+  let move_arg =
+    Arg.(value & opt float Emsc_audit.Bench_compare.default_move_tolerance
+         & info [ "move-tolerance" ] ~docv:"R"
+             ~doc:"Tolerated relative growth of simulated global-memory \
+                   words per kernel (deterministic; keep tight).")
+  in
+  let read_json path =
+    let ic = open_in path in
+    let s =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Json.of_string s with
+    | Ok j -> j
+    | Error e ->
+      Printf.eprintf "bench-compare: %s: %s\n" path e;
+      exit 1
+  in
+  let run old_path new_path wall_tolerance move_tolerance json out =
+    let old_j = read_json old_path and new_j = read_json new_path in
+    match
+      Emsc_audit.Bench_compare.compare ~wall_tolerance ~move_tolerance old_j
+        new_j
+    with
+    | Error e ->
+      Printf.eprintf "bench-compare: %s\n" e;
+      exit 1
+    | Ok report ->
+      if json then emit_json out (Emsc_audit.Bench_compare.json report)
+      else Format.printf "%a@." Emsc_audit.Bench_compare.pp report;
+      if not (Emsc_audit.Bench_compare.ok report) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "bench-compare"
+       ~doc:"Compare two BENCH_*.json artifacts and exit 1 on wall-time or \
+             simulated-movement regressions (or lost measurements).")
+    Term.(const run $ old_arg $ new_arg $ wall_arg $ move_arg $ json_arg
+          $ out_arg)
+
 let () =
   let info =
     Cmd.info "emsc"
@@ -520,4 +660,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ analyze_cmd; compile_cmd; profile_cmd; deps_cmd; band_cmd;
-            run_cmd; check_cmd ]))
+            run_cmd; check_cmd; audit_cmd; bench_compare_cmd ]))

@@ -1,0 +1,140 @@
+module J = Emsc_obs.Json
+
+type change = {
+  c_key : string;
+  c_metric : string;
+  c_old : float;
+  c_new : float;
+  c_ratio : float;
+}
+
+type report = {
+  r_regressions : change list;
+  r_improvements : change list;
+  r_unchanged : int;
+  r_missing : string list;
+  r_added : string list;
+}
+
+let default_wall_tolerance = 0.5
+let default_move_tolerance = 0.01
+
+let num = function
+  | J.Float f -> Some f
+  | J.Int i -> Some (float_of_int i)
+  | _ -> None
+
+(* figure -> wall ms *)
+let wall_section j =
+  match J.member "figure_wall_ms" j with
+  | Some (J.Obj fields) -> Ok (List.filter_map (fun (k, v) ->
+      match num v with Some f -> Some (k, f) | None -> None)
+      fields)
+  | _ -> Error "artifact has no figure_wall_ms object"
+
+(* kernel -> global words moved (loads + stores): the deterministic
+   movement-volume figure of merit *)
+let movement_section j =
+  match J.member "kernel_counters" j with
+  | Some (J.Obj fields) ->
+    Ok
+      (List.filter_map (fun (k, counters) ->
+         match
+           J.member "global_loads" counters, J.member "global_stores" counters
+         with
+         | Some ld, Some st ->
+           (match num ld, num st with
+            | Some l, Some s -> Some (k, l +. s)
+            | _ -> None)
+         | _ -> None)
+         fields)
+  | _ -> Error "artifact has no kernel_counters object"
+
+let diff_section ~metric ~tolerance olds news
+    (regressions, improvements, unchanged, missing, added) =
+  let acc = ref (regressions, improvements, unchanged, missing, added) in
+  List.iter (fun (key, old_v) ->
+    let r, i, u, m, a = !acc in
+    match List.assoc_opt key news with
+    | None -> acc := (r, i, u, (key ^ "/" ^ metric) :: m, a)
+    | Some new_v ->
+      let ratio = if old_v > 0.0 then new_v /. old_v else
+        if new_v > 0.0 then infinity else 1.0 in
+      let change =
+        { c_key = key; c_metric = metric; c_old = old_v; c_new = new_v;
+          c_ratio = ratio }
+      in
+      if new_v > old_v *. (1.0 +. tolerance) then
+        acc := (change :: r, i, u, m, a)
+      else if new_v < old_v *. (1.0 -. tolerance) then
+        acc := (r, change :: i, u, m, a)
+      else acc := (r, i, u + 1, m, a))
+    olds;
+  let r, i, u, m, a = !acc in
+  let fresh =
+    List.filter_map (fun (key, _) ->
+      if List.mem_assoc key olds then None else Some (key ^ "/" ^ metric))
+      news
+  in
+  (r, i, u, m, a @ fresh)
+
+let compare ?(wall_tolerance = default_wall_tolerance)
+    ?(move_tolerance = default_move_tolerance) old_j new_j =
+  match wall_section old_j, wall_section new_j,
+        movement_section old_j, movement_section new_j with
+  | Error e, _, _, _ | _, _, Error e, _ -> Error ("old " ^ e)
+  | _, Error e, _, _ | _, _, _, Error e -> Error ("new " ^ e)
+  | Ok wall_old, Ok wall_new, Ok move_old, Ok move_new ->
+    let r, i, u, m, a =
+      ([], [], 0, [], [])
+      |> diff_section ~metric:"wall_ms" ~tolerance:wall_tolerance wall_old
+           wall_new
+      |> diff_section ~metric:"global_words" ~tolerance:move_tolerance
+           move_old move_new
+    in
+    Ok
+      { r_regressions = List.rev r;
+        r_improvements = List.rev i;
+        r_unchanged = u;
+        r_missing = List.rev m;
+        r_added = a }
+
+let ok r = r.r_regressions = [] && r.r_missing = []
+
+let change_json c =
+  J.Obj
+    [ ("key", J.Str c.c_key); ("metric", J.Str c.c_metric);
+      ("old", J.Float c.c_old); ("new", J.Float c.c_new);
+      ("ratio", J.Float c.c_ratio) ]
+
+let strs l = J.List (List.map (fun s -> J.Str s) l)
+
+let json r =
+  J.Obj
+    [ ("schema", J.Str "emsc-bench-compare/1");
+      ("ok", J.Bool (ok r));
+      ("regressions", J.List (List.map change_json r.r_regressions));
+      ("improvements", J.List (List.map change_json r.r_improvements));
+      ("unchanged", J.Int r.r_unchanged);
+      ("missing", strs r.r_missing);
+      ("added", strs r.r_added) ]
+
+let pp_change fmt c =
+  Format.fprintf fmt "%s %s: %.6g -> %.6g (%.2fx)" c.c_key c.c_metric c.c_old
+    c.c_new c.c_ratio
+
+let pp fmt r =
+  Format.fprintf fmt "@[<v>%s: %d regression(s), %d improvement(s), %d \
+                      unchanged, %d missing, %d added@,"
+    (if ok r then "OK" else "REGRESSED")
+    (List.length r.r_regressions)
+    (List.length r.r_improvements)
+    r.r_unchanged
+    (List.length r.r_missing)
+    (List.length r.r_added);
+  List.iter (fun c -> Format.fprintf fmt "REGRESSION %a@," pp_change c)
+    r.r_regressions;
+  List.iter (fun k -> Format.fprintf fmt "MISSING %s@," k) r.r_missing;
+  List.iter (fun c -> Format.fprintf fmt "improved %a@," pp_change c)
+    r.r_improvements;
+  Format.fprintf fmt "@]"

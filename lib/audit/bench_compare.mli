@@ -1,0 +1,46 @@
+(** Regression gating between two bench artifacts.
+
+    Compares the [figure_wall_ms] (wall-clock per figure) and
+    [kernel_counters] (simulated global-memory words per kernel)
+    sections of two [BENCH_<timestamp>.json] files.  Wall time is
+    machine-dependent, so it gets its own — typically generous —
+    tolerance; movement volume is deterministic and is gated tightly.
+    A key present in the old artifact but missing from the new one is a
+    lost measurement and fails the comparison. *)
+
+type change = {
+  c_key : string;     (** figure or kernel name *)
+  c_metric : string;  (** ["wall_ms"] or ["global_words"] *)
+  c_old : float;
+  c_new : float;
+  c_ratio : float;    (** new / old; [infinity] when old is 0 *)
+}
+
+type report = {
+  r_regressions : change list;
+  r_improvements : change list;
+  r_unchanged : int;
+  r_missing : string list;  (** measurements the new artifact dropped *)
+  r_added : string list;
+}
+
+val default_wall_tolerance : float
+(** 0.5: half again slower fails. *)
+
+val default_move_tolerance : float
+(** 0.01: simulated movement is deterministic; any real growth fails. *)
+
+val compare :
+  ?wall_tolerance:float ->
+  ?move_tolerance:float ->
+  Emsc_obs.Json.t ->
+  Emsc_obs.Json.t ->
+  (report, string) result
+(** [compare old_artifact new_artifact].  [Error] on artifacts that do
+    not carry the [emsc-bench/1] schema sections. *)
+
+val ok : report -> bool
+(** No regressions and no lost measurements. *)
+
+val json : report -> Emsc_obs.Json.t
+val pp : Format.formatter -> report -> unit

@@ -120,13 +120,18 @@ let check_setting ~capacity_words (spec : Gen.t) (st : setting) =
 let check_generated ~capacity_words ~progress ~seed i =
   let rng = Random.State.make [| seed; i |] in
   let spec = Gen.generate rng in
+  Emsc_obs.Metrics.counter "fuzz.generated" 1.0;
   let checks = ref 0 and failures = ref [] in
   List.iter (fun st ->
     match check_setting ~capacity_words spec st with
     | Ok None -> ()
-    | Ok (Some ()) -> incr checks
+    | Ok (Some ()) ->
+      incr checks;
+      Emsc_obs.Metrics.counter "fuzz.checks" 1.0
     | Error reason ->
       incr checks;
+      Emsc_obs.Metrics.counter "fuzz.checks" 1.0;
+      Emsc_obs.Metrics.counter "fuzz.failed" 1.0;
       progress
         (Printf.sprintf "gen#%d failed under %s: %s — shrinking" i st.sname
            reason);
@@ -135,6 +140,7 @@ let check_generated ~capacity_words ~progress ~seed i =
         | Error _ -> true
         | Ok _ -> false
       in
+      Emsc_obs.Metrics.counter "fuzz.shrunk" 1.0;
       let small = Shrink.minimize ~max_steps:25 ~still_fails spec in
       let reason =
         match check_setting ~capacity_words small st with

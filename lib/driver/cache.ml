@@ -129,11 +129,14 @@ let memo t ~key f =
     match find t ~key with
     | Some v ->
       t.hits <- t.hits + 1;
+      Emsc_obs.Metrics.counter "driver.cache.hits" 1.0;
       (v, true)
     | None ->
       t.misses <- t.misses + 1;
+      Emsc_obs.Metrics.counter "driver.cache.misses" 1.0;
       let v = f () in
       store t ~key v;
+      Emsc_obs.Metrics.counter "driver.cache.stores" 1.0;
       (v, false)
 
 let stats_json t =

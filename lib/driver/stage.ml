@@ -33,9 +33,12 @@ let exec ?cache ~record st x =
       (value, true, hit)
     | _ -> (st.run x, false, false)
   in
-  record
-    { stage = st.name;
-      ms = (Unix.gettimeofday () -. t0) *. 1000.0;
-      cacheable;
-      cached };
+  let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  record { stage = st.name; ms; cacheable; cached };
+  if Metrics.enabled () then begin
+    let labels = [ ("stage", st.name) ] in
+    Metrics.counter ~labels "pipeline.stage_runs" 1.0;
+    if cached then Metrics.counter ~labels "pipeline.stage_cached" 1.0;
+    Metrics.observe ~labels "pipeline.stage_ms" ms
+  end;
   result

@@ -239,6 +239,44 @@ let rec grid_size ctx (l : Ast.loop) =
   in
   trip *. inner
 
+(* per-group movement attribution: a Copy between global memory and a
+   local buffer is one staged word moving in (global -> local) or out
+   (local -> global).  Exact under [Full] mode; [Sampled] runs only
+   record the iterations they actually execute. *)
+let record_copy ctx (dst : Ast.ref_expr) (src : Ast.ref_expr) =
+  Emsc_obs.Metrics.counter "exec.copies" 1.0;
+  let dst_local = Memory.is_local ctx.memory dst.Ast.array in
+  let src_local = Memory.is_local ctx.memory src.Ast.array in
+  if dst_local && not src_local then
+    Emsc_obs.Metrics.counter ~labels:[ ("buffer", dst.Ast.array) ]
+      "exec.move_in_words" 1.0
+  else if src_local && not dst_local then
+    Emsc_obs.Metrics.counter ~labels:[ ("buffer", src.Ast.array) ]
+      "exec.move_out_words" 1.0
+
+(* whole-run totals and scratchpad occupancy, recorded once per run:
+   O(1) regardless of program size, and one boolean when disabled *)
+let record_run_metrics ctx =
+  if Emsc_obs.Metrics.enabled () then begin
+    let open Emsc_obs in
+    Metrics.counter "exec.runs" 1.0;
+    Metrics.counter "exec.flops" ctx.c.flops;
+    Metrics.counter "exec.global_loads" ctx.c.g_ld;
+    Metrics.counter "exec.global_stores" ctx.c.g_st;
+    Metrics.counter "exec.smem_loads" ctx.c.s_ld;
+    Metrics.counter "exec.smem_stores" ctx.c.s_st;
+    Metrics.counter "exec.syncs" ctx.c.syncs;
+    Metrics.counter "exec.fences" ctx.c.fences;
+    let occ = Memory.local_occupancy ctx.memory in
+    List.iter (fun (name, cells) ->
+      Metrics.gauge_max ~labels:[ ("buffer", name) ]
+        "exec.scratchpad_occupancy_words" (float_of_int cells))
+      occ;
+    if occ <> [] then
+      Metrics.gauge_max "exec.scratchpad_occupancy_total_words"
+        (float_of_int (List.fold_left (fun a (_, c) -> a + c) 0 occ))
+  end
+
 let rec exec_stm ctx (s : Ast.stm) =
   match s with
   | Ast.Loop l -> exec_loop ctx l
@@ -249,7 +287,8 @@ let rec exec_stm ctx (s : Ast.stm) =
   | Ast.Stmt_call { stmt_id; iter_args } -> exec_stmt_call ctx stmt_id iter_args
   | Ast.Copy { dst; src } ->
     let v = read_ref ctx src in
-    write_ref ctx dst v
+    write_ref ctx dst v;
+    if Emsc_obs.Metrics.enabled () then record_copy ctx dst src
   | Ast.Sync -> ctx.c.syncs <- ctx.c.syncs +. 1.0
   | Ast.Fence ->
     ctx.c.syncs <- ctx.c.syncs +. 1.0;
@@ -360,6 +399,7 @@ let run ~prog ?local_ref ~param_env ~memory ?(mode = Full) ?on_global stms =
       in_launch = false; launches = [] }
   in
   List.iter (exec_stm ctx) stms;
+  record_run_metrics ctx;
   { totals = ctx.c; launches = List.rev ctx.launches }
 
 let run_instances ~prog ~param_env ~memory ?on_global insts =
@@ -370,4 +410,5 @@ let run_instances ~prog ~param_env ~memory ?on_global insts =
       in_launch = false; launches = [] }
   in
   List.iter (fun (s, iters) -> exec_body ctx s iters) insts;
+  record_run_metrics ctx;
   ctx.c

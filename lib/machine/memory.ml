@@ -96,6 +96,11 @@ let write_local m name idx v =
 let global_data m name = (entry m name).data
 let dims m name = (entry m name).entry_dims
 
+let local_occupancy m =
+  Hashtbl.fold (fun name cells acc -> (name, Hashtbl.length cells) :: acc)
+    m.locals []
+  |> List.sort compare
+
 let fill m name f =
   let e = entry m name in
   let n = Array.length e.entry_dims in

@@ -33,6 +33,13 @@ val base_address : t -> string -> int
 val global_data : t -> string -> float array
 val dims : t -> string -> int array
 
+val local_occupancy : t -> (string * int) list
+(** Per local buffer, the number of distinct cells ever written, sorted
+    by name.  Buffers are sparse and never freed, so this is the
+    cumulative footprint of every window the buffer held — an upper
+    bound on (and for a single-block run, exactly) its peak scratchpad
+    occupancy in words. *)
+
 val fill : t -> string -> (int array -> float) -> unit
 (** Initialize an array pointwise. *)
 

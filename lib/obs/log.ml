@@ -32,7 +32,11 @@ let ndjson_sink oc : sink =
        :: fields)
   in
   output_string oc (Json.to_string record);
-  output_char oc '\n'
+  output_char oc '\n';
+  (* flush per record: NDJSON sinks feed crash forensics (fuzz runs,
+     aborted simulations), where buffered records would be exactly the
+     ones that matter *)
+  flush oc
 
 let active level =
   match !sink with

@@ -23,7 +23,9 @@ val formatter_sink : Format.formatter -> sink
 (** [LEVEL message  k=v ...] lines. *)
 
 val ndjson_sink : out_channel -> sink
-(** [{"level":...,"msg":...,...fields}] lines. *)
+(** [{"level":...,"msg":...,...fields}] lines.  The channel is flushed
+    after every record, so nothing is lost when the process dies
+    mid-stream. *)
 
 val msg : level -> ?fields:(string * Json.t) list -> string -> unit
 

@@ -1,0 +1,218 @@
+type labels = (string * string) list
+
+type cell =
+  | Ccounter of float ref
+  | Cgauge of float ref
+  | Chist of { mutable h_count : int; mutable h_sum : float;
+               h_buckets : (int, int ref) Hashtbl.t }
+
+let enabled_flag = ref false
+let enabled () = !enabled_flag
+let enable () = enabled_flag := true
+let disable () = enabled_flag := false
+
+let default_clock = Unix.gettimeofday
+let clock = ref default_clock
+let set_clock c = clock := c
+let use_default_clock () = clock := default_clock
+
+(* one table for the whole process, keyed by (name, sorted labels) *)
+let table : (string * labels, cell) Hashtbl.t = Hashtbl.create 64
+
+let reset () = Hashtbl.reset table
+
+let canon labels =
+  match labels with
+  | [] -> []
+  | [ _ ] -> labels
+  | _ -> List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+
+let cell ?(labels = []) name make =
+  let key = (name, canon labels) in
+  match Hashtbl.find_opt table key with
+  | Some c -> c
+  | None ->
+    let c = make () in
+    Hashtbl.replace table key c;
+    c
+
+let counter ?labels name v =
+  if !enabled_flag then
+    match cell ?labels name (fun () -> Ccounter (ref 0.0)) with
+    | Ccounter r -> r := !r +. v
+    | Cgauge _ | Chist _ -> ()
+
+let gauge ?labels name v =
+  if !enabled_flag then
+    match cell ?labels name (fun () -> Cgauge (ref v)) with
+    | Cgauge r -> r := v
+    | Ccounter _ | Chist _ -> ()
+
+let gauge_max ?labels name v =
+  if !enabled_flag then
+    match cell ?labels name (fun () -> Cgauge (ref v)) with
+    | Cgauge r -> if v > !r then r := v
+    | Ccounter _ | Chist _ -> ()
+
+(* log2 bucket exponent: smallest k with v <= 2^k; v <= 0 underflows *)
+let bucket_of v =
+  if v <= 0.0 then min_int
+  else begin
+    let k = ref 0 and b = ref 1.0 in
+    if v <= 1.0 then 0
+    else begin
+      while !b < v && !k < 1024 do
+        b := !b *. 2.0;
+        incr k
+      done;
+      !k
+    end
+  end
+
+let observe ?labels name v =
+  if !enabled_flag then
+    match
+      cell ?labels name (fun () ->
+        Chist { h_count = 0; h_sum = 0.0; h_buckets = Hashtbl.create 8 })
+    with
+    | Chist h ->
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum +. v;
+      let k = bucket_of v in
+      (match Hashtbl.find_opt h.h_buckets k with
+       | Some r -> incr r
+       | None -> Hashtbl.replace h.h_buckets k (ref 1))
+    | Ccounter _ | Cgauge _ -> ()
+
+(* --- snapshots --------------------------------------------------------- *)
+
+type value =
+  | Counter of float
+  | Gauge of float
+  | Histogram of { count : int; sum : float; buckets : (int * int) list }
+
+type sample = {
+  m_name : string;
+  m_labels : labels;
+  m_value : value;
+}
+
+type snapshot = {
+  at_s : float;
+  samples : sample list;
+}
+
+let freeze = function
+  | Ccounter r -> Counter !r
+  | Cgauge r -> Gauge !r
+  | Chist h ->
+    let buckets =
+      Hashtbl.fold (fun k r acc -> (k, !r) :: acc) h.h_buckets []
+      |> List.sort compare
+    in
+    Histogram { count = h.h_count; sum = h.h_sum; buckets }
+
+let compare_sample a b =
+  match String.compare a.m_name b.m_name with
+  | 0 -> compare a.m_labels b.m_labels
+  | c -> c
+
+let snapshot () =
+  let samples =
+    Hashtbl.fold (fun (name, labels) c acc ->
+      { m_name = name; m_labels = labels; m_value = freeze c } :: acc)
+      table []
+    |> List.sort compare_sample
+  in
+  { at_s = !clock (); samples }
+
+let sub_buckets later earlier =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun (k, n) -> Hashtbl.replace tbl k n) later;
+  List.iter (fun (k, n) ->
+    let cur = try Hashtbl.find tbl k with Not_found -> 0 in
+    Hashtbl.replace tbl k (max 0 (cur - n)))
+    earlier;
+  Hashtbl.fold (fun k n acc -> if n > 0 then (k, n) :: acc else acc) tbl []
+  |> List.sort compare
+
+let diff earlier later =
+  let earlier_tbl = Hashtbl.create 32 in
+  List.iter (fun s -> Hashtbl.replace earlier_tbl (s.m_name, s.m_labels) s)
+    earlier.samples;
+  let samples =
+    List.map (fun s ->
+      match Hashtbl.find_opt earlier_tbl (s.m_name, s.m_labels) with
+      | None -> s
+      | Some e ->
+        let value =
+          match s.m_value, e.m_value with
+          | Counter a, Counter b -> Counter (Float.max 0.0 (a -. b))
+          | Histogram h, Histogram g ->
+            Histogram
+              { count = max 0 (h.count - g.count);
+                sum = Float.max 0.0 (h.sum -. g.sum);
+                buckets = sub_buckets h.buckets g.buckets }
+          | v, _ -> v
+        in
+        { s with m_value = value })
+      later.samples
+  in
+  { at_s = later.at_s; samples }
+
+let find ?(labels = []) snap name =
+  let labels = canon labels in
+  List.find_map (fun s ->
+    if s.m_name = name && s.m_labels = labels then Some s.m_value else None)
+    snap.samples
+
+let counter_value ?labels snap name =
+  match find ?labels snap name with Some (Counter v) -> v | _ -> 0.0
+
+(* --- rendering --------------------------------------------------------- *)
+
+let bucket_label k = if k = min_int then "le0" else string_of_int k
+
+let value_fields = function
+  | Counter v -> [ ("type", Json.Str "counter"); ("value", Json.Float v) ]
+  | Gauge v -> [ ("type", Json.Str "gauge"); ("value", Json.Float v) ]
+  | Histogram { count; sum; buckets } ->
+    [ ("type", Json.Str "histogram");
+      ("count", Json.Int count);
+      ("sum", Json.Float sum);
+      ( "buckets",
+        Json.Obj (List.map (fun (k, n) -> (bucket_label k, Json.Int n)) buckets)
+      ) ]
+
+let snapshot_json snap =
+  Json.Obj
+    [ ("at_s", Json.Float snap.at_s);
+      ( "metrics",
+        Json.List
+          (List.map (fun s ->
+             Json.Obj
+               (("name", Json.Str s.m_name)
+                :: (if s.m_labels = [] then []
+                    else
+                      [ ( "labels",
+                          Json.Obj
+                            (List.map (fun (k, v) -> (k, Json.Str v))
+                               s.m_labels) ) ])
+                @ value_fields s.m_value))
+             snap.samples) ) ]
+
+let pp fmt snap =
+  List.iter (fun s ->
+    Format.fprintf fmt "%s" s.m_name;
+    if s.m_labels <> [] then begin
+      Format.fprintf fmt "{%s}"
+        (String.concat ","
+           (List.map (fun (k, v) -> k ^ "=" ^ v) s.m_labels))
+    end;
+    (match s.m_value with
+     | Counter v -> Format.fprintf fmt " = %.0f" v
+     | Gauge v -> Format.fprintf fmt " = %g (gauge)" v
+     | Histogram { count; sum; _ } ->
+       Format.fprintf fmt " = %d obs, sum %g" count sum);
+    Format.pp_print_newline fmt ())
+    snap.samples

@@ -154,25 +154,61 @@ let write_chrome path =
   output_char oc '\n';
   close_out oc
 
+type agg = {
+  agg_name : string;
+  calls : int;
+  errors : int;
+  total_s : float;
+  agg_counters : (string * float) list;
+}
+
 let aggregate () =
-  let tbl : (string, int * float) Hashtbl.t = Hashtbl.create 32 in
+  let tbl : (string, agg) Hashtbl.t = Hashtbl.create 32 in
   let rec go n =
-    let calls, total =
-      try Hashtbl.find tbl n.name with Not_found -> (0, 0.0)
+    let cur =
+      match Hashtbl.find_opt tbl n.name with
+      | Some a -> a
+      | None ->
+        { agg_name = n.name; calls = 0; errors = 0; total_s = 0.0;
+          agg_counters = [] }
     in
-    Hashtbl.replace tbl n.name (calls + 1, total +. n.dur_s);
+    let errored = List.mem_assoc "error" n.args in
+    let counters =
+      List.fold_left (fun acc (k, v) ->
+        let prev = try List.assoc k acc with Not_found -> 0.0 in
+        (k, prev +. v) :: List.remove_assoc k acc)
+        cur.agg_counters n.counters
+    in
+    Hashtbl.replace tbl n.name
+      { cur with
+        calls = cur.calls + 1;
+        errors = (cur.errors + if errored then 1 else 0);
+        total_s = cur.total_s +. n.dur_s;
+        agg_counters = counters };
     List.iter go n.children
   in
   List.iter go (roots ());
-  Hashtbl.fold (fun name (calls, total) acc -> (name, calls, total) :: acc)
+  Hashtbl.fold (fun _ a acc ->
+    { a with
+      agg_counters =
+        List.sort (fun (x, _) (y, _) -> String.compare x y) a.agg_counters }
+    :: acc)
     tbl []
-  |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+  |> List.sort (fun a b -> compare b.total_s a.total_s)
 
 let aggregate_json () =
   Json.List
-    (List.map (fun (name, calls, total_s) ->
+    (List.map (fun a ->
        Json.Obj
-         [ ("name", Json.Str name);
-           ("calls", Json.Int calls);
-           ("total_ms", Json.Float (total_s *. 1e3)) ])
+         ([ ("name", Json.Str a.agg_name);
+            ("calls", Json.Int a.calls);
+            ("errors", Json.Int a.errors);
+            ("total_ms", Json.Float (a.total_s *. 1e3)) ]
+          @
+          if a.agg_counters = [] then []
+          else
+            [ ( "counters",
+                Json.Obj
+                  (List.map (fun (k, v) -> (k, Json.Float v)) a.agg_counters)
+              ) ]))
        (aggregate ()))

@@ -58,8 +58,18 @@ val chrome_json : unit -> Json.t
 val write_chrome : string -> unit
 (** Write {!chrome_json} to a file. *)
 
-val aggregate : unit -> (string * int * float) list
-(** Per span name over the whole tree: (name, call count, total
-    seconds), sorted by descending total. *)
+type agg = {
+  agg_name : string;
+  calls : int;
+  errors : int;    (** spans of this name that closed with an error *)
+  total_s : float;
+  agg_counters : (string * float) list;
+      (** counter totals over every span of this name, sorted *)
+}
+
+val aggregate : unit -> agg list
+(** Per span name over the whole tree, sorted by descending total
+    time.  Errored spans are counted distinctly, so report consumers
+    can tell a clean run from a partially-failed one. *)
 
 val aggregate_json : unit -> Json.t

@@ -271,6 +271,26 @@ let movement_profile p spec (mi, mo) =
          match kind with `Mem -> acc *. trips | `Block -> acc)
        1.0
 
+let block_tile_count p spec =
+  let stmt =
+    match p.Prog.stmts with
+    | [ s ] -> s
+    | _ -> invalid_arg "Tile.block_tile_count: single-statement programs only"
+  in
+  let depth = stmt.Prog.depth in
+  let count = ref 1.0 in
+  for j = 0 to depth - 1 do
+    match spec.(j).block with
+    | None -> ()
+    | Some sz ->
+      (match Poly.var_bounds_int stmt.Prog.domain j with
+       | Some lo, Some hi ->
+         let lo = Zint.to_int_exn lo and hi = Zint.to_int_exn hi in
+         count := !count *. float_of_int ((hi - lo + sz) / sz)
+       | _ -> invalid_arg "Tile.block_tile_count: unbounded domain")
+  done;
+  !count
+
 type level = {
   var : string;
   lb : Ast.aexpr;

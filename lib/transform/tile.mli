@@ -58,6 +58,14 @@ val movement_profile :
     the trip counts of the sequential (mem-level) tiling loops the pair
     is placed inside, honouring the hoisting rule. *)
 
+val block_tile_count : Prog.t -> spec -> float
+(** Number of block tiles the spec carves the iteration space into:
+    the product of the block-level trip counts ([1.0] with no block
+    tiling).  With {!movement_profile} this scales a per-block
+    prediction to a whole-program total.
+    @raise Invalid_argument on multi-statement programs or unbounded
+    domains, like {!movement_profile}. *)
+
 val generate :
   Prog.t -> spec -> movement:(Ast.stm list * Ast.stm list) list ->
   Ast.stm list

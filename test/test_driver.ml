@@ -226,7 +226,10 @@ let test_stage_spans () =
   in
   Fun.protect ~finally (fun () ->
     let (_ : Pipeline.compiled) = compile_ok ~cache:(Cache.in_memory ()) (src ()) in
-    let names = List.map (fun (n, _, _) -> n) (Emsc_obs.Trace.aggregate ()) in
+    let names =
+      List.map (fun (a : Emsc_obs.Trace.agg) -> a.Emsc_obs.Trace.agg_name)
+        (Emsc_obs.Trace.aggregate ())
+    in
     List.iter
       (fun n ->
         Alcotest.(check bool) ("span " ^ n) true (List.mem n names))

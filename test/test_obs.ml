@@ -58,6 +58,82 @@ let test_json_parse () =
     | Error _ -> ())
     [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ]
 
+(* seeded random JSON values: escape-heavy strings, Int boundaries,
+   awkward floats, nesting — the parser and printer must agree on all
+   of them *)
+let gen_string rng =
+  let pieces =
+    [| "a"; "xyz"; "\""; "\\"; "\n"; "\t"; "\r"; "\x01"; "\x1f"; "\xc3\xa9";
+       "{"; "["; ","; " "; "e5"; "-" |]
+  in
+  String.concat ""
+    (List.init (Random.State.int rng 8) (fun _ ->
+       pieces.(Random.State.int rng (Array.length pieces))))
+
+let rec gen_json rng depth =
+  match Random.State.int rng (if depth = 0 then 6 else 8) with
+  | 0 -> Json.Null
+  | 1 -> Json.Bool (Random.State.bool rng)
+  | 2 -> Json.Int (Random.State.int rng 2_000_001 - 1_000_000)
+  | 3 ->
+    Json.Int
+      [| max_int; min_int; 0; -1; 1 lsl 53; (1 lsl 53) + 1 |].(Random.State.int
+                                                                 rng 6)
+  | 4 ->
+    let specials =
+      [| 0.3; -0.0; 1e-9; 1.5e15; -1.25e300; 4.5e-300; 123456.75 |]
+    in
+    if Random.State.bool rng then
+      Json.Float specials.(Random.State.int rng (Array.length specials))
+    else Json.Float (Random.State.float rng 2e6 -. 1e6)
+  | 5 -> Json.Str (gen_string rng)
+  | 6 ->
+    Json.List
+      (List.init (Random.State.int rng 5) (fun _ -> gen_json rng (depth - 1)))
+  | _ ->
+    Json.Obj
+      (List.init (Random.State.int rng 5) (fun i ->
+         (Printf.sprintf "k%d%s" i (gen_string rng), gen_json rng (depth - 1))))
+
+let test_json_property () =
+  let rng = Random.State.make [| 0xE5C; 42 |] in
+  for _ = 1 to 500 do
+    let j = gen_json rng 4 in
+    let s = Json.to_string j in
+    match Json.of_string s with
+    | Error e -> Alcotest.failf "reparse %S: %s" s e
+    | Ok j' ->
+      if not (Json.equal j j') then Alcotest.failf "round-trip %S" s
+  done;
+  for _ = 1 to 100 do
+    let j = gen_json rng 3 in
+    match Json.of_string (Json.to_string ~pretty:true j) with
+    | Ok j' when Json.equal j j' -> ()
+    | _ -> Alcotest.failf "pretty round-trip %s" (Json.to_string j)
+  done
+
+let test_json_boundaries () =
+  (* non-finite floats degrade to null wherever they appear *)
+  checks "nonfinite" "[null,null,null]"
+    (Json.to_string
+       (Json.List
+          [ Json.Float Float.nan; Json.Float Float.infinity;
+            Json.Float Float.neg_infinity ]));
+  (* deep nesting round-trips *)
+  let deep = ref (Json.Int 1) in
+  for _ = 1 to 200 do deep := Json.List [ !deep ] done;
+  check golden "deep" !deep (parse_exn (Json.to_string !deep));
+  (* Int boundaries survive as Int *)
+  check golden "max_int" (Json.Int max_int)
+    (parse_exn (Json.to_string (Json.Int max_int)));
+  check golden "min_int" (Json.Int min_int)
+    (parse_exn (Json.to_string (Json.Int min_int)));
+  (* a literal with a fraction or exponent is a Float even when it has
+     an integral value *)
+  check golden "big-float" (Json.Float 1e308) (parse_exn "1e308");
+  check golden "tiny-float" (Json.Float 4.5e-300) (parse_exn "4.5e-300");
+  check golden "int-valued-float" (Json.Float 3.0) (parse_exn "3.0")
+
 (* ------------------------------------------------------------------ *)
 (* Trace: span nesting, timing, export                                 *)
 (* ------------------------------------------------------------------ *)
@@ -139,12 +215,154 @@ let test_chrome_json () =
       events;
     (* aggregate sees both spans *)
     match Trace.aggregate () with
-    | (n1, c1, _) :: _ ->
-      let inner = List.find (fun (n, _, _) -> n = "inner") (Trace.aggregate ()) in
-      let _, inner_calls, _ = inner in
-      Alcotest.(check int) "inner calls" 2 inner_calls;
-      ignore n1; ignore c1
-    | [] -> Alcotest.fail "empty aggregate")
+    | [] -> Alcotest.fail "empty aggregate"
+    | _ :: _ ->
+      let inner =
+        List.find (fun (a : Trace.agg) -> a.Trace.agg_name = "inner")
+          (Trace.aggregate ())
+      in
+      Alcotest.(check int) "inner calls" 2 inner.Trace.calls)
+
+let test_aggregate_errors () =
+  with_fake_clock (fun () ->
+    build_tree ();
+    (try
+       Trace.span "boom" (fun () ->
+         Trace.count "items" 5.0;
+         failwith "bang")
+     with Failure _ -> ());
+    let aggs = Trace.aggregate () in
+    let find n = List.find (fun (a : Trace.agg) -> a.Trace.agg_name = n) aggs in
+    Alcotest.(check int) "boom calls" 1 (find "boom").Trace.calls;
+    Alcotest.(check int) "boom errors" 1 (find "boom").Trace.errors;
+    Alcotest.(check int) "inner errors" 0 (find "inner").Trace.errors;
+    Alcotest.(check int) "outer errors" 0 (find "outer").Trace.errors;
+    (* counter totals ride along per span name *)
+    check (Alcotest.list (Alcotest.pair Alcotest.string (Alcotest.float 0.0)))
+      "boom counters" [ ("items", 5.0) ] (find "boom").Trace.agg_counters;
+    check (Alcotest.list (Alcotest.pair Alcotest.string (Alcotest.float 0.0)))
+      "inner counters" [ ("items", 1.0) ] (find "inner").Trace.agg_counters;
+    (* the error span is marked in the JSON aggregate too *)
+    let j = parse_exn (Json.to_string (Trace.aggregate_json ())) in
+    let rows = Json.to_list j in
+    let boom =
+      List.find (fun r -> Json.member "name" r = Some (Json.Str "boom")) rows
+    in
+    checkb "errors field" true (Json.member "errors" boom = Some (Json.Int 1)))
+
+(* ------------------------------------------------------------------ *)
+(* Log: ndjson sink flushes after every record                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_ndjson_flush () =
+  let path = Filename.temp_file "emsc-log" ".ndjson" in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_sink None;
+      close_out_noerr oc;
+      Sys.remove path)
+    (fun () ->
+      Log.set_sink (Some (Log.ndjson_sink oc));
+      Log.info ~fields:[ ("k", Json.Int 1) ] "first";
+      Log.warn "second";
+      (* the records must be on disk *without* closing the channel *)
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          let l1 = input_line ic in
+          let l2 = input_line ic in
+          (match input_line ic with
+           | _ -> Alcotest.fail "expected exactly two records"
+           | exception End_of_file -> ());
+          List.iter2 (fun line (level, msg) ->
+            let j = parse_exn line in
+            checkb "level" true (Json.member "level" j = Some (Json.Str level));
+            checkb "msg" true (Json.member "msg" j = Some (Json.Str msg)))
+            [ l1; l2 ]
+            [ ("info", "first"); ("warn", "second") ]))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let with_metrics f =
+  Metrics.reset ();
+  Metrics.set_clock (fun () -> 12.0);
+  Metrics.enable ();
+  Fun.protect f ~finally:(fun () ->
+    Metrics.disable ();
+    Metrics.reset ();
+    Metrics.use_default_clock ())
+
+let test_metrics_disabled () =
+  Metrics.reset ();
+  Metrics.disable ();
+  Metrics.counter "c" 1.0;
+  Metrics.gauge "g" 2.0;
+  Metrics.gauge_max "m" 3.0;
+  Metrics.observe "h" 4.0;
+  let snap = Metrics.snapshot () in
+  Alcotest.(check int) "metrics-off snapshot is empty" 0
+    (List.length snap.Metrics.samples)
+
+let test_metrics_updates () =
+  with_metrics (fun () ->
+    Metrics.counter "c" 2.0;
+    Metrics.counter "c" 3.0;
+    Metrics.counter ~labels:[ ("b", "2"); ("a", "1") ] "c" 1.0;
+    Metrics.gauge "g" 9.0;
+    Metrics.gauge "g" 5.0;
+    Metrics.gauge_max "m" 2.0;
+    Metrics.gauge_max "m" 7.0;
+    Metrics.gauge_max "m" 3.0;
+    Metrics.observe "h" 1.0;
+    Metrics.observe "h" 1000.0;
+    Metrics.observe "h" 0.0;
+    let snap = Metrics.snapshot () in
+    check (Alcotest.float 0.0) "counter" 5.0 (Metrics.counter_value snap "c");
+    (* label order is canonicalized *)
+    check (Alcotest.float 0.0) "labeled counter" 1.0
+      (Metrics.counter_value ~labels:[ ("a", "1"); ("b", "2") ] snap "c");
+    checkb "gauge keeps last" true (Metrics.find snap "g" = Some (Metrics.Gauge 5.0));
+    checkb "gauge_max keeps max" true
+      (Metrics.find snap "m" = Some (Metrics.Gauge 7.0));
+    (match Metrics.find snap "h" with
+     | Some (Metrics.Histogram { count; sum; buckets }) ->
+       Alcotest.(check int) "hist count" 3 count;
+       check (Alcotest.float 0.0) "hist sum" 1001.0 sum;
+       (* 0.0 underflows, 1.0 lands in 2^0, 1000.0 in 2^10 *)
+       checkb "buckets" true (buckets = [ (min_int, 1); (0, 1); (10, 1) ])
+     | _ -> Alcotest.fail "h is not a histogram");
+    check (Alcotest.float 0.0) "deterministic clock" 12.0
+      snap.Metrics.at_s;
+    (* the JSON rendering parses and labels the underflow bucket *)
+    let j = parse_exn (Json.to_string (Metrics.snapshot_json snap)) in
+    checkb "metrics list" true (Json.member "metrics" j <> None))
+
+let test_metrics_diff () =
+  with_metrics (fun () ->
+    Metrics.counter "c" 10.0;
+    Metrics.gauge "g" 1.0;
+    Metrics.observe "h" 4.0;
+    let snap0 = Metrics.snapshot () in
+    Metrics.counter "c" 2.5;
+    Metrics.gauge "g" 8.0;
+    Metrics.observe "h" 4.0;
+    Metrics.counter "fresh" 1.0;
+    let d = Metrics.diff snap0 (Metrics.snapshot ()) in
+    check (Alcotest.float 0.0) "counter delta" 2.5 (Metrics.counter_value d "c");
+    check (Alcotest.float 0.0) "fresh counter" 1.0
+      (Metrics.counter_value d "fresh");
+    checkb "gauge takes later value" true
+      (Metrics.find d "g" = Some (Metrics.Gauge 8.0));
+    match Metrics.find d "h" with
+    | Some (Metrics.Histogram { count; sum; buckets }) ->
+      Alcotest.(check int) "hist delta count" 1 count;
+      check (Alcotest.float 0.0) "hist delta sum" 4.0 sum;
+      checkb "hist delta buckets" true (buckets = [ (2, 1) ])
+    | _ -> Alcotest.fail "h missing from diff")
 
 (* ------------------------------------------------------------------ *)
 (* Metric records                                                      *)
@@ -219,13 +437,22 @@ let () =
     [ ( "json",
         [ Alcotest.test_case "print" `Quick test_json_print;
           Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
-          Alcotest.test_case "parse" `Quick test_json_parse ] );
+          Alcotest.test_case "parse" `Quick test_json_parse;
+          Alcotest.test_case "property" `Quick test_json_property;
+          Alcotest.test_case "boundaries" `Quick test_json_boundaries ] );
       ( "trace",
         [ Alcotest.test_case "nesting" `Quick test_span_nesting;
           Alcotest.test_case "disabled+errors" `Quick
             test_span_disabled_and_errors;
-          Alcotest.test_case "chrome-json" `Quick test_chrome_json ] );
+          Alcotest.test_case "chrome-json" `Quick test_chrome_json;
+          Alcotest.test_case "aggregate-errors" `Quick test_aggregate_errors ]
+      );
+      ( "log",
+        [ Alcotest.test_case "ndjson-flush" `Quick test_ndjson_flush ] );
       ( "metrics",
-        [ Alcotest.test_case "counters-json" `Quick test_counters_json ] );
+        [ Alcotest.test_case "counters-json" `Quick test_counters_json;
+          Alcotest.test_case "disabled-empty" `Quick test_metrics_disabled;
+          Alcotest.test_case "updates" `Quick test_metrics_updates;
+          Alcotest.test_case "diff" `Quick test_metrics_diff ] );
       ( "explain",
         [ Alcotest.test_case "matmul" `Quick test_explain_matmul ] ) ]
