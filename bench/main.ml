@@ -62,6 +62,11 @@ module J = Emsc_obs.Json
 let bench_points : J.t list ref = ref []
 let bench_notes : J.t list ref = ref []
 
+(* runtime figure: flat "<kernel>.<series>" -> wall ms; becomes the
+   artifact's top-level [runtime_wall_ms] key (what bench-compare's
+   runtime section gates) *)
+let runtime_wall : (string * float) list ref = ref []
+
 let record_point ~fig ~series ~x ?(unit_ = "ms") v =
   bench_points :=
     J.Obj
@@ -118,6 +123,9 @@ let write_bench_json ~figure_ms =
         ("kernel_counters", J.Obj kernels);
         ( "figure_wall_ms",
           J.Obj (List.map (fun (n, ms) -> (n, J.Float ms)) figure_ms) );
+        ( "runtime_wall_ms",
+          J.Obj
+            (List.rev_map (fun (k, ms) -> (k, J.Float ms)) !runtime_wall) );
         ("audit", J.List (List.rev !audit_results));
         ("metrics", Emsc_obs.Metrics.snapshot_json (Emsc_obs.Metrics.snapshot ()));
         ( "pass_cache",
@@ -673,6 +681,126 @@ let audit () =
   if !failures > 0 then failwith "bench: cost-model audit found failures"
 
 (* ------------------------------------------------------------------ *)
+(* Parallel runtime backend: sequential vs block-parallel wall time    *)
+(* ------------------------------------------------------------------ *)
+
+let record_runtime ~kernel ~series ms =
+  runtime_wall := (kernel ^ "." ^ series, ms) :: !runtime_wall;
+  record_point ~fig:"runtime" ~series:kernel ~x:series ms
+
+let runtime_jobs () =
+  let cap =
+    match Sys.getenv_opt "EMSC_BENCH_RUNTIME_MAX_J" with
+    | Some s -> (try max 1 (int_of_string s) with _ -> 8)
+    | None -> 8
+  in
+  List.filter (fun j -> j <= cap) [ 1; 2; 4; 8 ]
+
+let time_run f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+
+let totals_str (r : Exec.result) =
+  J.to_string (Exec.counters_json r.Exec.totals)
+
+(* bit-for-bit: every global array equal, counter totals identical *)
+let assert_matches ~kernel ~series (prog : Prog.t) (m_seq, r_seq)
+    (m_par, r_par) =
+  List.iter (fun (d : Prog.array_decl) ->
+    if not (Memory.arrays_equal ~eps:0.0 m_seq m_par d.Prog.array_name)
+    then
+      failwith
+        (Printf.sprintf "bench: runtime: %s %s diverges from sequential on %s"
+           kernel series d.Prog.array_name))
+    prog.Prog.arrays;
+  let js = totals_str r_seq and jp = totals_str r_par in
+  if js <> jp then
+    failwith
+      (Printf.sprintf
+         "bench: runtime: %s %s counter totals diverge: %s vs %s" kernel
+         series jp js)
+
+let runtime_compiled ~kernel job =
+  let c = compiled job in
+  let prog = c.Pipeline.prog in
+  let (seq, seq_ms) =
+    time_run (fun () ->
+      Runner.simulate ~mode:Exec.Full ~memory:Runner.Pseudorandom c)
+  in
+  record_runtime ~kernel ~series:"seq" seq_ms;
+  pf "%-12s %-10s %10.1f ms\n" kernel "seq" seq_ms;
+  List.iter (fun j ->
+    let series = Printf.sprintf "par-j%d" j in
+    let (par, ms) =
+      time_run (fun () ->
+        Runner.simulate ~memory:Runner.Pseudorandom ~backend:(`Par j) c)
+    in
+    assert_matches ~kernel ~series prog seq par;
+    record_runtime ~kernel ~series ms;
+    pf "%-12s %-10s %10.1f ms  (%.2fx, bit-identical)\n" kernel series ms
+      (seq_ms /. ms))
+    (runtime_jobs ());
+  (* one work-stealing and one pipelined (double-buffered DMA) point at
+     the widest domain count, same equality requirement *)
+  let jmax = List.fold_left max 1 (runtime_jobs ()) in
+  List.iter (fun (series, policy, double_buffer) ->
+    let (par, ms) =
+      time_run (fun () ->
+        Runner.simulate ~memory:Runner.Pseudorandom ~backend:(`Par jmax)
+          ~policy ~double_buffer c)
+    in
+    assert_matches ~kernel ~series prog seq par;
+    record_runtime ~kernel ~series ms;
+    pf "%-12s %-10s %10.1f ms  (%.2fx, bit-identical)\n" kernel series ms
+      (seq_ms /. ms))
+    [ (Printf.sprintf "steal-j%d" jmax, Emsc_runtime.Runtime.Work_stealing,
+       false);
+      (Printf.sprintf "db-j%d" jmax, Emsc_runtime.Runtime.Static, true) ]
+
+(* the overlapped stencil goes through Runner.execute: a host time loop
+   of block-parallel launches with a global barrier between time tiles,
+   and real Fence-delimited movement phases for the DMA pipeline *)
+let runtime_stencil ~kernel ~n ~steps ~ts ~tt =
+  let prog = Jacobi1d.program ~n ~steps in
+  let k = Stencil.overlapped_1d ~n ~steps ~ts ~tt prog in
+  let run ?backend ?double_buffer () =
+    Runner.execute ~prog ~local_ref:k.Stencil.local_ref
+      ~locals:k.Stencil.locals ~mode:Exec.Full ~memory:Runner.Pseudorandom
+      ?backend ?double_buffer ~block_words:k.Stencil.smem_words
+      k.Stencil.ast
+  in
+  let (seq, seq_ms) = time_run (fun () -> run ()) in
+  record_runtime ~kernel ~series:"seq" seq_ms;
+  pf "%-12s %-10s %10.1f ms  (%d launches)\n" kernel "seq" seq_ms
+    k.Stencil.time_tiles;
+  List.iter (fun j ->
+    List.iter (fun (tag, double_buffer) ->
+      let series = Printf.sprintf "%s-j%d" tag j in
+      let (par, ms) =
+        time_run (fun () -> run ~backend:(`Par j) ~double_buffer ())
+      in
+      assert_matches ~kernel ~series prog seq par;
+      record_runtime ~kernel ~series ms;
+      pf "%-12s %-10s %10.1f ms  (%.2fx, bit-identical)\n" kernel series ms
+        (seq_ms /. ms))
+      [ ("par", false); ("db", true) ])
+    (runtime_jobs ())
+
+let runtime () =
+  pf "=== Runtime backend: sequential vs block-parallel (wall ms) ===\n";
+  record_note ~fig:"runtime" "host_cores" (J.Int (Pipeline.default_jobs ()));
+  record_note ~fig:"runtime" "jobs"
+    (J.List (List.map (fun j -> J.Int j) (runtime_jobs ())));
+  runtime_compiled ~kernel:"me-128" (Me.job ~ni:128 ~nj:128 ~ws:8 ());
+  runtime_compiled ~kernel:"matmul-96" (Matmul.job ~n:96 ());
+  runtime_stencil ~kernel:"jacobi-16k" ~n:16384 ~steps:64 ~ts:256 ~tt:8;
+  pf
+    "(speedup is bounded by the host's cores — %d here; every parallel \
+     point is checked bit-identical to sequential)\n\n"
+    (Pipeline.default_jobs ())
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the compiler passes                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -750,7 +878,8 @@ let micro () =
 let all_figs =
   [ ("fig4", fig4); ("fig5", fig5); ("fig6", fig6); ("fig7", fig7);
     ("fig8", fig8); ("ablations", ablations); ("batch", batch);
-    ("check", check); ("audit", audit); ("micro", micro) ]
+    ("check", check); ("audit", audit); ("runtime", runtime);
+    ("micro", micro) ]
 
 let () =
   let requested =

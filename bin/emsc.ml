@@ -141,6 +141,57 @@ let cli_env params name =
     Printf.eprintf "parameter %s needs a value (use -p %s=N)\n" name name;
     exit 1
 
+(* --- execution-backend selection (run / profile / check) ---------------- *)
+
+let backend_arg =
+  let parse = function
+    | "seq" | "sequential" -> Ok `Seq
+    | "parallel" | "par" -> Ok `Parallel
+    | s -> Error (`Msg ("unknown backend " ^ s))
+  in
+  let print fmt b =
+    Format.pp_print_string fmt
+      (match b with `Seq -> "seq" | `Parallel -> "parallel")
+  in
+  Arg.(value & opt (conv (parse, print)) `Seq
+       & info [ "backend" ] ~docv:"BACKEND"
+           ~doc:"Execution backend: seq (sequential simulator) or parallel \
+                 (block-parallel worker domains, see -j).  Both produce \
+                 bit-identical arrays and counter totals.")
+
+let exec_jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains of the parallel backend (with --backend \
+                 parallel).")
+
+let policy_arg =
+  let parse = function
+    | "static" -> Ok Emsc_runtime.Runtime.Static
+    | "steal" | "work-stealing" -> Ok Emsc_runtime.Runtime.Work_stealing
+    | s -> Error (`Msg ("unknown policy " ^ s))
+  in
+  let print fmt p =
+    Format.pp_print_string fmt
+      (match p with
+       | Emsc_runtime.Runtime.Static -> "static"
+       | Emsc_runtime.Runtime.Work_stealing -> "steal")
+  in
+  Arg.(value & opt (conv (parse, print)) Emsc_runtime.Runtime.Static
+       & info [ "policy" ] ~docv:"POLICY"
+           ~doc:"Parallel block-scheduling policy: static (round-robin) or \
+                 steal (work-stealing deques).")
+
+let double_buffer_arg =
+  Arg.(value & flag
+       & info [ "double-buffer" ]
+           ~doc:"Pipeline move-in / compute / move-out on asynchronous DMA \
+                 channels (parallel backend) and account the doubled \
+                 scratchpad window in the timing model.")
+
+let backend_of b jobs : Runner.backend =
+  match b with `Seq -> `Seq | `Parallel -> `Par (max 1 jobs)
+
 let gpu_config = Emsc_machine.Config.gtx8800
 
 let capacity_words =
@@ -243,30 +294,6 @@ let band_cmd =
     (Cmd.info "band" ~doc:"Find the permutable tiling-hyperplane band")
     Term.(const run $ file_arg $ nocache_arg $ cachedir_arg)
 
-let run_cmd =
-  let run file params =
-    let options = { Options.default with stop = Options.Front_end } in
-    let c = ok_or_die (Pipeline.compile_source ~options (Source.file file)) in
-    let p = c.Pipeline.prog in
-    let m, counters =
-      Runner.reference ~memory:Runner.Pseudorandom
-        ~param_env:(cli_env params) p
-    in
-    Printf.printf "executed: %.0f statement flops, %.0f loads, %.0f stores\n"
-      counters.Emsc_machine.Exec.flops counters.Emsc_machine.Exec.g_ld
-      counters.Emsc_machine.Exec.g_st;
-    List.iter (fun (d : Prog.array_decl) ->
-      let data = Emsc_machine.Memory.global_data m d.Prog.array_name in
-      let sum = Array.fold_left ( +. ) 0.0 data in
-      Printf.printf "checksum %-10s = %.6f\n" d.Prog.array_name sum)
-      p.Prog.arrays
-  in
-  Cmd.v
-    (Cmd.info "run" ~doc:"Execute on the reference interpreter")
-    Term.(const run $ file_arg $ param_args)
-
-(* --- emsc profile ------------------------------------------------------- *)
-
 let parse_tile_list = function
   | None -> [||]
   | Some s ->
@@ -286,8 +313,99 @@ let spec_of_lists ~depth ~block ~mem ~thread =
     { Emsc_transform.Tile.block = get block j; mem = get mem j;
       thread = get thread j })
 
+let tile_list name doc =
+  Arg.(value & opt (some string) None & info [ name ] ~docv:"N,N,..." ~doc)
+
+let block_arg =
+  tile_list "block"
+    "Block-level tile size per loop dimension (0 = untiled at that \
+     dimension); enables the simulated-GPU path."
+
+let mem_arg = tile_list "mem" "Memory-capacity tile size per dimension."
+let thread_arg = tile_list "thread" "Thread tile size per dimension."
+
+(* --- emsc run ----------------------------------------------------------- *)
+
+let run_cmd =
+  let print_run_result (p : Prog.t) m ~flops ~loads ~stores =
+    Printf.printf "executed: %.0f statement flops, %.0f loads, %.0f stores\n"
+      flops loads stores;
+    List.iter (fun (d : Prog.array_decl) ->
+      let data = Emsc_machine.Memory.global_data m d.Prog.array_name in
+      let sum = Array.fold_left ( +. ) 0.0 data in
+      Printf.printf "checksum %-10s = %.6f\n" d.Prog.array_name sum)
+      p.Prog.arrays
+  in
+  let run file params backend jobs policy double_buffer block mem thread =
+    match backend with
+    | `Seq ->
+      let options = { Options.default with stop = Options.Front_end } in
+      let c =
+        ok_or_die (Pipeline.compile_source ~options (Source.file file))
+      in
+      let p = c.Pipeline.prog in
+      let m, counters =
+        Runner.reference ~memory:Runner.Pseudorandom
+          ~param_env:(cli_env params) p
+      in
+      print_run_result p m ~flops:counters.Emsc_machine.Exec.flops
+        ~loads:counters.Emsc_machine.Exec.g_ld
+        ~stores:counters.Emsc_machine.Exec.g_st
+    | `Parallel ->
+      (* the parallel backend executes a generated kernel, so the
+         program must be tiled: compile under the given tile spec *)
+      let p, _digest = ok_or_die (Frontend.load (Source.file file)) in
+      let block = parse_tile_list block
+      and mem = parse_tile_list mem
+      and thread = parse_tile_list thread in
+      if Array.length block = 0 && Array.length mem = 0
+         && Array.length thread = 0
+      then begin
+        Printf.eprintf
+          "run: --backend parallel executes a tiled kernel; give \
+           --block/--mem/--thread tile sizes\n";
+        exit 1
+      end;
+      (match p.Prog.stmts with
+       | [ s ] ->
+         let spec = spec_of_lists ~depth:s.Prog.depth ~block ~mem ~thread in
+         let options =
+           { Options.default with
+             Options.find_band = false; tiling = Options.Spec spec }
+         in
+         let c =
+           ok_or_die
+             (Pipeline.compile
+                (Pipeline.job ~options
+                   (Source.Program { name = file; prog = p })))
+         in
+         let m, result =
+           Runner.simulate ~memory:Runner.Pseudorandom
+             ~param_env:(cli_env params)
+             ~backend:(backend_of `Parallel jobs) ~policy ~double_buffer
+             ~track_ownership:true c
+         in
+         let t = result.Emsc_machine.Exec.totals in
+         print_run_result c.Pipeline.prog m ~flops:t.Emsc_machine.Exec.flops
+           ~loads:t.Emsc_machine.Exec.g_ld
+           ~stores:t.Emsc_machine.Exec.g_st
+       | _ ->
+         Printf.eprintf "run: tiling flags need a single-statement program\n";
+         exit 1)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Execute on the reference interpreter, or — with --backend \
+             parallel and tile sizes — block-parallel on the simulated \
+             machine (bit-identical checksums)")
+    Term.(const run $ file_arg $ param_args $ backend_arg $ exec_jobs_arg
+          $ policy_arg $ double_buffer_arg $ block_arg $ mem_arg
+          $ thread_arg)
+
+(* --- emsc profile ------------------------------------------------------- *)
+
 let gpu_profile ~cache ~name ~prog ~arch ~merge ~delta ~optimize_movement
-    ~spec ~threads ~global_sync =
+    ~spec ~threads ~global_sync ~backend ~jobs ~policy ~double_buffer =
   let options =
     { Options.default with
       arch; merge_per_array = merge; delta; optimize_movement;
@@ -299,15 +417,34 @@ let gpu_profile ~cache ~name ~prog ~arch ~merge ~delta ~optimize_movement
          (Pipeline.job ~options (Source.Program { name; prog })))
   in
   let plan = plan_of c in
-  let _, result = Runner.simulate c in
-  let fp_words = Zint.to_int_exn (Plan.total_footprint plan Runner.zero_env) in
+  let _, result =
+    match backend with
+    | `Seq -> Runner.simulate c
+    | `Parallel ->
+      Runner.simulate ~memory:Runner.Pseudorandom
+        ~backend:(backend_of `Parallel jobs) ~policy ~double_buffer c
+  in
+  let word_bytes = gpu_config.Emsc_machine.Config.word_bytes in
+  let smem_bytes =
+    match
+      Emsc_machine.Timing.plan_smem_bytes ~double_buffer ~word_bytes plan
+        Runner.zero_env
+    with
+    | Some b -> b
+    | None -> Emsc_machine.Timing.(default_params.smem_bytes_per_block)
+  in
   let gp =
     { Emsc_machine.Timing.threads;
-      smem_bytes_per_block = fp_words * gpu_config.Emsc_machine.Config.word_bytes;
+      smem_bytes_per_block = smem_bytes;
       coalesce_eff = (if plan.Plan.buffered <> [] then 16.0 else 4.0);
-      global_sync; double_buffer = false }
+      global_sync; double_buffer }
   in
   [ ("mode", Json.Str "gpu-sim");
+    ( "backend",
+      Json.Str
+        (match backend with
+         | `Seq -> "seq"
+         | `Parallel -> Printf.sprintf "parallel-j%d" (max 1 jobs)) );
     ("plan", Plan.explain_json ~capacity_words plan);
     ("profile", Emsc_machine.Timing.profile_json gpu_config gp result);
     ("pipeline", Pipeline.report_json c) ]
@@ -339,17 +476,6 @@ let cpu_profile p ~params =
     ("cpu_ms", Json.Float cpu_ms) ]
 
 let profile_cmd =
-  let tile_list name doc =
-    Arg.(value & opt (some string) None
-         & info [ name ] ~docv:"N,N,..." ~doc)
-  in
-  let block_arg =
-    tile_list "block"
-      "Block-level tile size per loop dimension (0 = untiled at that \
-       dimension); enables the simulated-GPU path."
-  in
-  let mem_arg = tile_list "mem" "Memory-capacity tile size per dimension." in
-  let thread_arg = tile_list "thread" "Thread tile size per dimension." in
   let threads_arg =
     Arg.(value & opt int 256
          & info [ "threads" ] ~doc:"Simulated threads per block.")
@@ -360,7 +486,8 @@ let profile_cmd =
              ~doc:"Charge a cross-block synchronization per launch.")
   in
   let run file arch merge delta optimize_movement block mem thread threads
-      global_sync params trace no_cache cache_dir out =
+      global_sync backend jobs policy double_buffer params trace no_cache
+      cache_dir out =
     with_trace trace @@ fun () ->
     let cache = cache_of no_cache cache_dir in
     let p, _digest = ok_or_die (Frontend.load (Source.file file)) in
@@ -371,6 +498,12 @@ let profile_cmd =
       Array.length block > 0 || Array.length mem > 0
       || Array.length thread > 0
     in
+    if backend = `Parallel && not tiled then begin
+      Printf.eprintf
+        "profile: --backend parallel executes a tiled kernel; give \
+         --block/--mem/--thread tile sizes\n";
+      exit 1
+    end;
     let fields =
       if tiled then begin
         match p.Prog.stmts with
@@ -379,7 +512,8 @@ let profile_cmd =
             spec_of_lists ~depth:s.Prog.depth ~block ~mem ~thread
           in
           gpu_profile ~cache ~name:file ~prog:p ~arch ~merge ~delta
-            ~optimize_movement ~spec ~threads ~global_sync
+            ~optimize_movement ~spec ~threads ~global_sync ~backend ~jobs
+            ~policy ~double_buffer
         | _ ->
           Printf.eprintf
             "profile: tiling flags need a single-statement program\n";
@@ -401,7 +535,8 @@ let profile_cmd =
              compute/bandwidth/latency timing breakdown")
     Term.(const run $ file_arg $ arch_arg $ merge_arg $ delta_arg
           $ optmove_arg $ block_arg $ mem_arg $ thread_arg $ threads_arg
-          $ globalsync_arg $ param_args $ trace_arg $ nocache_arg
+          $ globalsync_arg $ backend_arg $ exec_jobs_arg $ policy_arg
+          $ double_buffer_arg $ param_args $ trace_arg $ nocache_arg
           $ cachedir_arg $ out_arg)
 
 (* --- emsc check --------------------------------------------------------- *)
@@ -417,13 +552,14 @@ let check_cmd =
          & info [ "seed" ] ~docv:"S"
              ~doc:"Seed of the program generator (same seed, same programs).")
   in
-  let run fuzz seed json trace out =
+  let run fuzz seed backend jobs json trace out =
     with_trace trace @@ fun () ->
     let progress =
       if json then fun _ -> () else fun m -> Printf.eprintf "emsc check: %s\n%!" m
     in
     let report =
-      Emsc_check.Fuzz.run ~fuzz ~seed ~capacity_words ~progress ()
+      Emsc_check.Fuzz.run ~backend:(backend_of backend jobs) ~fuzz ~seed
+        ~capacity_words ~progress ()
     in
     if json then emit_json out (Emsc_check.Fuzz.report_json report)
     else Format.printf "%a@." Emsc_check.Fuzz.pp_report report;
@@ -437,8 +573,13 @@ let check_cmd =
              execution against the reference interpreter bit-for-bit, and \
              verify the static plan invariants (single transfer, bounds, \
              capacity, write-back safety).  Failing random programs are \
-             shrunk to a minimal reproducer.  Exits 1 on any failure.")
-    Term.(const run $ fuzz_arg $ seed_arg $ json_arg $ trace_arg $ out_arg)
+             shrunk to a minimal reproducer.  With --backend parallel \
+             every tiled check also runs block-parallel with the \
+             ownership tracker armed and requires counter totals \
+             bit-identical to sequential execution.  Exits 1 on any \
+             failure.")
+    Term.(const run $ fuzz_arg $ seed_arg $ backend_arg $ exec_jobs_arg
+          $ json_arg $ trace_arg $ out_arg)
 
 (* --- emsc compile ------------------------------------------------------- *)
 
@@ -617,6 +758,13 @@ let bench_compare_cmd =
              ~doc:"Tolerated relative growth of simulated global-memory \
                    words per kernel (deterministic; keep tight).")
   in
+  let runtime_arg =
+    Arg.(value
+         & opt float Emsc_audit.Bench_compare.default_runtime_tolerance
+         & info [ "runtime-tolerance" ] ~docv:"R"
+             ~doc:"Tolerated relative wall-time growth per parallel-runtime \
+                   point (domain scheduling is noisy; keep loose).")
+  in
   let read_json path =
     let ic = open_in path in
     let s =
@@ -630,11 +778,12 @@ let bench_compare_cmd =
       Printf.eprintf "bench-compare: %s: %s\n" path e;
       exit 1
   in
-  let run old_path new_path wall_tolerance move_tolerance json out =
+  let run old_path new_path wall_tolerance move_tolerance runtime_tolerance
+      json out =
     let old_j = read_json old_path and new_j = read_json new_path in
     match
-      Emsc_audit.Bench_compare.compare ~wall_tolerance ~move_tolerance old_j
-        new_j
+      Emsc_audit.Bench_compare.compare ~wall_tolerance ~move_tolerance
+        ~runtime_tolerance old_j new_j
     with
     | Error e ->
       Printf.eprintf "bench-compare: %s\n" e;
@@ -648,8 +797,8 @@ let bench_compare_cmd =
     (Cmd.info "bench-compare"
        ~doc:"Compare two BENCH_*.json artifacts and exit 1 on wall-time or \
              simulated-movement regressions (or lost measurements).")
-    Term.(const run $ old_arg $ new_arg $ wall_arg $ move_arg $ json_arg
-          $ out_arg)
+    Term.(const run $ old_arg $ new_arg $ wall_arg $ move_arg $ runtime_arg
+          $ json_arg $ out_arg)
 
 let () =
   let info =

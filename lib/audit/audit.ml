@@ -281,7 +281,7 @@ let zeroed_sync (src : Exec.counters) =
   c.Exec.s_st <- src.Exec.s_st;
   c
 
-let audit_compiled ?(tolerance = default_tolerance)
+let audit_compiled ?(tolerance = default_tolerance) ?(double_buffer = false)
     ?(param_env = Runner.zero_env) (c : Pipeline.compiled) =
   match c.Pipeline.plan with
   | None -> Skipped "pipeline stops before planning"
@@ -342,15 +342,18 @@ let audit_compiled ?(tolerance = default_tolerance)
            let word_bytes = Config.gtx8800.Config.word_bytes in
            let smem_bytes =
              match
-               (try Some (Zint.to_int_exn (Plan.total_footprint plan env))
-                with _ -> None)
+               Timing.plan_smem_bytes ~double_buffer ~word_bytes plan env
              with
-             | Some w when staging -> w * word_bytes
-             | _ -> Timing.default_params.Timing.smem_bytes_per_block
+             | Some b when staging -> b
+             | _ ->
+               Timing.effective_smem_bytes ~double_buffer ~word_bytes
+                 (Timing.default_params.Timing.smem_bytes_per_block
+                  / word_bytes)
            in
            let params =
              { Timing.default_params with
-               Timing.smem_bytes_per_block = smem_bytes }
+               Timing.smem_bytes_per_block = smem_bytes;
+               Timing.double_buffer }
            in
            let breakdown cs =
              Timing.gpu_launch_breakdown Config.gtx8800 params
@@ -431,10 +434,11 @@ let audit_compiled ?(tolerance = default_tolerance)
 
 let auditable (c : Pipeline.compiled) = c.Pipeline.plan <> None
 
-let audit_job ?cache ?tolerance ?param_env (job : Pipeline.job) =
+let audit_job ?cache ?tolerance ?double_buffer ?param_env
+    (job : Pipeline.job) =
   match Pipeline.compile ?cache job with
   | Error e -> Failed ("compile: " ^ Frontend.error_message e)
-  | Ok c -> audit_compiled ?tolerance ?param_env c
+  | Ok c -> audit_compiled ?tolerance ?double_buffer ?param_env c
 
 let ok = function
   | Audited t -> t.a_verdict <> Fail

@@ -76,6 +76,7 @@ val auditable : Pipeline.compiled -> bool
 
 val audit_compiled :
   ?tolerance:float ->
+  ?double_buffer:bool ->
   ?param_env:(string -> Zint.t) ->
   Pipeline.compiled ->
   outcome
@@ -83,12 +84,17 @@ val audit_compiled :
     {!Emsc_driver.Runner.simulate}; untiled staged plans run the
     move-in / instance-replay / move-out harness (the differential
     oracle's execution model).  [param_env] defaults to
-    {!Emsc_driver.Runner.zero_env}.  The metrics registry is enabled
-    for the duration of the measured run and restored afterwards. *)
+    {!Emsc_driver.Runner.zero_env}.  [double_buffer] makes the
+    timing-side scratchpad footprint use the effective (doubled)
+    window, via {!Emsc_machine.Timing.plan_smem_bytes}, matching what
+    the runtime actually keeps resident.  The metrics registry is
+    enabled for the duration of the measured run and restored
+    afterwards. *)
 
 val audit_job :
   ?cache:Cache.t ->
   ?tolerance:float ->
+  ?double_buffer:bool ->
   ?param_env:(string -> Zint.t) ->
   Pipeline.job ->
   outcome

@@ -19,6 +19,12 @@ type report = {
 let default_wall_tolerance = 0.5
 let default_move_tolerance = 0.01
 
+(* parallel-backend wall times add domain scheduling noise on top of
+   ordinary wall jitter (and CI hosts time-slice the domains onto very
+   few cores), so this gate is deliberately loose: it catches order-of
+   slowdowns, not percent drift *)
+let default_runtime_tolerance = 1.0
+
 let num = function
   | J.Float f -> Some f
   | J.Int i -> Some (float_of_int i)
@@ -31,6 +37,17 @@ let wall_section j =
       match num v with Some f -> Some (k, f) | None -> None)
       fields)
   | _ -> Error "artifact has no figure_wall_ms object"
+
+(* "<kernel>.<series>" -> wall ms of the runtime figure; absent in
+   artifacts that predate the parallel backend, so absence is an empty
+   section (new points then surface as "added", not "missing") *)
+let runtime_section j =
+  match J.member "runtime_wall_ms" j with
+  | Some (J.Obj fields) ->
+    List.filter_map (fun (k, v) ->
+      match num v with Some f -> Some (k, f) | None -> None)
+      fields
+  | _ -> []
 
 (* kernel -> global words moved (loads + stores): the deterministic
    movement-volume figure of merit *)
@@ -79,7 +96,8 @@ let diff_section ~metric ~tolerance olds news
   (r, i, u, m, a @ fresh)
 
 let compare ?(wall_tolerance = default_wall_tolerance)
-    ?(move_tolerance = default_move_tolerance) old_j new_j =
+    ?(move_tolerance = default_move_tolerance)
+    ?(runtime_tolerance = default_runtime_tolerance) old_j new_j =
   match wall_section old_j, wall_section new_j,
         movement_section old_j, movement_section new_j with
   | Error e, _, _, _ | _, _, Error e, _ -> Error ("old " ^ e)
@@ -91,6 +109,8 @@ let compare ?(wall_tolerance = default_wall_tolerance)
            wall_new
       |> diff_section ~metric:"global_words" ~tolerance:move_tolerance
            move_old move_new
+      |> diff_section ~metric:"runtime_wall_ms" ~tolerance:runtime_tolerance
+           (runtime_section old_j) (runtime_section new_j)
     in
     Ok
       { r_regressions = List.rev r;

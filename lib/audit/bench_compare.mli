@@ -1,16 +1,21 @@
 (** Regression gating between two bench artifacts.
 
-    Compares the [figure_wall_ms] (wall-clock per figure) and
-    [kernel_counters] (simulated global-memory words per kernel)
+    Compares the [figure_wall_ms] (wall-clock per figure),
+    [kernel_counters] (simulated global-memory words per kernel) and
+    [runtime_wall_ms] (parallel-backend wall per kernel/series)
     sections of two [BENCH_<timestamp>.json] files.  Wall time is
     machine-dependent, so it gets its own — typically generous —
-    tolerance; movement volume is deterministic and is gated tightly.
+    tolerance; movement volume is deterministic and is gated tightly;
+    the runtime section is gated loosest of all (domain scheduling on
+    shared CI hosts is noisy), and its absence from an older artifact
+    is fine — the new points show up as added, not missing.
     A key present in the old artifact but missing from the new one is a
     lost measurement and fails the comparison. *)
 
 type change = {
   c_key : string;     (** figure or kernel name *)
-  c_metric : string;  (** ["wall_ms"] or ["global_words"] *)
+  c_metric : string;
+      (** ["wall_ms"], ["global_words"] or ["runtime_wall_ms"] *)
   c_old : float;
   c_new : float;
   c_ratio : float;    (** new / old; [infinity] when old is 0 *)
@@ -30,9 +35,14 @@ val default_wall_tolerance : float
 val default_move_tolerance : float
 (** 0.01: simulated movement is deterministic; any real growth fails. *)
 
+val default_runtime_tolerance : float
+(** 1.0: a parallel-backend point may double before it fails — the
+    gate catches order-of slowdowns, not wall jitter. *)
+
 val compare :
   ?wall_tolerance:float ->
   ?move_tolerance:float ->
+  ?runtime_tolerance:float ->
   Emsc_obs.Json.t ->
   Emsc_obs.Json.t ->
   (report, string) result

@@ -25,12 +25,16 @@ type report = {
 }
 
 val run :
+  ?backend:Emsc_driver.Runner.backend ->
   ?fuzz:int -> ?seed:int -> ?capacity_words:int -> ?progress:(string -> unit) ->
   unit -> report
-(** Defaults: [fuzz = 50], [seed = 1], [capacity_words = 4096] (the
-    GTX 8800 scratchpad).  Program [i] is drawn from
-    [Random.State.make [| seed; i |]], so any failure reproduces from
-    its index alone. *)
+(** Defaults: [backend = `Seq], [fuzz = 50], [seed = 1],
+    [capacity_words = 4096] (the GTX 8800 scratchpad).  Program [i] is
+    drawn from [Random.State.make [| seed; i |]], so any failure
+    reproduces from its index alone.  [backend] is forwarded to the
+    {!Oracle}: under [`Par jobs] every tiled check also requires
+    race-freedom and counter totals bit-identical to sequential
+    execution. *)
 
 val report_json : report -> Emsc_obs.Json.t
 val pp_report : Format.formatter -> report -> unit

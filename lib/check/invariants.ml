@@ -87,8 +87,9 @@ let global_index ~np ~env prog (s : Prog.stmt) (a : Prog.access) iters =
     Zint.to_int_exn !acc)
     a.Prog.map
 
-let check ?capacity_words ?(live_out = fun _ -> true)
-    ?(optimized_movement = false) ~env (plan : Plan.t) =
+let check ?capacity_words ?(double_buffer = false)
+    ?(live_out = fun _ -> true) ?(optimized_movement = false) ~env
+    (plan : Plan.t) =
   let prog = plan.Plan.prog in
   let np = Prog.nparams prog in
   let violations = ref [] in
@@ -311,10 +312,18 @@ let check ?capacity_words ?(live_out = fun _ -> true)
    | Some cap ->
      (match Zint.to_int_exn (Plan.total_footprint plan env) with
       | fp ->
-        if fp > cap then
+        (* the effective footprint doubles under double buffering —
+           two windows of every staged buffer stay resident *)
+        let eff =
+          Emsc_machine.Timing.effective_smem_words ~double_buffer fp
+        in
+        if eff > cap then
           report ~buffer:"<plan>" ~invariant:"capacity"
-            (Printf.sprintf "total footprint %d words exceeds scratchpad %d"
-               fp cap)
+            (Printf.sprintf
+               "effective footprint %d words (%d%s) exceeds scratchpad %d"
+               eff fp
+               (if double_buffer then " double-buffered" else "")
+               cap)
       | exception _ ->
         report ~buffer:"<plan>" ~invariant:"capacity"
           "footprint did not evaluate to an integer"));

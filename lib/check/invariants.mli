@@ -33,6 +33,7 @@ type violation = {
 
 val check :
   ?capacity_words:int ->
+  ?double_buffer:bool ->
   ?live_out:(string -> bool) ->
   ?optimized_movement:bool ->
   env:(string -> Zint.t) ->
@@ -40,6 +41,9 @@ val check :
   violation list
 (** Empty list = all invariants hold.  [optimized_movement] relaxes the
     exact-cover checks to containment (the Section 3.1.4 optimization
-    legitimately copies less). *)
+    legitimately copies less).  [double_buffer] makes the capacity
+    check use the effective footprint
+    ({!Emsc_machine.Timing.effective_smem_words}): a plan that fits
+    single-buffered may not fit once staging double-buffers. *)
 
 val pp_violation : Format.formatter -> violation -> unit

@@ -80,27 +80,59 @@ let staged_untiled ~param_env (plan : Plan.t) (prog : Prog.t) =
   in
   m_got
 
-let check_compiled ~param_env (c : Pipeline.compiled) =
+let totals_str (r : Exec.result) =
+  Emsc_obs.Json.to_string (Exec.counters_json r.Exec.totals)
+
+(* tiled compilation under the requested backend; [`Par] additionally
+   requires the reduced counter totals to be bit-identical to a
+   sequential [Full] replay (the write-ownership tracker is armed, so a
+   cross-block race fails the run rather than silently matching) *)
+let run_tiled ~backend ~param_env (c : Pipeline.compiled) =
+  match backend with
+  | `Seq ->
+    let m, _ =
+      Runner.simulate ~mode:Exec.Full ~memory:Runner.Pseudorandom
+        ~param_env c
+    in
+    Ok m
+  | `Par _ as b ->
+    let m_par, r_par =
+      Runner.simulate ~memory:Runner.Pseudorandom ~param_env ~backend:b
+        ~track_ownership:true c
+    in
+    let _m_seq, r_seq =
+      Runner.simulate ~mode:Exec.Full ~memory:Runner.Pseudorandom
+        ~param_env c
+    in
+    let jp = totals_str r_par and js = totals_str r_seq in
+    if jp <> js then
+      Error
+        (Printf.sprintf "parallel totals diverge from sequential: %s vs %s"
+           jp js)
+    else Ok m_par
+
+let check_compiled ?(backend = `Seq) ~param_env (c : Pipeline.compiled) =
   match c.Pipeline.plan with
   | None -> Error "pipeline produced no plan"
   | Some plan ->
     (try
        let m_got =
          match c.Pipeline.tiled with
-         | Some _ ->
-           let m, _ =
-             Runner.simulate ~mode:Exec.Full ~memory:Runner.Pseudorandom
-               ~param_env c
-           in
-           m
-         | None -> staged_untiled ~param_env plan c.Pipeline.prog
+         | Some _ -> run_tiled ~backend ~param_env c
+         | None -> Ok (staged_untiled ~param_env plan c.Pipeline.prog)
        in
-       let m_ref, _ =
-         Runner.reference ~memory:Runner.Pseudorandom ~param_env
-           c.Pipeline.prog
-       in
-       compare_memories c.Pipeline.prog m_got m_ref
+       match m_got with
+       | Error _ as e -> e
+       | Ok m_got ->
+         let m_ref, _ =
+           Runner.reference ~memory:Runner.Pseudorandom ~param_env
+             c.Pipeline.prog
+         in
+         compare_memories c.Pipeline.prog m_got m_ref
      with
      | Failure m -> Error ("execution failed: " ^ m)
      | Invalid_argument m -> Error ("execution failed: " ^ m)
-     | Not_found -> Error "execution failed: unbound variable")
+     | Not_found -> Error "execution failed: unbound variable"
+     | Emsc_runtime.Runtime.Ownership_violation m ->
+       Error ("ownership: " ^ m)
+     | Emsc_runtime.Runtime.Runtime_error m -> Error ("runtime: " ^ m))

@@ -21,6 +21,17 @@ open Emsc_arith
 open Emsc_driver
 
 val check_compiled :
-  param_env:(string -> Zint.t) -> Pipeline.compiled -> (unit, string) result
+  ?backend:Runner.backend ->
+  param_env:(string -> Zint.t) ->
+  Pipeline.compiled ->
+  (unit, string) result
 (** [Error reason] on the first mismatching array element, on a missing
-    plan, or on an execution failure (the reason says which). *)
+    plan, or on an execution failure (the reason says which).
+
+    [backend] (default [`Seq]) selects how the tiled harness executes.
+    Under [`Par jobs] the kernel runs block-parallel with the
+    write-ownership tracker armed, and two extra conditions are
+    enforced on top of array equality with the reference: no
+    cross-block ownership violation, and reduced counter totals
+    bit-identical to a sequential [Full] replay.  Untiled compilations
+    ignore [backend] (their harness has no block structure). *)

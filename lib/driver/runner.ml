@@ -40,18 +40,51 @@ let prepare ?(memory = Zeroed) ~param_env (p : Prog.t) =
     pseudorandom_fill m p;
     m
 
+type backend = [ `Seq | `Par of int ]
+
+(* Parallel runs honor the machine's concurrent-blocks rule: at most
+   [occupancy * num_mimd] arenas live at once, with occupancy derived
+   from the block's effective scratchpad need (doubled when
+   double-buffering keeps two windows resident). *)
+let par_cfg ~jobs ~policy ~double_buffer ~track_ownership ~block_words =
+  let g = Config.gtx8800 in
+  let occ =
+    Timing.occupancy g
+      ~smem_bytes_per_block:
+        (Timing.effective_smem_bytes ~double_buffer
+           ~word_bytes:g.Config.word_bytes block_words)
+  in
+  { (Emsc_runtime.Runtime.default_cfg ~jobs) with
+    Emsc_runtime.Runtime.policy; double_buffer; track_ownership;
+    max_concurrent_blocks = Some (occ * g.Config.num_mimd);
+    block_words }
+
 let execute ~prog ?local_ref ?(locals = []) ?(mode = Exec.Sampled 6) ?memory
-    ?(param_env = no_params) ?on_global ast =
+    ?(param_env = no_params) ?on_global ?(backend = `Seq)
+    ?(policy = Emsc_runtime.Runtime.Static) ?(double_buffer = false)
+    ?(track_ownership = false) ?(block_words = 0) ast =
   let m = prepare ?memory ~param_env prog in
   List.iter (Memory.declare_local m) locals;
   let result =
-    Trace.span "driver.execute" @@ fun () ->
-    Exec.run ~prog ?local_ref ~param_env ~memory:m ~mode ?on_global ast
+    match backend with
+    | `Seq ->
+      Trace.span "driver.execute" @@ fun () ->
+      Exec.run ~prog ?local_ref ~param_env ~memory:m ~mode ?on_global ast
+    | `Par jobs ->
+      (* parallel execution is Full-fidelity by construction: sampling
+         extrapolates from iteration deltas, a sequential notion *)
+      let cfg =
+        par_cfg ~jobs ~policy ~double_buffer ~track_ownership ~block_words
+      in
+      Trace.span "driver.execute" @@ fun () ->
+      Emsc_runtime.Runtime.run ~prog ?local_ref ~param_env ~memory:m
+        ?on_global ~cfg ast
   in
   (m, result)
 
 let simulate ?(mode = Exec.Sampled 6) ?(memory = Phantom) ?param_env
-    ?on_global (c : Pipeline.compiled) =
+    ?on_global ?(backend = `Seq) ?policy ?(double_buffer = false)
+    ?track_ownership (c : Pipeline.compiled) =
   match (c.Pipeline.tiled, c.Pipeline.plan) with
   | Some t, Some plan ->
     let staged = c.Pipeline.options.Options.stage_data in
@@ -66,8 +99,19 @@ let simulate ?(mode = Exec.Sampled 6) ?(memory = Phantom) ?param_env
       if staged && plan.Plan.buffered <> [] then Some (Plan.local_ref plan)
       else None
     in
+    let block_words =
+      match backend with
+      | `Seq -> 0
+      | `Par _ -> (
+        let env = match param_env with Some e -> e | None -> no_params in
+        match Zint.to_int_exn (Plan.total_footprint plan env) with
+        | words -> max 0 words
+        | exception _ -> 0)
+    in
+    let mode = match backend with `Seq -> mode | `Par _ -> Exec.Full in
     execute ~prog:t.Pipeline.tiled_prog ?local_ref ~locals ~mode ~memory
-      ?param_env ?on_global t.Pipeline.ast
+      ?param_env ?on_global ~backend ?policy ~double_buffer ?track_ownership
+      ~block_words t.Pipeline.ast
   | _ ->
     invalid_arg
       "Emsc_driver.Runner.simulate: compilation has no generated kernel \

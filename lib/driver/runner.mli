@@ -32,6 +32,13 @@ val prepare :
   ?memory:memory_kind -> param_env:(string -> Zint.t) -> Prog.t -> Memory.t
 (** Memory with globals allocated and populated ([Zeroed] default). *)
 
+type backend = [ `Seq | `Par of int ]
+(** [`Seq] replays on the sequential interpreter; [`Par jobs] executes
+    block-parallel on [jobs] domains through {!Emsc_runtime.Runtime}.
+    Parallel execution is always [Full] fidelity and produces
+    bit-identical arrays, totals and launch grids to [`Seq] in [Full]
+    mode, for any [jobs] and either scheduling policy. *)
+
 val execute :
   prog:Prog.t ->
   ?local_ref:(Prog.stmt -> Prog.access -> Emsc_codegen.Ast.ref_expr option) ->
@@ -40,23 +47,39 @@ val execute :
   ?memory:memory_kind ->
   ?param_env:(string -> Zint.t) ->
   ?on_global:(string -> int -> [ `Ld | `St ] -> unit) ->
+  ?backend:backend ->
+  ?policy:Emsc_runtime.Runtime.policy ->
+  ?double_buffer:bool ->
+  ?track_ownership:bool ->
+  ?block_words:int ->
   Emsc_codegen.Ast.stm list ->
   Memory.t * Exec.result
 (** Run an AST: prepare memory, declare [locals], execute under a
     ["driver.execute"] trace span.  Defaults: [Zeroed] memory,
-    [Sampled 6] mode, parameter-free env. *)
+    [Sampled 6] mode, parameter-free env, [`Seq] backend.  With
+    [`Par], [mode] is ignored ([Full] by construction), [block_words]
+    sizes each block's scratchpad arena, [double_buffer] turns on the
+    async DMA pipeline, and the concurrent-arena cap follows
+    [Timing.occupancy] over the effective (buffering-adjusted)
+    footprint. *)
 
 val simulate :
   ?mode:Exec.mode ->
   ?memory:memory_kind ->
   ?param_env:(string -> Zint.t) ->
   ?on_global:(string -> int -> [ `Ld | `St ] -> unit) ->
+  ?backend:backend ->
+  ?policy:Emsc_runtime.Runtime.policy ->
+  ?double_buffer:bool ->
+  ?track_ownership:bool ->
   Pipeline.compiled ->
   Memory.t * Exec.result
 (** Run a compiled kernel: the tiled AST against the tiled program,
     with the plan's buffers declared and accesses redirected when the
     compilation staged data (its options had [stage_data], the
-    default).  Defaults: [Phantom] memory, [Sampled 6].
+    default).  Defaults: [Phantom] memory, [Sampled 6], [`Seq].  With
+    [`Par], the mode is forced to [Full] and the per-block arena size
+    is derived from the plan's total footprint.
     @raise Invalid_argument if the compilation has no generated kernel
     (untiled, or stopped early). *)
 

@@ -41,9 +41,14 @@ let program ~ni ~nj ~ws =
     stmts = [ s ] }
 
 let spec ~ni ~nj (ti, tj, tk, tl) =
-  [| { Emsc_transform.Tile.block = Some ((ni + 7) / 8); mem = Some ti;
+  (* A mem tile wider than the block slice stages (and writes back)
+     cells outside the block's compute range: pure movement waste, and
+     the overlapping write-backs race once blocks run in parallel.
+     Clamp staging to the block. *)
+  let bi = (ni + 7) / 8 and bj = (nj + 3) / 4 in
+  [| { Emsc_transform.Tile.block = Some bi; mem = Some (min ti bi);
        thread = None };
-     { Emsc_transform.Tile.block = Some ((nj + 3) / 4); mem = Some tj;
+     { Emsc_transform.Tile.block = Some bj; mem = Some (min tj bj);
        thread = None };
      { Emsc_transform.Tile.block = None; mem = Some tk; thread = None };
      { Emsc_transform.Tile.block = None; mem = Some tl; thread = None } |]

@@ -40,6 +40,8 @@ let scale_counters c k =
     s_ld = c.s_ld *. k; s_st = c.s_st *. k; syncs = c.syncs *. k;
     fences = c.fences *. k }
 
+let add_into src dst = add_scaled dst src 1.0
+
 let total_global c = c.g_ld +. c.g_st
 let total_smem c = c.s_ld +. c.s_st
 
@@ -73,6 +75,34 @@ let rec expr_flops = function
   | Prog.Ediv (a, b) | Prog.Emin (a, b) | Prog.Emax (a, b) ->
     1 + expr_flops a + expr_flops b
 
+(* staged-movement accounting local to one execution context: worker
+   domains must never touch the (single-threaded) Metrics registry, so
+   copies are tallied here and flushed — or reduced across blocks —
+   from the main domain *)
+type dma_tally = {
+  mutable dma_copies : float;
+  dma_in : (string, float ref) Hashtbl.t;
+  dma_out : (string, float ref) Hashtbl.t;
+}
+
+let fresh_dma () =
+  { dma_copies = 0.; dma_in = Hashtbl.create 4; dma_out = Hashtbl.create 4 }
+
+let dma_sorted tbl =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) tbl []
+  |> List.sort compare
+
+type block_dma = {
+  copies : float;
+  moved_in : (string * float) list;
+  moved_out : (string * float) list;
+}
+
+let block_dma_of_tally d =
+  { copies = d.dma_copies;
+    moved_in = dma_sorted d.dma_in;
+    moved_out = dma_sorted d.dma_out }
+
 type ctx = {
   prog : Prog.t;
   stmts : (int, Prog.stmt) Hashtbl.t;
@@ -84,6 +114,8 @@ type ctx = {
   c : counters;
   mode : mode;
   on_global : (string -> int -> [ `Ld | `St ] -> unit) option;
+  collect_dma : bool;
+  dma : dma_tally;
   mutable in_launch : bool;
   mutable launches : launch list;
 }
@@ -242,23 +274,42 @@ let rec grid_size ctx (l : Ast.loop) =
 (* per-group movement attribution: a Copy between global memory and a
    local buffer is one staged word moving in (global -> local) or out
    (local -> global).  Exact under [Full] mode; [Sampled] runs only
-   record the iterations they actually execute. *)
+   record the iterations they actually execute.  Tallied into the
+   context (never straight into Metrics — see [dma_tally]). *)
 let record_copy ctx (dst : Ast.ref_expr) (src : Ast.ref_expr) =
-  Emsc_obs.Metrics.counter "exec.copies" 1.0;
+  let bump tbl name =
+    match Hashtbl.find_opt tbl name with
+    | Some r -> r := !r +. 1.0
+    | None -> Hashtbl.replace tbl name (ref 1.0)
+  in
+  ctx.dma.dma_copies <- ctx.dma.dma_copies +. 1.0;
   let dst_local = Memory.is_local ctx.memory dst.Ast.array in
   let src_local = Memory.is_local ctx.memory src.Ast.array in
-  if dst_local && not src_local then
-    Emsc_obs.Metrics.counter ~labels:[ ("buffer", dst.Ast.array) ]
-      "exec.move_in_words" 1.0
-  else if src_local && not dst_local then
-    Emsc_obs.Metrics.counter ~labels:[ ("buffer", src.Ast.array) ]
-      "exec.move_out_words" 1.0
+  if dst_local && not src_local then bump ctx.dma.dma_in dst.Ast.array
+  else if src_local && not dst_local then bump ctx.dma.dma_out src.Ast.array
+
+(* flush a movement tally into Metrics; main domain only *)
+let flush_dma_metrics (d : block_dma) =
+  if Emsc_obs.Metrics.enabled () && d.copies > 0.0 then begin
+    Emsc_obs.Metrics.counter "exec.copies" d.copies;
+    List.iter (fun (name, words) ->
+      if words > 0.0 then
+        Emsc_obs.Metrics.counter ~labels:[ ("buffer", name) ]
+          "exec.move_in_words" words)
+      d.moved_in;
+    List.iter (fun (name, words) ->
+      if words > 0.0 then
+        Emsc_obs.Metrics.counter ~labels:[ ("buffer", name) ]
+          "exec.move_out_words" words)
+      d.moved_out
+  end
 
 (* whole-run totals and scratchpad occupancy, recorded once per run:
    O(1) regardless of program size, and one boolean when disabled *)
 let record_run_metrics ctx =
   if Emsc_obs.Metrics.enabled () then begin
     let open Emsc_obs in
+    flush_dma_metrics (block_dma_of_tally ctx.dma);
     Metrics.counter "exec.runs" 1.0;
     Metrics.counter "exec.flops" ctx.c.flops;
     Metrics.counter "exec.global_loads" ctx.c.g_ld;
@@ -288,7 +339,7 @@ let rec exec_stm ctx (s : Ast.stm) =
   | Ast.Copy { dst; src } ->
     let v = read_ref ctx src in
     write_ref ctx dst v;
-    if Emsc_obs.Metrics.enabled () then record_copy ctx dst src
+    if ctx.collect_dma then record_copy ctx dst src
   | Ast.Sync -> ctx.c.syncs <- ctx.c.syncs +. 1.0
   | Ast.Fence ->
     ctx.c.syncs <- ctx.c.syncs +. 1.0;
@@ -376,38 +427,92 @@ let prepare_tables prog =
     prog.Prog.stmts;
   (stmts, flops_of)
 
-let run ~prog ?local_ref ~param_env ~memory ?(mode = Full) ?on_global stms =
+type session = {
+  s_prog : Prog.t;
+  s_stmts : (int, Prog.stmt) Hashtbl.t;
+  s_flops_of : (int, int) Hashtbl.t;
+  s_rewrite : Prog.stmt -> Prog.access -> Ast.ref_expr option;
+  s_param_env : string -> Zint.t;
+}
+
+let rec expr_accesses acc = function
+  | Prog.Eref a -> a :: acc
+  | Prog.Eiter _ | Prog.Eparam _ | Prog.Econst _ -> acc
+  | Prog.Eneg e | Prog.Eabs e -> expr_accesses acc e
+  | Prog.Eadd (a, b) | Prog.Esub (a, b) | Prog.Emul (a, b)
+  | Prog.Ediv (a, b) | Prog.Emin (a, b) | Prog.Emax (a, b) ->
+    expr_accesses (expr_accesses acc a) b
+
+(* The rewrite memo must be safe to consult from many domains at once,
+   so it is filled eagerly here — every access the interpreter can
+   reach lives in some statement body, all enumerable up front — and
+   never mutated afterwards (concurrent reads of an unchanging Hashtbl
+   are safe).  A miss (structurally fresh access) falls through to [f]
+   without caching. *)
+let session ~prog ?local_ref ~param_env () =
   let stmts, flops_of = prepare_tables prog in
-  (* memoized access rewriting *)
   let rewrite =
     match local_ref with
     | None -> fun _ _ -> None
     | Some f ->
       let cache = Hashtbl.create 64 in
+      List.iter (fun (s : Prog.stmt) ->
+        match s.Prog.body with
+        | None -> ()
+        | Some (lhs, rhs) ->
+          List.iter (fun (a : Prog.access) ->
+            let key = (s.Prog.id, Obj.repr a) in
+            if not (Hashtbl.mem cache key) then
+              Hashtbl.replace cache key (f s a))
+            (expr_accesses [ lhs ] rhs))
+        prog.Prog.stmts;
       fun (s : Prog.stmt) (a : Prog.access) ->
-        let key = (s.Prog.id, Obj.repr a) in
-        match Hashtbl.find_opt cache key with
+        match Hashtbl.find_opt cache (s.Prog.id, Obj.repr a) with
         | Some r -> r
-        | None ->
-          let r = f s a in
-          Hashtbl.replace cache key r;
-          r
+        | None -> f s a
   in
+  { s_prog = prog; s_stmts = stmts; s_flops_of = flops_of;
+    s_rewrite = rewrite; s_param_env = param_env }
+
+let make_ctx session ~memory ~mode ~on_global ~collect_dma ~in_launch =
+  { prog = session.s_prog; stmts = session.s_stmts;
+    flops_of = session.s_flops_of; rewrite = session.s_rewrite;
+    param_env = session.s_param_env; memory; env = Hashtbl.create 32;
+    c = fresh (); mode; on_global; collect_dma; dma = fresh_dma ();
+    in_launch; launches = [] }
+
+type block_outcome = {
+  b_counters : counters;
+  b_dma : block_dma;
+}
+
+let run_block session ~memory ?(mode = Full) ?on_global
+    ?(collect_dma = false) ~bindings stms =
   let ctx =
-    { prog; stmts; flops_of; rewrite; param_env; memory;
-      env = Hashtbl.create 32; c = fresh (); mode; on_global;
-      in_launch = false; launches = [] }
+    (* [in_launch] pre-set: the block body's own Block loops are plain
+       loops here (the caller owns launch bookkeeping), and neither
+       Trace nor Metrics is touched — safe on a worker domain *)
+    make_ctx session ~memory ~mode ~on_global ~collect_dma ~in_launch:true
+  in
+  List.iter (fun (n, v) -> Hashtbl.replace ctx.env n v) bindings;
+  List.iter (exec_stm ctx) stms;
+  { b_counters = ctx.c; b_dma = block_dma_of_tally ctx.dma }
+
+let run ~prog ?local_ref ~param_env ~memory ?(mode = Full) ?on_global stms =
+  let session = session ~prog ?local_ref ~param_env () in
+  let ctx =
+    make_ctx session ~memory ~mode ~on_global
+      ~collect_dma:(Emsc_obs.Metrics.enabled ()) ~in_launch:false
   in
   List.iter (exec_stm ctx) stms;
   record_run_metrics ctx;
   { totals = ctx.c; launches = List.rev ctx.launches }
 
 let run_instances ~prog ~param_env ~memory ?on_global insts =
-  let stmts, flops_of = prepare_tables prog in
+  let session = session ~prog ~param_env () in
   let ctx =
-    { prog; stmts; flops_of; rewrite = (fun _ _ -> None); param_env; memory;
-      env = Hashtbl.create 32; c = fresh (); mode = Full; on_global;
-      in_launch = false; launches = [] }
+    make_ctx session ~memory ~mode:Full ~on_global
+      ~collect_dma:(Emsc_obs.Metrics.enabled ()) ~in_launch:false
   in
   List.iter (fun (s, iters) -> exec_body ctx s iters) insts;
   record_run_metrics ctx;

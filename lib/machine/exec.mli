@@ -33,6 +33,14 @@ val fresh : unit -> counters
 val total_global : counters -> float
 val total_smem : counters -> float
 
+val add_into : counters -> counters -> unit
+(** [add_into src dst] accumulates [src] into [dst].  Every counter is
+    an integer-valued event count stored in a float, so the sum is
+    exact and independent of accumulation order — the property the
+    parallel backend relies on for bit-identical totals. *)
+
+val scale_counters : counters -> float -> counters
+
 val counters_json : counters -> Emsc_obs.Json.t
 
 type launch = {
@@ -76,3 +84,54 @@ val run_instances :
     semantics, no rewriting, [Full] fidelity. *)
 
 val expr_flops : Prog.expr -> int
+
+(** {2 Block-granular execution}
+
+    The parallel runtime ([Emsc_runtime]) executes one thread block at
+    a time, each on its own domain with its own memory view.  A
+    [session] packages everything shareable across blocks: the
+    statement tables and an eagerly-filled access-rewrite memo that is
+    never mutated after construction, hence safe to consult from many
+    domains concurrently. *)
+
+type session
+
+val session :
+  prog:Prog.t ->
+  ?local_ref:(Prog.stmt -> Prog.access -> Emsc_codegen.Ast.ref_expr option) ->
+  param_env:(string -> Zint.t) ->
+  unit ->
+  session
+
+type block_dma = {
+  copies : float;          (** staged copies executed *)
+  moved_in : (string * float) list;
+      (** words moved global->local, per buffer, sorted by name *)
+  moved_out : (string * float) list;
+}
+
+type block_outcome = {
+  b_counters : counters;
+  b_dma : block_dma;
+}
+
+val run_block :
+  session ->
+  memory:Memory.t ->
+  ?mode:mode ->
+  ?on_global:(string -> int -> [ `Ld | `St ] -> unit) ->
+  ?collect_dma:bool ->
+  bindings:(string * Zint.t) list ->
+  Emsc_codegen.Ast.stm list ->
+  block_outcome
+(** Execute statements under the given loop-variable [bindings] with a
+    fresh counter set.  Never touches [Metrics] or [Trace] (safe on a
+    worker domain); movement is tallied into the outcome when
+    [collect_dma] is set.  Block loops inside [stms] are treated as
+    plain loops — launch bookkeeping belongs to the caller. *)
+
+val flush_dma_metrics : block_dma -> unit
+(** Flush a movement tally into the [Metrics] registry under the same
+    names the sequential interpreter uses ([exec.copies],
+    [exec.move_in_words]/[exec.move_out_words] per buffer).  Call from
+    the main domain only. *)

@@ -96,6 +96,26 @@ let write_local m name idx v =
 let global_data m name = (entry m name).data
 let dims m name = (entry m name).entry_dims
 
+let fork_view m =
+  (* Globals are shared physically: the table itself is never mutated
+     after creation, only the [data] arrays inside the entries, so
+     concurrent views may read and write disjoint cells safely.  Locals
+     are private to the view: same declared names, fresh storage. *)
+  let locals = Hashtbl.create (max 8 (Hashtbl.length m.locals)) in
+  Hashtbl.iter (fun name _ -> Hashtbl.replace locals name (Hashtbl.create 1024))
+    m.locals;
+  { globals = m.globals; locals }
+
+let local_names m =
+  Hashtbl.fold (fun name _ acc -> name :: acc) m.locals []
+  |> List.sort compare
+
+let clear_locals m =
+  Hashtbl.iter (fun _ cells -> Hashtbl.reset cells) m.locals
+
+let local_words m =
+  Hashtbl.fold (fun _ cells acc -> acc + Hashtbl.length cells) m.locals 0
+
 let local_occupancy m =
   Hashtbl.fold (fun name cells acc -> (name, Hashtbl.length cells) :: acc)
     m.locals []

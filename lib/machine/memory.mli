@@ -33,6 +33,25 @@ val base_address : t -> string -> int
 val global_data : t -> string -> float array
 val dims : t -> string -> int array
 
+val fork_view : t -> t
+(** A new memory sharing this one's global arrays physically (writes
+    through any view are visible to all) but with private local
+    buffers, one per name declared in the source view, all empty.  The
+    unit of isolation for per-block scratchpad arenas: concurrent
+    views may touch disjoint global cells and their own locals without
+    interference. *)
+
+val local_names : t -> string list
+(** Declared local buffer names, sorted. *)
+
+val clear_locals : t -> unit
+(** Drop every cell of every local buffer (declarations survive).
+    Lets an arena view be recycled between blocks. *)
+
+val local_words : t -> int
+(** Total distinct cells currently held across all local buffers — the
+    view's live scratchpad footprint in words. *)
+
 val local_occupancy : t -> (string * int) list
 (** Per local buffer, the number of distinct cells ever written, sorted
     by name.  Buffers are sparse and never freed, so this is the

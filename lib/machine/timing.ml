@@ -14,6 +14,23 @@ let default_params = {
   double_buffer = false;
 }
 
+(* Double buffering keeps two windows of every staged buffer resident
+   (the one being computed on and the one in flight), so the effective
+   scratchpad need is twice the plan's footprint.  Every capacity
+   comparison must go through these helpers rather than re-deriving
+   the rule — forgetting the factor was an easy way to accept plans
+   that cannot actually fit double-buffered. *)
+let effective_smem_words ~double_buffer words =
+  if double_buffer then 2 * words else words
+
+let effective_smem_bytes ~double_buffer ~word_bytes words =
+  effective_smem_words ~double_buffer words * word_bytes
+
+let plan_smem_bytes ~double_buffer ~word_bytes plan env =
+  match Emsc_arith.Zint.to_int_exn (Emsc_core.Plan.total_footprint plan env) with
+  | words -> Some (effective_smem_bytes ~double_buffer ~word_bytes words)
+  | exception _ -> None
+
 let occupancy (g : Config.gpu) ~smem_bytes_per_block =
   if smem_bytes_per_block <= 0 then g.Config.max_blocks_per_mimd
   else

@@ -25,6 +25,22 @@ type gpu_params = {
 
 val default_params : gpu_params
 
+val effective_smem_words : double_buffer:bool -> int -> int
+(** Scratchpad words a plan actually needs per block under the given
+    buffering mode: double buffering keeps two windows of every staged
+    buffer resident, doubling the footprint.  All capacity checks must
+    use this rather than the raw plan footprint. *)
+
+val effective_smem_bytes : double_buffer:bool -> word_bytes:int -> int -> int
+(** Same, in bytes: [effective_smem_words * word_bytes]. *)
+
+val plan_smem_bytes :
+  double_buffer:bool -> word_bytes:int ->
+  Emsc_core.Plan.t -> (string -> Emsc_arith.Zint.t) -> int option
+(** Effective per-block scratchpad bytes of a plan under [env] (the
+    tile-size valuation), or [None] when a buffer footprint does not
+    evaluate to a machine integer. *)
+
 val occupancy : Config.gpu -> smem_bytes_per_block:int -> int
 (** Concurrent blocks per multiprocessor. *)
 

@@ -1,0 +1,127 @@
+open Emsc_machine
+
+type pool = {
+  m : Mutex.t;
+  cv : Condition.t;
+  capacity_words : int option;
+  max_arenas : int option;
+  base : Memory.t;
+  mutable free_views : Memory.t list;  (* recycled, locals cleared *)
+  mutable in_use : int;
+  mutable words_in_use : int;
+  mutable peak_in_use : int;
+  occupancy : (string, int) Hashtbl.t;  (* per-buffer per-arena peak *)
+}
+
+type t = {
+  pool : pool;
+  words : int;
+  mem : Memory.t;
+  mutable released : bool;  (* guarded by [pool.m] *)
+}
+
+type error =
+  | Capacity_exceeded of {
+      requested_words : int;
+      capacity_words : int;
+    }
+
+let error_message = function
+  | Capacity_exceeded { requested_words; capacity_words } ->
+    Printf.sprintf
+      "arena request of %d words exceeds pool capacity of %d words"
+      requested_words capacity_words
+
+let create_pool ?capacity_words ?max_arenas ~base () =
+  { m = Mutex.create (); cv = Condition.create (); capacity_words;
+    max_arenas; base; free_views = []; in_use = 0; words_in_use = 0;
+    peak_in_use = 0; occupancy = Hashtbl.create 4 }
+
+let fits_eventually p words =
+  match p.capacity_words with
+  | Some cap when words > cap -> false
+  | _ -> true
+
+let fits_now p words =
+  (match p.max_arenas with Some k -> p.in_use < k | None -> true)
+  && (match p.capacity_words with
+      | Some cap -> p.words_in_use + words <= cap
+      | None -> true)
+
+(* caller holds [p.m] and has checked [fits_now] *)
+let take_locked p words =
+  let mem =
+    match p.free_views with
+    | v :: rest ->
+      p.free_views <- rest;
+      v
+    | [] -> Memory.fork_view p.base
+  in
+  p.in_use <- p.in_use + 1;
+  p.words_in_use <- p.words_in_use + words;
+  if p.in_use > p.peak_in_use then p.peak_in_use <- p.in_use;
+  { pool = p; words; mem; released = false }
+
+let acquire p ~words =
+  Mutex.lock p.m;
+  if not (fits_eventually p words) then begin
+    let cap = Option.get p.capacity_words in
+    Mutex.unlock p.m;
+    Error (Capacity_exceeded { requested_words = words; capacity_words = cap })
+  end
+  else begin
+    while not (fits_now p words) do
+      Condition.wait p.cv p.m
+    done;
+    let a = take_locked p words in
+    Mutex.unlock p.m;
+    Ok a
+  end
+
+let try_acquire p ~words =
+  Mutex.lock p.m;
+  let r =
+    if fits_eventually p words && fits_now p words then
+      Some (take_locked p words)
+    else None
+  in
+  Mutex.unlock p.m;
+  r
+
+let memory a = a.mem
+
+let release a =
+  let p = a.pool in
+  Mutex.lock p.m;
+  if not a.released then begin
+    a.released <- true;
+    List.iter (fun (name, cells) ->
+      match Hashtbl.find_opt p.occupancy name with
+      | Some prev when prev >= cells -> ()
+      | _ -> Hashtbl.replace p.occupancy name cells)
+      (Memory.local_occupancy a.mem);
+    Memory.clear_locals a.mem;
+    p.free_views <- a.mem :: p.free_views;
+    p.in_use <- p.in_use - 1;
+    p.words_in_use <- p.words_in_use - a.words;
+    Condition.broadcast p.cv
+  end;
+  Mutex.unlock p.m
+
+let in_use p =
+  Mutex.lock p.m;
+  let n = p.in_use in
+  Mutex.unlock p.m;
+  n
+
+let peak_in_use p =
+  Mutex.lock p.m;
+  let n = p.peak_in_use in
+  Mutex.unlock p.m;
+  n
+
+let peak_occupancy p =
+  Mutex.lock p.m;
+  let occ = Hashtbl.fold (fun n c acc -> (n, c) :: acc) p.occupancy [] in
+  Mutex.unlock p.m;
+  List.sort compare occ

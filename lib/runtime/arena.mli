@@ -1,0 +1,61 @@
+(** Per-block scratchpad arenas carved from a shared pool.
+
+    An arena is a {!Emsc_machine.Memory.fork_view} of the launch
+    memory: globals are shared physically, local buffers are private to
+    the block executing in the arena.  The pool enforces the machine's
+    concurrency limits — total scratchpad capacity in words and the
+    concurrent-blocks rule from [Timing.occupancy] — and recycles
+    released views so steady-state acquisition allocates nothing.
+
+    Thread-safe: acquire/release may be called from any domain. *)
+
+open Emsc_machine
+
+type pool
+type t
+
+type error =
+  | Capacity_exceeded of {
+      requested_words : int;
+      capacity_words : int;
+    }  (** the request alone can never fit the pool *)
+
+val error_message : error -> string
+
+val create_pool :
+  ?capacity_words:int ->
+  ?max_arenas:int ->
+  base:Memory.t ->
+  unit ->
+  pool
+(** [capacity_words]: total scratchpad words arenas may hold at once
+    (unbounded when omitted).  [max_arenas]: concurrent-arena cap, the
+    occupancy rule (unbounded when omitted).  [base] supplies the
+    shared globals and the set of declared local buffer names. *)
+
+val acquire : pool -> words:int -> (t, error) result
+(** Reserve [words] of scratchpad and hand out a view.  Blocks while
+    the pool is momentarily full; returns [Error] only for requests
+    that can never be satisfied. *)
+
+val try_acquire : pool -> words:int -> t option
+(** Non-blocking variant for opportunistic use (DMA prefetch): [None]
+    when the pool is full right now or the request can never fit. *)
+
+val memory : t -> Memory.t
+
+val release : t -> unit
+(** Return the arena to the pool.  Records the view's peak local
+    occupancy, clears its local buffers, and recycles the view.
+    Idempotent: releasing twice is a no-op. *)
+
+val in_use : pool -> int
+(** Arenas currently held. *)
+
+val peak_in_use : pool -> int
+(** High-water mark of concurrently held arenas. *)
+
+val peak_occupancy : pool -> (string * int) list
+(** Per local buffer, the largest footprint in words any single arena
+    reached before release — the per-block scratchpad peak, sorted by
+    name. *)

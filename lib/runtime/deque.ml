@@ -1,0 +1,32 @@
+type t = {
+  m : Mutex.t;
+  mutable front : int;  (* next task the owner takes *)
+  mutable back : int;   (* one past the next task a thief takes *)
+}
+
+let of_range ~lo ~hi = { m = Mutex.create (); front = lo; back = max lo hi }
+
+let with_lock d f =
+  Mutex.lock d.m;
+  let r = f () in
+  Mutex.unlock d.m;
+  r
+
+let next d =
+  with_lock d @@ fun () ->
+  if d.front < d.back then begin
+    let i = d.front in
+    d.front <- i + 1;
+    Some i
+  end
+  else None
+
+let steal d =
+  with_lock d @@ fun () ->
+  if d.front < d.back then begin
+    d.back <- d.back - 1;
+    Some d.back
+  end
+  else None
+
+let length d = with_lock d @@ fun () -> d.back - d.front

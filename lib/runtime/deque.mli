@@ -1,0 +1,21 @@
+(** Work-stealing task deque over a fixed set of integer task ids.
+
+    One deque per worker, seeded once at launch start (no concurrent
+    pushes).  The owner drains its tasks front-to-back — preserving the
+    block sequence order, which keeps the DMA prefetcher useful — while
+    thieves take from the back, the far end of the owner's cursor.
+    Mutex-protected: the runtime's unit of work (a whole thread block)
+    is large enough that lock traffic is noise. *)
+
+type t
+
+val of_range : lo:int -> hi:int -> t
+(** Tasks [lo, hi) in ascending order. *)
+
+val next : t -> int option
+(** Owner side: take the front task. *)
+
+val steal : t -> int option
+(** Thief side: take the back task. *)
+
+val length : t -> int

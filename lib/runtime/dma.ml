@@ -1,0 +1,82 @@
+type ticket = {
+  tm : Mutex.t;
+  tcv : Condition.t;
+  mutable finished : bool;
+  mutable failure : exn option;
+}
+
+type channel = {
+  chan_id : int;
+  m : Mutex.t;
+  cv : Condition.t;
+  jobs : (unit -> unit) Queue.t;
+  mutable stopping : bool;
+  mutable domain : unit Domain.t option;
+}
+
+let worker ch () =
+  let rec loop () =
+    Mutex.lock ch.m;
+    while Queue.is_empty ch.jobs && not ch.stopping do
+      Condition.wait ch.cv ch.m
+    done;
+    if Queue.is_empty ch.jobs then Mutex.unlock ch.m  (* stopping, drained *)
+    else begin
+      let job = Queue.pop ch.jobs in
+      Mutex.unlock ch.m;
+      job ();
+      loop ()
+    end
+  in
+  loop ()
+
+let create ~id =
+  let ch =
+    { chan_id = id; m = Mutex.create (); cv = Condition.create ();
+      jobs = Queue.create (); stopping = false; domain = None }
+  in
+  ch.domain <- Some (Domain.spawn (worker ch));
+  ch
+
+let id ch = ch.chan_id
+
+let submit ch f =
+  let t =
+    { tm = Mutex.create (); tcv = Condition.create (); finished = false;
+      failure = None }
+  in
+  let job () =
+    (try f () with e -> t.failure <- Some e);
+    Mutex.lock t.tm;
+    t.finished <- true;
+    Condition.broadcast t.tcv;
+    Mutex.unlock t.tm
+  in
+  Mutex.lock ch.m;
+  if ch.stopping then begin
+    Mutex.unlock ch.m;
+    invalid_arg "Dma.submit: channel is shut down"
+  end;
+  Queue.push job ch.jobs;
+  Condition.signal ch.cv;
+  Mutex.unlock ch.m;
+  t
+
+let await t =
+  Mutex.lock t.tm;
+  while not t.finished do
+    Condition.wait t.tcv t.tm
+  done;
+  Mutex.unlock t.tm;
+  match t.failure with Some e -> raise e | None -> ()
+
+let shutdown ch =
+  Mutex.lock ch.m;
+  ch.stopping <- true;
+  Condition.broadcast ch.cv;
+  Mutex.unlock ch.m;
+  match ch.domain with
+  | Some d ->
+    ch.domain <- None;
+    Domain.join d
+  | None -> ()

@@ -1,0 +1,29 @@
+(** Asynchronous DMA channels.
+
+    A channel is a dedicated domain executing submitted transfer jobs
+    in FIFO order — the software analogue of the scratchpad DMA engine
+    the paper's machine model assumes.  The runtime gives each worker
+    one channel and, when the kernel double-buffers, stages block
+    [j+1]'s move-in on the channel while the worker computes block [j],
+    then retires block [j]'s move-out asynchronously the same way.
+
+    Jobs must never block on pool resources (the runtime acquires
+    arenas before submitting), so a channel always drains and the
+    worker/channel pair cannot deadlock.  Exceptions raised by a job
+    are stored in its ticket and re-raised by {!await}. *)
+
+type channel
+type ticket
+
+val create : id:int -> channel
+(** Spawn the channel's domain.  [id] names it in metrics. *)
+
+val id : channel -> int
+
+val submit : channel -> (unit -> unit) -> ticket
+
+val await : ticket -> unit
+(** Block until the job has run; re-raise its exception, if any. *)
+
+val shutdown : channel -> unit
+(** Drain remaining jobs, then join the domain.  Idempotent. *)

@@ -1,0 +1,78 @@
+(** Multicore parallel execution backend.
+
+    Executes a compiled kernel AST with true parallelism on OCaml 5
+    domains, realizing the machine model the compiler targets: each
+    launch's outermost band of [Block]-parallel loops is decomposed
+    into block tasks dispatched over a fixed domain pool; every block
+    runs in its own scratchpad {!Arena} (shared globals, private
+    locals); when [double_buffer] is set and the block body has the
+    canonical move-in / compute / move-out shape, the move phases run
+    asynchronously on per-worker {!Dma} channels, overlapping block
+    [j]'s compute with block [j+1]'s move-in.  Launches are separated
+    by global barriers: all block tasks join, counters are reduced in
+    block order (bit-identical to sequential execution for any [jobs]
+    value and either policy), and movement metrics are fenced out.
+
+    Determinism rests on the plan's launch race-freedom: blocks of one
+    launch write disjoint global cells and never read another block's
+    writes.  [track_ownership] checks exactly that at runtime.
+
+    [Full] fidelity only — sampled execution is inherently sequential
+    (iteration deltas), and parallel runs exist to produce exact
+    arrays and wall time. *)
+
+open Emsc_arith
+open Emsc_ir
+open Emsc_codegen
+open Emsc_machine
+
+type policy =
+  | Static  (** block [i] goes to worker [i mod jobs] *)
+  | Work_stealing
+      (** contiguous chunks seeded per worker; idle workers steal from
+          the far end of a victim's deque *)
+
+type cfg = {
+  jobs : int;                    (** worker domains *)
+  policy : policy;
+  double_buffer : bool;          (** pipeline move phases on DMA channels *)
+  track_ownership : bool;
+      (** debug: detect cross-block global write conflicts and
+          reads-of-foreign-writes within a launch *)
+  capacity_words : int option;   (** arena pool capacity *)
+  max_concurrent_blocks : int option;
+      (** concurrent-arena cap; [Timing.occupancy]'s rule *)
+  block_words : int;
+      (** estimated per-block scratchpad words, the pool accounting
+          unit (0 = unknown, arenas are unaccounted) *)
+}
+
+val default_cfg : jobs:int -> cfg
+(** [Static], no double buffering, no tracking, unbounded pool. *)
+
+exception Ownership_violation of string
+exception Runtime_error of string
+
+val pipeline_phases :
+  Ast.stm list -> (Ast.stm list * Ast.stm list * Ast.stm list) option
+(** Split a block body into (move-in, compute, move-out) at its
+    top-level fences when the prefix/suffix are pure movement — the
+    shape the tiler emits for hoisted transfers.  [None] when the body
+    does not pipeline (movement nested inside compute loops). *)
+
+val run :
+  prog:Prog.t ->
+  ?local_ref:(Prog.stmt -> Prog.access -> Ast.ref_expr option) ->
+  param_env:(string -> Zint.t) ->
+  memory:Memory.t ->
+  ?on_global:(string -> int -> [ `Ld | `St ] -> unit) ->
+  ?cfg:cfg ->
+  Ast.stm list ->
+  Exec.result
+(** Drop-in parallel analogue of {!Exec.run} in [Full] mode: same
+    totals bit-for-bit, same launch records (grids from exact block
+    enumeration), same global-array contents.  Host-level statements
+    (outside any block loop) execute on the calling domain.
+    [on_global], when given, is serialized under a mutex.
+    @raise Ownership_violation when [track_ownership] finds a race.
+    @raise Runtime_error when a block's arena can never fit the pool. *)
