@@ -67,6 +67,13 @@ let bench_notes : J.t list ref = ref []
    runtime section gates) *)
 let runtime_wall : (string * float) list ref = ref []
 
+(* per-kernel runtime report from one extra events-on double-buffered
+   run (untimed, so instrumentation never pollutes runtime_wall_ms),
+   each with its nested overlap audit; becomes the artifact's
+   top-level [runtime_report] object — what bench-compare's
+   overlap-fail gate reads *)
+let runtime_reports : (string * J.t) list ref = ref []
+
 let record_point ~fig ~series ~x ?(unit_ = "ms") v =
   bench_points :=
     J.Obj
@@ -126,6 +133,7 @@ let write_bench_json ~figure_ms =
         ( "runtime_wall_ms",
           J.Obj
             (List.rev_map (fun (k, ms) -> (k, J.Float ms)) !runtime_wall) );
+        ("runtime_report", J.Obj (List.rev !runtime_reports));
         ("audit", J.List (List.rev !audit_results));
         ("metrics", Emsc_obs.Metrics.snapshot_json (Emsc_obs.Metrics.snapshot ()));
         ( "pass_cache",
@@ -688,6 +696,32 @@ let record_runtime ~kernel ~series ms =
   runtime_wall := (kernel ^ "." ^ series, ms) :: !runtime_wall;
   record_point ~fig:"runtime" ~series:kernel ~x:series ms
 
+(* one events-on run per kernel, outside the timed series: build the
+   runtime report, audit achieved overlap against the model bound, and
+   fail the whole bench on an unsound accounting (achieved above the
+   bound) — a Warn (host couldn't deliver the overlap, e.g. 1-core CI)
+   is recorded but does not fail *)
+let record_runtime_report ~kernel run =
+  let module O = Emsc_audit.Overlap in
+  let _, report = Runner.with_runtime_report run in
+  match report with
+  | None -> failwith ("bench: runtime: " ^ kernel ^ " produced no events")
+  | Some r ->
+    let a = O.audit ~double_buffer:true r in
+    let fields =
+      match Emsc_obs.Runtime_report.to_json r with
+      | J.Obj fs -> fs @ [ ("overlap_audit", O.json a) ]
+      | j -> [ ("report", j); ("overlap_audit", O.json a) ]
+    in
+    runtime_reports := (kernel, J.Obj fields) :: !runtime_reports;
+    pf "%-12s %-10s overlap %.2f of bound %.2f  (%s)\n" kernel "report"
+      a.O.o_achieved a.O.o_bound
+      (Emsc_audit.Audit.verdict_string a.O.o_verdict);
+    if not (O.ok a) then
+      failwith
+        ("bench: runtime: " ^ kernel
+       ^ " overlap audit failed (measured overlap above the model bound)")
+
 let runtime_jobs () =
   let cap =
     match Sys.getenv_opt "EMSC_BENCH_RUNTIME_MAX_J" with
@@ -756,7 +790,10 @@ let runtime_compiled ~kernel job =
       (seq_ms /. ms))
     [ (Printf.sprintf "steal-j%d" jmax, Emsc_runtime.Runtime.Work_stealing,
        false);
-      (Printf.sprintf "db-j%d" jmax, Emsc_runtime.Runtime.Static, true) ]
+      (Printf.sprintf "db-j%d" jmax, Emsc_runtime.Runtime.Static, true) ];
+  record_runtime_report ~kernel (fun () ->
+    Runner.simulate ~memory:Runner.Pseudorandom ~backend:(`Par jmax)
+      ~double_buffer:true c)
 
 (* the overlapped stencil goes through Runner.execute: a host time loop
    of block-parallel launches with a global barrier between time tiles,
@@ -785,7 +822,10 @@ let runtime_stencil ~kernel ~n ~steps ~ts ~tt =
       pf "%-12s %-10s %10.1f ms  (%.2fx, bit-identical)\n" kernel series ms
         (seq_ms /. ms))
       [ ("par", false); ("db", true) ])
-    (runtime_jobs ())
+    (runtime_jobs ());
+  let jmax = List.fold_left max 1 (runtime_jobs ()) in
+  record_runtime_report ~kernel (fun () ->
+    run ~backend:(`Par jmax) ~double_buffer:true ())
 
 let runtime () =
   pf "=== Runtime backend: sequential vs block-parallel (wall ms) ===\n";

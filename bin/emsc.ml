@@ -49,8 +49,11 @@ let with_trace trace f =
     Trace.enable ();
     Fun.protect
       ~finally:(fun () ->
-        (* tracing must not destroy the command's result *)
-        (try Trace.write_chrome path
+        (* tracing must not destroy the command's result; the merged
+           export appends runtime tracks (per-domain timelines, DMA
+           lanes) when the command recorded events, and is exactly the
+           compile trace otherwise *)
+        (try Events.write_merged_chrome path
          with Sys_error e -> Printf.eprintf "emsc: cannot write trace: %s\n" e);
         Trace.disable ())
       f
@@ -191,6 +194,35 @@ let double_buffer_arg =
 
 let backend_of b jobs : Runner.backend =
   match b with `Seq -> `Seq | `Parallel -> `Par (max 1 jobs)
+
+let runtime_flag =
+  Arg.(value & flag
+       & info [ "runtime" ]
+           ~doc:"Record runtime execution events (implies --backend \
+                 parallel) and report the analysis: per-domain \
+                 busy/idle/steal breakdown, achieved DMA-compute overlap, \
+                 scratchpad occupancy, critical path, plus the overlap \
+                 audit against the double-buffer timing model.  With \
+                 --trace, the Chrome export gains one track per worker \
+                 domain and per DMA lane, merged with the compile spans.")
+
+(* matmul-style default tiling when --runtime is given without tile
+   flags: 16-blocks with 4-thread tiles on the outer dimensions, the
+   innermost sub-tiled by 8 to bound the buffer window *)
+let default_runtime_spec ~depth =
+  Array.init depth (fun j ->
+    if depth > 1 && j = depth - 1 then
+      { Emsc_transform.Tile.block = None; mem = Some 8; thread = None }
+    else { Emsc_transform.Tile.block = Some 16; mem = None; thread = Some 4 })
+
+(* the runtime_report JSON object: the report's fields with the overlap
+   audit nested under "overlap_audit" *)
+let runtime_report_json ?model ~double_buffer (r : Runtime_report.t) =
+  let audit = Emsc_audit.Overlap.audit ~double_buffer ?model r in
+  match Runtime_report.to_json r with
+  | Json.Obj fields ->
+    Json.Obj (fields @ [ ("overlap_audit", Emsc_audit.Overlap.json audit) ])
+  | j -> j
 
 let gpu_config = Emsc_machine.Config.gtx8800
 
@@ -336,7 +368,9 @@ let run_cmd =
       Printf.printf "checksum %-10s = %.6f\n" d.Prog.array_name sum)
       p.Prog.arrays
   in
-  let run file params backend jobs policy double_buffer block mem thread =
+  let run file params backend jobs policy double_buffer runtime block mem
+      thread =
+    let backend = if runtime then `Parallel else backend in
     match backend with
     | `Seq ->
       let options = { Options.default with stop = Options.Front_end } in
@@ -379,16 +413,26 @@ let run_cmd =
                 (Pipeline.job ~options
                    (Source.Program { name = file; prog = p })))
          in
-         let m, result =
+         let simulate () =
            Runner.simulate ~memory:Runner.Pseudorandom
              ~param_env:(cli_env params)
              ~backend:(backend_of `Parallel jobs) ~policy ~double_buffer
              ~track_ownership:true c
          in
+         let (m, result), report =
+           if runtime then Runner.with_runtime_report simulate
+           else (simulate (), None)
+         in
          let t = result.Emsc_machine.Exec.totals in
          print_run_result c.Pipeline.prog m ~flops:t.Emsc_machine.Exec.flops
            ~loads:t.Emsc_machine.Exec.g_ld
-           ~stores:t.Emsc_machine.Exec.g_st
+           ~stores:t.Emsc_machine.Exec.g_st;
+         (match report with
+          | Some r ->
+            Format.printf "%a" Runtime_report.pp r;
+            Format.printf "%a" Emsc_audit.Overlap.pp
+              (Emsc_audit.Overlap.audit ~double_buffer r)
+          | None -> ())
        | _ ->
          Printf.eprintf "run: tiling flags need a single-statement program\n";
          exit 1)
@@ -399,13 +443,14 @@ let run_cmd =
              parallel and tile sizes — block-parallel on the simulated \
              machine (bit-identical checksums)")
     Term.(const run $ file_arg $ param_args $ backend_arg $ exec_jobs_arg
-          $ policy_arg $ double_buffer_arg $ block_arg $ mem_arg
-          $ thread_arg)
+          $ policy_arg $ double_buffer_arg $ runtime_flag $ block_arg
+          $ mem_arg $ thread_arg)
 
 (* --- emsc profile ------------------------------------------------------- *)
 
 let gpu_profile ~cache ~name ~prog ~arch ~merge ~delta ~optimize_movement
-    ~spec ~threads ~global_sync ~backend ~jobs ~policy ~double_buffer =
+    ~spec ~threads ~global_sync ~backend ~jobs ~policy ~double_buffer
+    ~runtime =
   let options =
     { Options.default with
       arch; merge_per_array = merge; delta; optimize_movement;
@@ -417,12 +462,16 @@ let gpu_profile ~cache ~name ~prog ~arch ~merge ~delta ~optimize_movement
          (Pipeline.job ~options (Source.Program { name; prog })))
   in
   let plan = plan_of c in
-  let _, result =
+  let simulate () =
     match backend with
     | `Seq -> Runner.simulate c
     | `Parallel ->
       Runner.simulate ~memory:Runner.Pseudorandom
         ~backend:(backend_of `Parallel jobs) ~policy ~double_buffer c
+  in
+  let (_, result), report =
+    if runtime then Runner.with_runtime_report simulate
+    else (simulate (), None)
   in
   let word_bytes = gpu_config.Emsc_machine.Config.word_bytes in
   let smem_bytes =
@@ -448,6 +497,18 @@ let gpu_profile ~cache ~name ~prog ~arch ~merge ~delta ~optimize_movement
     ("plan", Plan.explain_json ~capacity_words plan);
     ("profile", Emsc_machine.Timing.profile_json gpu_config gp result);
     ("pipeline", Pipeline.report_json c) ]
+  @
+  match report with
+  | Some r ->
+    (* the model side of the overlap audit: the first launch's timing
+       breakdown under the same parameters the profile reports *)
+    let model =
+      match result.Emsc_machine.Exec.launches with
+      | l :: _ -> Some (Emsc_machine.Timing.gpu_launch_breakdown gpu_config gp l)
+      | [] -> None
+    in
+    [ ("runtime_report", runtime_report_json ?model ~double_buffer r) ]
+  | None -> []
 
 let cpu_profile p ~params =
   let env = cli_env params in
@@ -486,8 +547,8 @@ let profile_cmd =
              ~doc:"Charge a cross-block synchronization per launch.")
   in
   let run file arch merge delta optimize_movement block mem thread threads
-      global_sync backend jobs policy double_buffer params trace no_cache
-      cache_dir out =
+      global_sync backend jobs policy double_buffer runtime params trace
+      no_cache cache_dir out =
     with_trace trace @@ fun () ->
     let cache = cache_of no_cache cache_dir in
     let p, _digest = ok_or_die (Frontend.load (Source.file file)) in
@@ -498,22 +559,26 @@ let profile_cmd =
       Array.length block > 0 || Array.length mem > 0
       || Array.length thread > 0
     in
-    if backend = `Parallel && not tiled then begin
+    (* --runtime profiles the parallel backend; without explicit tile
+       sizes it falls back to the canonical matmul-style spec *)
+    let backend = if runtime then `Parallel else backend in
+    if backend = `Parallel && not (tiled || runtime) then begin
       Printf.eprintf
         "profile: --backend parallel executes a tiled kernel; give \
          --block/--mem/--thread tile sizes\n";
       exit 1
     end;
     let fields =
-      if tiled then begin
+      if tiled || runtime then begin
         match p.Prog.stmts with
         | [ s ] ->
           let spec =
-            spec_of_lists ~depth:s.Prog.depth ~block ~mem ~thread
+            if tiled then spec_of_lists ~depth:s.Prog.depth ~block ~mem ~thread
+            else default_runtime_spec ~depth:s.Prog.depth
           in
           gpu_profile ~cache ~name:file ~prog:p ~arch ~merge ~delta
             ~optimize_movement ~spec ~threads ~global_sync ~backend ~jobs
-            ~policy ~double_buffer
+            ~policy ~double_buffer ~runtime
         | _ ->
           Printf.eprintf
             "profile: tiling flags need a single-statement program\n";
@@ -536,8 +601,8 @@ let profile_cmd =
     Term.(const run $ file_arg $ arch_arg $ merge_arg $ delta_arg
           $ optmove_arg $ block_arg $ mem_arg $ thread_arg $ threads_arg
           $ globalsync_arg $ backend_arg $ exec_jobs_arg $ policy_arg
-          $ double_buffer_arg $ param_args $ trace_arg $ nocache_arg
-          $ cachedir_arg $ out_arg)
+          $ double_buffer_arg $ runtime_flag $ param_args $ trace_arg
+          $ nocache_arg $ cachedir_arg $ out_arg)
 
 (* --- emsc check --------------------------------------------------------- *)
 

@@ -49,6 +49,23 @@ let runtime_section j =
       fields
   | _ -> []
 
+(* kernel -> overlap-audit failure indicator (1.0 when the runtime
+   report's overlap audit failed, 0.0 otherwise); absent in artifacts
+   that predate the events layer, so absence is an empty section and
+   new reports surface as "added", never as a regression *)
+let report_section j =
+  match J.member "runtime_report" j with
+  | Some (J.Obj fields) ->
+    List.filter_map (fun (k, r) ->
+      match J.member "overlap_audit" r with
+      | Some a ->
+        (match J.member "verdict" a with
+         | Some (J.Str v) -> Some (k, if v = "fail" then 1.0 else 0.0)
+         | _ -> None)
+      | None -> None)
+      fields
+  | _ -> []
+
 (* kernel -> global words moved (loads + stores): the deterministic
    movement-volume figure of merit *)
 let movement_section j =
@@ -111,6 +128,10 @@ let compare ?(wall_tolerance = default_wall_tolerance)
            move_old move_new
       |> diff_section ~metric:"runtime_wall_ms" ~tolerance:runtime_tolerance
            (runtime_section old_j) (runtime_section new_j)
+      (* a freshly failing overlap audit (0 -> 1) is a regression in
+         its own right, regardless of wall time *)
+      |> diff_section ~metric:"overlap_fail" ~tolerance:0.0
+           (report_section old_j) (report_section new_j)
     in
     Ok
       { r_regressions = List.rev r;

@@ -3,19 +3,24 @@
     Compares the [figure_wall_ms] (wall-clock per figure),
     [kernel_counters] (simulated global-memory words per kernel) and
     [runtime_wall_ms] (parallel-backend wall per kernel/series)
-    sections of two [BENCH_<timestamp>.json] files.  Wall time is
-    machine-dependent, so it gets its own — typically generous —
-    tolerance; movement volume is deterministic and is gated tightly;
-    the runtime section is gated loosest of all (domain scheduling on
-    shared CI hosts is noisy), and its absence from an older artifact
-    is fine — the new points show up as added, not missing.
+    sections of two [BENCH_<timestamp>.json] files, plus the
+    [runtime_report] section's overlap-audit verdicts (a report whose
+    overlap audit fails where the baseline's passed — or where the
+    baseline had none that failed — is a regression on its own).  Wall
+    time is machine-dependent, so it gets its own — typically
+    generous — tolerance; movement volume is deterministic and is
+    gated tightly; the runtime section is gated loosest of all (domain
+    scheduling on shared CI hosts is noisy).  Absence of the
+    [runtime_wall_ms] or [runtime_report] sections from an older
+    artifact is fine — the new points show up as added, not missing.
     A key present in the old artifact but missing from the new one is a
     lost measurement and fails the comparison. *)
 
 type change = {
   c_key : string;     (** figure or kernel name *)
   c_metric : string;
-      (** ["wall_ms"], ["global_words"] or ["runtime_wall_ms"] *)
+      (** ["wall_ms"], ["global_words"], ["runtime_wall_ms"] or
+          ["overlap_fail"] *)
   c_old : float;
   c_new : float;
   c_ratio : float;    (** new / old; [infinity] when old is 0 *)

@@ -1,0 +1,52 @@
+(** Overlap audit: achieved DMA–compute overlap versus the
+    double-buffer timing model.
+
+    The {!Emsc_machine.Timing} breakdown promises that double
+    buffering hides movement under compute ([t_fence] drops to zero).
+    The runtime report measures what actually overlapped.  The
+    measured overlap fraction has a hard model upper bound — DMA time
+    can only be hidden under concurrent compute, so
+
+      achieved ≤ min(1, compute_busy / dma_busy)
+
+    — and the verdict is asymmetric in the same style as the movement
+    audit ({!Audit}): measured overlap {e above} the bound means the
+    accounting itself is unsound and fails; achieving much less than
+    the bound (e.g. on a 1-core CI machine where domains timeshare)
+    only warns, and only when double buffering was requested. *)
+
+type t = {
+  o_tolerance : float;
+  o_double_buffer : bool;
+  o_bound : float;     (** model upper bound on the overlap fraction *)
+  o_achieved : float;  (** measured [Runtime_report.overlap_fraction] *)
+  o_dma_busy_s : float;
+  o_compute_busy_s : float;
+  o_quantities : Audit.quantity list;
+      (** [overlap_fraction] (predicted = bound, measured = achieved);
+          with a model breakdown also [dma_to_compute_ratio]
+          comparing measured phase times against the model's
+          [t_bw]/[t_comp] split — informational, never failing *)
+  o_notes : string list;
+  o_verdict : Audit.verdict;
+}
+
+val default_tolerance : float
+(** Slack on the bound comparison (timestamping skew). *)
+
+val audit :
+  ?tolerance:float ->
+  double_buffer:bool ->
+  ?model:Emsc_machine.Timing.breakdown ->
+  Emsc_obs.Runtime_report.t ->
+  t
+(** [Fail] iff [achieved > bound + tolerance].  [Warn] when double
+    buffering ran real DMA yet achieved under a quarter of the bound —
+    overlap the model expected but the host could not deliver.
+    A report with no DMA time is a vacuous [Pass]. *)
+
+val ok : t -> bool
+(** [o_verdict <> Fail] — the gating condition. *)
+
+val json : t -> Emsc_obs.Json.t
+val pp : Format.formatter -> t -> unit

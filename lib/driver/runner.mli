@@ -83,6 +83,17 @@ val simulate :
     @raise Invalid_argument if the compilation has no generated kernel
     (untiled, or stopped early). *)
 
+val with_runtime_report :
+  ?capacity:int ->
+  (unit -> 'a) ->
+  'a * Emsc_obs.Runtime_report.t option
+(** Record {!Emsc_obs.Events} around [f] — reset, enable (optionally
+    with a ring [capacity]), run, drain, analyze.  [None] when [f]
+    produced no runtime events (e.g. a sequential run).  Event
+    recording is restored to its previous state afterwards; the drained
+    rings are kept, so {!Emsc_obs.Events.write_merged_chrome} called
+    later still exports this run's tracks. *)
+
 val reference :
   ?memory:memory_kind ->
   ?param_env:(string -> Zint.t) ->

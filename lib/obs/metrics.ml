@@ -16,10 +16,21 @@ let clock = ref default_clock
 let set_clock c = clock := c
 let use_default_clock () = clock := default_clock
 
-(* one table for the whole process, keyed by (name, sorted labels) *)
+(* One table for the whole process, keyed by (name, sorted labels).
+   Cells are updated from worker domains (arena gauges, exec counters),
+   so every table access and cell mutation happens under [m] — the
+   updates are tiny, and the enabled-flag test keeps the disabled path
+   lock-free. *)
+let m = Mutex.create ()
 let table : (string * labels, cell) Hashtbl.t = Hashtbl.create 64
 
-let reset () = Hashtbl.reset table
+let locked f =
+  Mutex.lock m;
+  match f () with
+  | v -> Mutex.unlock m; v
+  | exception e -> Mutex.unlock m; raise e
+
+let reset () = locked (fun () -> Hashtbl.reset table)
 
 let canon labels =
   match labels with
@@ -38,21 +49,24 @@ let cell ?(labels = []) name make =
 
 let counter ?labels name v =
   if !enabled_flag then
-    match cell ?labels name (fun () -> Ccounter (ref 0.0)) with
-    | Ccounter r -> r := !r +. v
-    | Cgauge _ | Chist _ -> ()
+    locked (fun () ->
+      match cell ?labels name (fun () -> Ccounter (ref 0.0)) with
+      | Ccounter r -> r := !r +. v
+      | Cgauge _ | Chist _ -> ())
 
 let gauge ?labels name v =
   if !enabled_flag then
-    match cell ?labels name (fun () -> Cgauge (ref v)) with
-    | Cgauge r -> r := v
-    | Ccounter _ | Chist _ -> ()
+    locked (fun () ->
+      match cell ?labels name (fun () -> Cgauge (ref v)) with
+      | Cgauge r -> r := v
+      | Ccounter _ | Chist _ -> ())
 
 let gauge_max ?labels name v =
   if !enabled_flag then
-    match cell ?labels name (fun () -> Cgauge (ref v)) with
-    | Cgauge r -> if v > !r then r := v
-    | Ccounter _ | Chist _ -> ()
+    locked (fun () ->
+      match cell ?labels name (fun () -> Cgauge (ref v)) with
+      | Cgauge r -> if v > !r then r := v
+      | Ccounter _ | Chist _ -> ())
 
 (* log2 bucket exponent: smallest k with v <= 2^k; v <= 0 underflows *)
 let bucket_of v =
@@ -71,18 +85,19 @@ let bucket_of v =
 
 let observe ?labels name v =
   if !enabled_flag then
-    match
-      cell ?labels name (fun () ->
-        Chist { h_count = 0; h_sum = 0.0; h_buckets = Hashtbl.create 8 })
-    with
-    | Chist h ->
-      h.h_count <- h.h_count + 1;
-      h.h_sum <- h.h_sum +. v;
-      let k = bucket_of v in
-      (match Hashtbl.find_opt h.h_buckets k with
-       | Some r -> incr r
-       | None -> Hashtbl.replace h.h_buckets k (ref 1))
-    | Ccounter _ | Cgauge _ -> ()
+    locked (fun () ->
+      match
+        cell ?labels name (fun () ->
+          Chist { h_count = 0; h_sum = 0.0; h_buckets = Hashtbl.create 8 })
+      with
+      | Chist h ->
+        h.h_count <- h.h_count + 1;
+        h.h_sum <- h.h_sum +. v;
+        let k = bucket_of v in
+        (match Hashtbl.find_opt h.h_buckets k with
+         | Some r -> incr r
+         | None -> Hashtbl.replace h.h_buckets k (ref 1))
+      | Ccounter _ | Cgauge _ -> ())
 
 (* --- snapshots --------------------------------------------------------- *)
 
@@ -119,9 +134,10 @@ let compare_sample a b =
 
 let snapshot () =
   let samples =
-    Hashtbl.fold (fun (name, labels) c acc ->
-      { m_name = name; m_labels = labels; m_value = freeze c } :: acc)
-      table []
+    locked (fun () ->
+      Hashtbl.fold (fun (name, labels) c acc ->
+        { m_name = name; m_labels = labels; m_value = freeze c } :: acc)
+        table [])
     |> List.sort compare_sample
   in
   { at_s = !clock (); samples }

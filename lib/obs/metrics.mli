@@ -13,7 +13,10 @@
     serialize to JSON with a stable ordering, so they can be embedded in
     reports and compared across runs.
 
-    Single-threaded by design, like the rest of the compiler. *)
+    Domain-safe: every update and snapshot runs under one registry
+    mutex (after the enabled test), so counters bumped from worker
+    domains — arena gauges, exec counters — sum exactly; no update is
+    lost to a racing read-modify-write. *)
 
 type labels = (string * string) list
 (** Label pairs; order does not matter (keys are canonicalized). *)

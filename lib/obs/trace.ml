@@ -27,15 +27,26 @@ let clock = ref default_clock
 let set_clock c = clock := c
 let use_default_clock () = clock := default_clock
 
-(* innermost frame last *)
-let stack : frame list ref = ref []
-let completed : node list ref = ref []  (* reverse start order *)
+(* Each domain keeps its own span stack (spans nest within one domain
+   only), so worker-domain emitters never see each other's frames.
+   Completed roots and root counters are shared across domains and
+   guarded by [shared_m]. *)
+let stack_key : frame list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let stack () = Domain.DLS.get stack_key
+
+let shared_m = Mutex.create ()
+let completed : node list ref = ref []  (* guarded by shared_m *)
 let root_counters : (string, float) Hashtbl.t = Hashtbl.create 16
+(* guarded by shared_m *)
 
 let reset () =
-  stack := [];
+  (stack ()) := [];
+  Mutex.lock shared_m;
   completed := [];
-  Hashtbl.reset root_counters
+  Hashtbl.reset root_counters;
+  Mutex.unlock shared_m
 
 let fresh_frame ?(args = []) name =
   { f_name = name; f_args = args; f_start = !clock ();
@@ -55,28 +66,32 @@ let close_frame ?error f =
     dur_s = !clock () -. f.f_start; counters;
     children = List.rev f.f_children }
 
-let attach node =
+let attach stack node =
   match !stack with
   | parent :: _ -> parent.f_children <- node :: parent.f_children
-  | [] -> completed := node :: !completed
+  | [] ->
+    Mutex.lock shared_m;
+    completed := node :: !completed;
+    Mutex.unlock shared_m
 
 let span ?args name f =
   if not !enabled_flag then f ()
   else begin
+    let stack = stack () in
     let frame = fresh_frame ?args name in
     stack := frame :: !stack;
     let pop ?error () =
       (match !stack with
        | top :: rest when top == frame ->
          stack := rest;
-         attach (close_frame ?error frame)
+         attach stack (close_frame ?error frame)
        | _ ->
          (* unbalanced (an inner span escaped via an exception we did
             not see); drop everything down to our frame *)
          let rec unwind = function
            | top :: rest when top == frame ->
              stack := rest;
-             attach (close_frame ?error frame)
+             attach stack (close_frame ?error frame)
            | _ :: rest -> unwind rest
            | [] -> stack := []
          in
@@ -95,11 +110,20 @@ let bump tbl name v =
 
 let count name v =
   if !enabled_flag then
-    match !stack with
+    match !(stack ()) with
     | top :: _ -> bump top.f_counters name v
-    | [] -> bump root_counters name v
+    | [] ->
+      Mutex.lock shared_m;
+      bump root_counters name v;
+      Mutex.unlock shared_m
 
-let roots () = List.rev !completed
+let roots () =
+  Mutex.lock shared_m;
+  let rs = List.rev !completed in
+  Mutex.unlock shared_m;
+  (* concurrent emitters finish in nondeterministic order; present
+     roots in start order so renders are stable *)
+  List.stable_sort (fun a b -> compare a.start_s b.start_s) rs
 
 (* --- rendering --------------------------------------------------------- *)
 
@@ -114,8 +138,12 @@ let pp_tree fmt () =
   in
   List.iter (go "") (roots ());
   let rc =
-    Hashtbl.fold (fun k v acc -> (k, v) :: acc) root_counters []
-    |> List.sort compare
+    Mutex.lock shared_m;
+    let rc =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) root_counters []
+    in
+    Mutex.unlock shared_m;
+    List.sort compare rc
   in
   if rc <> [] then begin
     Format.fprintf fmt "(outside any span)";

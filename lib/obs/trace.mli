@@ -10,8 +10,11 @@
 
     Counters bumped with {!count} accumulate on the innermost open
     span (or on an implicit root when no span is open) and appear in
-    the [args] of the exported events.  Single-threaded by design, like
-    the rest of the compiler. *)
+    the [args] of the exported events.  Domain-safe: each domain keeps
+    its own span stack (spans nest within one domain), and completed
+    roots plus root counters are guarded, so worker-domain emitters
+    never corrupt each other's trees.  {!roots} presents top-level
+    spans in start order regardless of which domain finished first. *)
 
 val enabled : unit -> bool
 val enable : unit -> unit

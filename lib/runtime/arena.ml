@@ -1,4 +1,5 @@
 open Emsc_machine
+module Ev = Emsc_obs.Events
 
 type pool = {
   m : Mutex.t;
@@ -11,6 +12,9 @@ type pool = {
   mutable words_in_use : int;
   mutable peak_in_use : int;
   occupancy : (string, int) Hashtbl.t;  (* per-buffer per-arena peak *)
+  mutable evr : Ev.ring option;
+      (* occupancy events; written only under [m], which satisfies the
+         ring's single-writer contract *)
 }
 
 type t = {
@@ -35,7 +39,21 @@ let error_message = function
 let create_pool ?capacity_words ?max_arenas ~base () =
   { m = Mutex.create (); cv = Condition.create (); capacity_words;
     max_arenas; base; free_views = []; in_use = 0; words_in_use = 0;
-    peak_in_use = 0; occupancy = Hashtbl.create 4 }
+    peak_in_use = 0; occupancy = Hashtbl.create 4; evr = None }
+
+let set_event_ring p r =
+  Mutex.lock p.m;
+  p.evr <- Some r;
+  Mutex.unlock p.m
+
+(* caller holds [p.m] *)
+let emit_occupancy p =
+  match p.evr with
+  | Some r when Ev.enabled () ->
+    let t = Ev.now () in
+    Ev.emit r ~t0:t ~t1:t
+      (Ev.Occupancy { words = p.words_in_use; arenas = p.in_use })
+  | _ -> ()
 
 let fits_eventually p words =
   match p.capacity_words with
@@ -60,6 +78,7 @@ let take_locked p words =
   p.in_use <- p.in_use + 1;
   p.words_in_use <- p.words_in_use + words;
   if p.in_use > p.peak_in_use then p.peak_in_use <- p.in_use;
+  emit_occupancy p;
   { pool = p; words; mem; released = false }
 
 let acquire p ~words =
@@ -104,6 +123,7 @@ let release a =
     p.free_views <- a.mem :: p.free_views;
     p.in_use <- p.in_use - 1;
     p.words_in_use <- p.words_in_use - a.words;
+    emit_occupancy p;
     Condition.broadcast p.cv
   end;
   Mutex.unlock p.m

@@ -33,6 +33,13 @@ val create_pool :
     occupancy rule (unbounded when omitted).  [base] supplies the
     shared globals and the set of declared local buffer names. *)
 
+val set_event_ring : pool -> Emsc_obs.Events.ring -> unit
+(** Record an {!Emsc_obs.Events.Occupancy} sample (words and arenas in
+    use) on [r] at every reserve and release.  Samples are emitted
+    inside the pool's critical section, so the ring's single-writer
+    contract holds even though acquire/release run on many domains.
+    No-op cost when events are disabled. *)
+
 val acquire : pool -> words:int -> (t, error) result
 (** Reserve [words] of scratchpad and hand out a view.  Blocks while
     the pool is momentarily full; returns [Error] only for requests

@@ -1,3 +1,5 @@
+module Ev = Emsc_obs.Events
+
 type ticket = {
   tm : Mutex.t;
   tcv : Condition.t;
@@ -12,6 +14,8 @@ type channel = {
   jobs : (unit -> unit) Queue.t;
   mutable stopping : bool;
   mutable domain : unit Domain.t option;
+  mutable evr : Ev.ring option;
+      (* transfer events; written only by the channel's own domain *)
 }
 
 let worker ch () =
@@ -33,20 +37,30 @@ let worker ch () =
 let create ~id =
   let ch =
     { chan_id = id; m = Mutex.create (); cv = Condition.create ();
-      jobs = Queue.create (); stopping = false; domain = None }
+      jobs = Queue.create (); stopping = false; domain = None; evr = None }
   in
   ch.domain <- Some (Domain.spawn (worker ch));
   ch
 
 let id ch = ch.chan_id
 
-let submit ch f =
+let set_event_ring ch r = ch.evr <- Some r
+
+let submit ?event ch f =
   let t =
     { tm = Mutex.create (); tcv = Condition.create (); finished = false;
       failure = None }
   in
   let job () =
-    (try f () with e -> t.failure <- Some e);
+    (* [event] is evaluated after [f] on this channel's domain, so the
+       payload can read what the transfer produced and the ring write
+       stays single-writer *)
+    (match (ch.evr, event) with
+     | Some r, Some mk when Ev.enabled () ->
+       let t0 = Ev.now () in
+       (try f () with e -> t.failure <- Some e);
+       Ev.emit r ~t0 (mk ())
+     | _ -> ( try f () with e -> t.failure <- Some e));
     Mutex.lock t.tm;
     t.finished <- true;
     Condition.broadcast t.tcv;

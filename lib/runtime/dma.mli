@@ -20,7 +20,17 @@ val create : id:int -> channel
 
 val id : channel -> int
 
-val submit : channel -> (unit -> unit) -> ticket
+val set_event_ring : channel -> Emsc_obs.Events.ring -> unit
+(** Attach an event ring (a DMA lane in the merged trace).  Set it
+    before the first [submit]; the channel's own domain is the ring's
+    only writer. *)
+
+val submit :
+  ?event:(unit -> Emsc_obs.Events.data) -> channel -> (unit -> unit) -> ticket
+(** [event], when given and a ring is attached and events are enabled,
+    is evaluated on the channel domain after the job runs — its result
+    is recorded spanning the job's execution, and may read state the
+    job produced (e.g. the words it moved). *)
 
 val await : ticket -> unit
 (** Block until the job has run; re-raise its exception, if any. *)

@@ -1,6 +1,7 @@
 open Emsc_arith
 open Emsc_codegen
 open Emsc_machine
+module Ev = Emsc_obs.Events
 
 type policy = Static | Work_stealing
 
@@ -276,9 +277,17 @@ type rt = {
   totals : Exec.counters;
   run_dma : dma_acc;
   chan_stats : chan_stat array;
+  ev : Ev.ring array option;
+      (* per-worker exec rings; [None] when events are disabled, so
+         the hot path tests one option and allocates nothing *)
+  mutable launch_seq : int;
   mutable launches : Exec.launch list;
   mutable blocks_run : int;
 }
+
+let ev_ring rt w = match rt.ev with Some a -> Some a.(w) | None -> None
+
+let sum_words moved = List.fold_left (fun a (_, w) -> a +. w) 0.0 moved
 
 let block_hook rt tracker i =
   match (tracker, rt.user_hook) with
@@ -296,8 +305,19 @@ let block_hook rt tracker i =
         | Some tr -> tracker_record tr i arr addr kind
         | None -> ())
 
-let acquire_arena rt =
-  match Arena.acquire rt.apool ~words:rt.cfg.block_words with
+let acquire_arena ?er rt =
+  let res =
+    match er with
+    | Some r when Ev.enabled () ->
+      (* records the wait for pool capacity; ~0-length when the pool
+         has room immediately *)
+      let t0 = Ev.now () in
+      let res = Arena.acquire rt.apool ~words:rt.cfg.block_words in
+      Ev.emit r ~t0 (Ev.Idle `Arena);
+      res
+    | _ -> Arena.acquire rt.apool ~words:rt.cfg.block_words
+  in
+  match res with
   | Ok a -> a
   | Error e -> raise (Runtime_error (Arena.error_message e))
 
@@ -315,6 +335,7 @@ let merge_outcomes (a : Exec.block_outcome option)
   (counters, acc_dma acc)
 
 type launch_slots = {
+  launch_id : int;  (* tags events so the report can group by launch *)
   tasks : ((string * Zint.t) list * Ast.stm list) array;
   host_bindings : (string * Zint.t) list;  (* outer-first *)
   in_slots : Exec.block_outcome option array;
@@ -337,20 +358,43 @@ let run_phase rt st hook i ~memory phase =
 (* simple path: the whole block body runs on the worker *)
 let exec_task_plain rt st hook w i =
   let _, body = st.tasks.(i) in
-  let arena = acquire_arena rt in
+  let er = ev_ring rt w in
+  let arena = acquire_arena ?er rt in
   Fun.protect ~finally:(fun () -> Arena.release arena) @@ fun () ->
-  st.core_slots.(i) <- Some (run_phase rt st hook i ~memory:(Arena.memory arena) body);
+  (match er with
+   | Some r when Ev.enabled () ->
+     let t0 = Ev.now () in
+     st.core_slots.(i) <-
+       Some (run_phase rt st hook i ~memory:(Arena.memory arena) body);
+     Ev.emit r ~t0
+       (Ev.Block { launch = st.launch_id; block = i; phase = Ev.Whole })
+   | _ ->
+     st.core_slots.(i) <-
+       Some (run_phase rt st hook i ~memory:(Arena.memory arena) body));
   st.chan_of.(i) <- w
 
 (* double-buffered path: the worker's DMA channel carries the move
    phases; block j+1's move-in is staged while block j computes *)
 let exec_tasks_pipelined rt st hook (ins, core, outs) w next_task =
   let chan = rt.channels.(w) in
+  let er = ev_ring rt w in
+  let events_on = rt.ev <> None in
   let stage i arena =
+    let run () =
+      st.in_slots.(i) <-
+        Some (run_phase rt st hook i ~memory:(Arena.memory arena) ins)
+    in
     let t =
-      Dma.submit chan (fun () ->
-        st.in_slots.(i) <-
-          Some (run_phase rt st hook i ~memory:(Arena.memory arena) ins))
+      if events_on then
+        Dma.submit chan run ~event:(fun () ->
+          let words =
+            match st.in_slots.(i) with
+            | Some o -> sum_words o.Exec.b_dma.Exec.moved_in
+            | None -> 0.0
+          in
+          Ev.Dma_transfer
+            { launch = st.launch_id; block = i; dir = `In; words })
+      else Dma.submit chan run
     in
     (i, arena, t)
   in
@@ -365,25 +409,49 @@ let exec_tasks_pipelined rt st hook (ins, core, outs) w next_task =
         | Some a -> Some (`Staged (stage j a))
         | None -> Some (`Plain j))
     in
-    Dma.await tin;
-    st.core_slots.(i) <-
-      Some (run_phase rt st hook i ~memory:(Arena.memory arena) core);
+    (match er with
+     | Some r when Ev.enabled () ->
+       let t0 = Ev.now () in
+       Dma.await tin;
+       Ev.emit r ~t0 (Ev.Dma_wait { launch = st.launch_id; block = i })
+     | _ -> Dma.await tin);
+    (match er with
+     | Some r when Ev.enabled () ->
+       let t0 = Ev.now () in
+       st.core_slots.(i) <-
+         Some (run_phase rt st hook i ~memory:(Arena.memory arena) core);
+       Ev.emit r ~t0
+         (Ev.Block { launch = st.launch_id; block = i; phase = Ev.Compute })
+     | _ ->
+       st.core_slots.(i) <-
+         Some (run_phase rt st hook i ~memory:(Arena.memory arena) core));
     st.chan_of.(i) <- w;
+    let run_out () =
+      Fun.protect ~finally:(fun () -> Arena.release arena) @@ fun () ->
+      st.out_slots.(i) <-
+        Some (run_phase rt st hook i ~memory:(Arena.memory arena) outs)
+    in
     let tout =
-      Dma.submit chan (fun () ->
-        Fun.protect ~finally:(fun () -> Arena.release arena) @@ fun () ->
-        st.out_slots.(i) <-
-          Some (run_phase rt st hook i ~memory:(Arena.memory arena) outs))
+      if events_on then
+        Dma.submit chan run_out ~event:(fun () ->
+          let words =
+            match st.out_slots.(i) with
+            | Some o -> sum_words o.Exec.b_dma.Exec.moved_out
+            | None -> 0.0
+          in
+          Ev.Dma_transfer
+            { launch = st.launch_id; block = i; dir = `Out; words })
+      else Dma.submit chan run_out
     in
     out_tickets := tout :: !out_tickets;
     match next with
     | Some (`Staged s) -> go s
-    | Some (`Plain j) -> go (stage j (acquire_arena rt))
+    | Some (`Plain j) -> go (stage j (acquire_arena ?er rt))
     | None -> ()
   in
   (match next_task () with
    | None -> ()
-   | Some i -> go (stage i (acquire_arena rt)));
+   | Some i -> go (stage i (acquire_arena ?er rt)));
   List.iter Dma.await !out_tickets
 
 let exec_launch rt host_bindings (l : Ast.loop) =
@@ -409,8 +477,10 @@ let exec_launch rt host_bindings (l : Ast.loop) =
                | Static -> "static"
                | Work_stealing -> "work-stealing") ) ]
     @@ fun () ->
+    let launch_id = rt.launch_seq in
+    rt.launch_seq <- launch_id + 1;
     let st =
-      { tasks; host_bindings = List.rev host_bindings;
+      { launch_id; tasks; host_bindings = List.rev host_bindings;
         in_slots = Array.make n None; core_slots = Array.make n None;
         out_slots = Array.make n None; chan_of = Array.make n 0 }
     in
@@ -447,12 +517,25 @@ let exec_launch rt host_bindings (l : Ast.loop) =
           match Deque.next deques.(w) with
           | Some i -> Some i
           | None ->
+            let record victim ok =
+              match ev_ring rt w with
+              | Some r when Ev.enabled () ->
+                let t = Ev.now () in
+                Ev.emit r ~t0:t ~t1:t (Ev.Steal { victim; ok })
+              | _ -> ()
+            in
             let rec scan k =
               if k = jobs then None
-              else
-                match Deque.steal deques.((w + k) mod jobs) with
-                | Some i -> Some i
-                | None -> scan (k + 1)
+              else begin
+                let victim = (w + k) mod jobs in
+                match Deque.steal deques.(victim) with
+                | Some i ->
+                  record victim true;
+                  Some i
+                | None ->
+                  record victim false;
+                  scan (k + 1)
+              end
             in
             scan 1
     in
@@ -601,15 +684,34 @@ let run ~prog ?local_ref ~param_env ~memory ?on_global
       Array.init cfg.jobs (fun i -> Dma.create ~id:i)
     else [||]
   in
+  let ev =
+    if Ev.enabled () then begin
+      (* one exec track per worker, one DMA lane per channel, one
+         arena-occupancy track; registered up front so the hot path
+         only indexes arrays *)
+      Array.iter
+        (fun ch ->
+          Dma.set_event_ring ch
+            (Ev.ring ~kind:Ev.Dma_track
+               ("dma" ^ string_of_int (Dma.id ch))))
+        channels;
+      Arena.set_event_ring apool (Ev.ring ~kind:Ev.Arena_track "arena");
+      Some
+        (Array.init cfg.jobs (fun i ->
+           Ev.ring ~kind:Ev.Exec_track ("worker" ^ string_of_int i)))
+    end
+    else None
+  in
   let rt =
     { cfg; session; param_env; memory; apool; wpool; channels;
-      collect_dma = Emsc_obs.Metrics.enabled (); user_hook = on_global;
+      collect_dma = Emsc_obs.Metrics.enabled () || Ev.enabled ();
+      user_hook = on_global;
       hook_m = Mutex.create (); totals = Exec.fresh ();
       run_dma = fresh_acc ();
       chan_stats =
         Array.init cfg.jobs (fun _ ->
           { in_words = 0.; out_words = 0.; transfers = 0. });
-      launches = []; blocks_run = 0 }
+      ev; launch_seq = 0; launches = []; blocks_run = 0 }
   in
   Fun.protect
     ~finally:(fun () ->

@@ -364,6 +364,85 @@ let test_metrics_diff () =
       checkb "hist delta buckets" true (buckets = [ (2, 1) ])
     | _ -> Alcotest.fail "h missing from diff")
 
+(* the registry is shared mutable state behind one mutex: four domains
+   hammering the same cells must lose no update — the totals are exact,
+   not approximate *)
+let test_metrics_parallel () =
+  with_metrics (fun () ->
+    let domains = 4 and iters = 5000 in
+    let workers =
+      List.init domains (fun d ->
+        Domain.spawn (fun () ->
+          for i = 1 to iters do
+            Metrics.counter "par.c" 1.0;
+            Metrics.gauge_max "par.m" (float_of_int ((d * iters) + i));
+            Metrics.observe "par.h" 1.0
+          done))
+    in
+    List.iter Domain.join workers;
+    let snap = Metrics.snapshot () in
+    check (Alcotest.float 0.0) "exact counter total"
+      (float_of_int (domains * iters))
+      (Metrics.counter_value snap "par.c");
+    checkb "gauge_max saw the global max" true
+      (Metrics.find snap "par.m"
+       = Some (Metrics.Gauge (float_of_int (domains * iters))));
+    match Metrics.find snap "par.h" with
+    | Some (Metrics.Histogram { count; sum; _ }) ->
+      Alcotest.(check int) "exact histogram count" (domains * iters) count;
+      check (Alcotest.float 0.0) "exact histogram sum"
+        (float_of_int (domains * iters))
+        sum
+    | _ -> Alcotest.fail "par.h is not a histogram")
+
+(* spans opened on different domains keep their own stacks (so nesting
+   is per-domain) while completed roots and counter totals merge; every
+   span must survive the concurrent root attach *)
+let test_trace_parallel () =
+  Trace.reset ();
+  Trace.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.disable ();
+      Trace.reset ())
+    (fun () ->
+      let domains = 4 and iters = 200 in
+      let workers =
+        List.init domains (fun _ ->
+          Domain.spawn (fun () ->
+            for _ = 1 to iters do
+              Trace.span "outer" (fun () ->
+                Trace.count "items" 1.0;
+                Trace.span "inner" (fun () -> ()))
+            done))
+      in
+      List.iter Domain.join workers;
+      let roots = Trace.roots () in
+      Alcotest.(check int) "every span became a root" (domains * iters)
+        (List.length roots);
+      List.iter (fun (n : Trace.node) ->
+        checks "root name" "outer" n.Trace.name;
+        Alcotest.(check int) "nested child stayed on its domain" 1
+          (List.length n.Trace.children))
+        roots;
+      (* roots come back sorted by start time for the Chrome export *)
+      let rec sorted = function
+        | a :: (b :: _ as rest) ->
+          a.Trace.start_s <= b.Trace.start_s && sorted rest
+        | _ -> true
+      in
+      checkb "roots in start order" true (sorted roots);
+      let find n =
+        List.find (fun (a : Trace.agg) -> a.Trace.agg_name = n)
+          (Trace.aggregate ())
+      in
+      Alcotest.(check int) "outer calls" (domains * iters) (find "outer").Trace.calls;
+      Alcotest.(check int) "inner calls" (domains * iters) (find "inner").Trace.calls;
+      check (Alcotest.list (Alcotest.pair Alcotest.string (Alcotest.float 0.0)))
+        "exact counter total"
+        [ ("items", float_of_int (domains * iters)) ]
+        (find "outer").Trace.agg_counters)
+
 (* ------------------------------------------------------------------ *)
 (* Metric records                                                      *)
 (* ------------------------------------------------------------------ *)
@@ -445,7 +524,8 @@ let () =
           Alcotest.test_case "disabled+errors" `Quick
             test_span_disabled_and_errors;
           Alcotest.test_case "chrome-json" `Quick test_chrome_json;
-          Alcotest.test_case "aggregate-errors" `Quick test_aggregate_errors ]
+          Alcotest.test_case "aggregate-errors" `Quick test_aggregate_errors;
+          Alcotest.test_case "parallel-emission" `Quick test_trace_parallel ]
       );
       ( "log",
         [ Alcotest.test_case "ndjson-flush" `Quick test_ndjson_flush ] );
@@ -453,6 +533,7 @@ let () =
         [ Alcotest.test_case "counters-json" `Quick test_counters_json;
           Alcotest.test_case "disabled-empty" `Quick test_metrics_disabled;
           Alcotest.test_case "updates" `Quick test_metrics_updates;
-          Alcotest.test_case "diff" `Quick test_metrics_diff ] );
+          Alcotest.test_case "diff" `Quick test_metrics_diff;
+          Alcotest.test_case "4-domain hammer" `Quick test_metrics_parallel ] );
       ( "explain",
         [ Alcotest.test_case "matmul" `Quick test_explain_matmul ] ) ]

@@ -268,6 +268,60 @@ let test_double_buffer_capacity_regression () =
   Alcotest.(check int) "exceeds double-buffered" 1
     (List.length (capacity_violations ~double_buffer:true))
 
+(* --- runtime events integration ------------------------------------------ *)
+
+module Ev = Emsc_obs.Events
+module Rr = Emsc_obs.Runtime_report
+
+(* instrumentation must be observationally free: an events-on pipelined
+   run stays bit-identical to sequential, and the report it yields is
+   internally consistent (every block accounted for, measured overlap
+   within the model bound) *)
+let test_events_on_bit_identical_with_report () =
+  let c = compiled (Emsc_kernels.Matmul.job ~n:32 ()) in
+  let seq = simulate_seq c in
+  let par, report =
+    Runner.with_runtime_report (fun () ->
+      simulate_par ~double_buffer:true ~jobs:3 c)
+  in
+  check_same c.Pipeline.prog seq par;
+  match report with
+  | None -> Alcotest.fail "instrumented parallel run produced no report"
+  | Some r ->
+    Alcotest.(check int) "one stat per worker domain" 3
+      (List.length r.Rr.domains);
+    let blocks =
+      List.fold_left (fun a d -> a + d.Rr.d_blocks) 0 r.Rr.domains
+    in
+    let _, r_par = par in
+    let grid_blocks =
+      List.fold_left
+        (fun a (l : Exec.launch) -> a + int_of_float l.Exec.grid)
+        0 r_par.Exec.launches
+    in
+    Alcotest.(check int) "every block left a compute event" grid_blocks
+      blocks;
+    Alcotest.(check bool) "staged words were counted" true
+      (r.Rr.dma_words > 0.0);
+    Alcotest.(check bool) "window covers the busy time" true
+      (r.Rr.window_s > 0.0 && r.Rr.compute_busy_s <= r.Rr.window_s *. 3.0);
+    Alcotest.(check bool) "critical path within the window" true
+      (r.Rr.critical_path_s <= r.Rr.window_s +. 1e-9);
+    (* the acceptance gate: achieved overlap never exceeds the bound *)
+    let a = Emsc_audit.Overlap.audit ~double_buffer:true r in
+    Alcotest.(check bool) "overlap audit not failing" true
+      (Emsc_audit.Overlap.ok a)
+
+(* with recording off, the backend registers no rings at all — the
+   plain (uninstrumented) path runs and nothing is drainable *)
+let test_events_off_leaves_no_tracks () =
+  Ev.reset ();
+  Alcotest.(check bool) "events disabled" false (Ev.enabled ());
+  let c = compiled (Emsc_kernels.Matmul.job ~n:16 ()) in
+  let seq = simulate_seq c in
+  check_same c.Pipeline.prog seq (simulate_par ~double_buffer:true ~jobs:2 c);
+  Alcotest.(check int) "no tracks recorded" 0 (List.length (Ev.drain ()))
+
 (* --- oracle backend plumbing --------------------------------------------- *)
 
 let test_oracle_parallel_backend () =
@@ -311,6 +365,11 @@ let () =
             test_effective_smem_helpers;
           Alcotest.test_case "double-buffer regression" `Quick
             test_double_buffer_capacity_regression ] );
+      ( "events",
+        [ Alcotest.test_case "on: bit-identical + report" `Quick
+            test_events_on_bit_identical_with_report;
+          Alcotest.test_case "off: no tracks" `Quick
+            test_events_off_leaves_no_tracks ] );
       ( "oracle",
         [ Alcotest.test_case "parallel backend" `Quick
             test_oracle_parallel_backend ] ) ]
