@@ -224,11 +224,24 @@ let runtime_report_json ?model ~double_buffer (r : Runtime_report.t) =
     Json.Obj (fields @ [ ("overlap_audit", Emsc_audit.Overlap.json audit) ])
   | j -> j
 
-let gpu_config = Emsc_machine.Config.gtx8800
+(* --- machine-model selection -------------------------------------------- *)
 
-let capacity_words =
-  gpu_config.Emsc_machine.Config.smem_bytes
-  / gpu_config.Emsc_machine.Config.word_bytes
+let machine_arg =
+  Arg.(value & opt string "gtx8800"
+       & info [ "machine" ] ~docv:"NAME|FILE"
+           ~doc:"Machine model: a built-in hierarchy name (gtx8800, \
+                 gtx8800_3level, core2duo_cache_as_scratchpad) or the \
+                 path of an emsc-machine/1 JSON description.")
+
+let resolve_machine spec =
+  match Emsc_machine.Hierarchy.load spec with
+  | Ok h -> h
+  | Error msg ->
+    Printf.eprintf "emsc: --machine: %s\n" msg;
+    exit 1
+
+let capacity_words_of hier =
+  Emsc_machine.Hierarchy.staging_capacity_words hier
 
 let plan_of c =
   match c.Pipeline.plan with
@@ -237,9 +250,11 @@ let plan_of c =
                   stage = "plan"; message = "pipeline produced no plan" }
 
 let analyze_cmd =
-  let run file arch merge delta optimize_movement json trace no_cache
+  let run file machine arch merge delta optimize_movement json trace no_cache
       cache_dir out =
     with_trace trace @@ fun () ->
+    let hier = resolve_machine machine in
+    let capacity_words = capacity_words_of hier in
     let cache = cache_of no_cache cache_dir in
     let options =
       { Options.default with
@@ -266,7 +281,9 @@ let analyze_cmd =
       emit_json out
         (Json.Obj
            (fields
-            @ [ ("pipeline", Pipeline.report_json c);
+            @ [ ("machine",
+                 Json.Str (Emsc_machine.Hierarchy.name hier));
+                ("pipeline", Pipeline.report_json c);
                 ("metrics", Metrics.snapshot_json metrics) ]))
     else begin
       Format.printf "%a@." Plan.pp plan;
@@ -287,9 +304,9 @@ let analyze_cmd =
     end
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Data-management plan for a program block")
-    Term.(const run $ file_arg $ arch_arg $ merge_arg $ delta_arg
-          $ optmove_arg $ json_arg $ trace_arg $ nocache_arg $ cachedir_arg
-          $ out_arg)
+    Term.(const run $ file_arg $ machine_arg $ arch_arg $ merge_arg
+          $ delta_arg $ optmove_arg $ json_arg $ trace_arg $ nocache_arg
+          $ cachedir_arg $ out_arg)
 
 let deps_cmd =
   let run file no_cache cache_dir =
@@ -368,8 +385,9 @@ let run_cmd =
       Printf.printf "checksum %-10s = %.6f\n" d.Prog.array_name sum)
       p.Prog.arrays
   in
-  let run file params backend jobs policy double_buffer runtime block mem
-      thread =
+  let run file machine params backend jobs policy double_buffer runtime block
+      mem thread =
+    let hier = resolve_machine machine in
     let backend = if runtime then `Parallel else backend in
     match backend with
     | `Seq ->
@@ -417,7 +435,7 @@ let run_cmd =
            Runner.simulate ~memory:Runner.Pseudorandom
              ~param_env:(cli_env params)
              ~backend:(backend_of `Parallel jobs) ~policy ~double_buffer
-             ~track_ownership:true c
+             ~track_ownership:true ~hierarchy:hier c
          in
          let (m, result), report =
            if runtime then Runner.with_runtime_report simulate
@@ -442,15 +460,17 @@ let run_cmd =
        ~doc:"Execute on the reference interpreter, or — with --backend \
              parallel and tile sizes — block-parallel on the simulated \
              machine (bit-identical checksums)")
-    Term.(const run $ file_arg $ param_args $ backend_arg $ exec_jobs_arg
-          $ policy_arg $ double_buffer_arg $ runtime_flag $ block_arg
-          $ mem_arg $ thread_arg)
+    Term.(const run $ file_arg $ machine_arg $ param_args $ backend_arg
+          $ exec_jobs_arg $ policy_arg $ double_buffer_arg $ runtime_flag
+          $ block_arg $ mem_arg $ thread_arg)
 
 (* --- emsc profile ------------------------------------------------------- *)
 
-let gpu_profile ~cache ~name ~prog ~arch ~merge ~delta ~optimize_movement
-    ~spec ~threads ~global_sync ~backend ~jobs ~policy ~double_buffer
-    ~runtime =
+let gpu_profile ~cache ~name ~prog ~hier ~arch ~merge ~delta
+    ~optimize_movement ~spec ~threads ~global_sync ~backend ~jobs ~policy
+    ~double_buffer ~runtime =
+  let gpu_config = Emsc_machine.Hierarchy.to_gpu_exn hier in
+  let capacity_words = capacity_words_of hier in
   let options =
     { Options.default with
       arch; merge_per_array = merge; delta; optimize_movement;
@@ -467,11 +487,42 @@ let gpu_profile ~cache ~name ~prog ~arch ~merge ~delta ~optimize_movement
     | `Seq -> Runner.simulate c
     | `Parallel ->
       Runner.simulate ~memory:Runner.Pseudorandom
-        ~backend:(backend_of `Parallel jobs) ~policy ~double_buffer c
+        ~backend:(backend_of `Parallel jobs) ~policy ~double_buffer
+        ~hierarchy:hier c
   in
+  (* the metrics registry counts per-buffer DMA words during the run;
+     the per-edge movement report below aggregates them over the
+     placement *)
+  let metrics_were_on = Metrics.enabled () in
+  Metrics.enable ();
+  let snap0 = Metrics.snapshot () in
   let (_, result), report =
     if runtime then Runner.with_runtime_report simulate
     else (simulate (), None)
+  in
+  let measured = Metrics.diff snap0 (Metrics.snapshot ()) in
+  if not metrics_were_on then Metrics.disable ();
+  let hierarchy_json =
+    let module H = Emsc_machine.Hierarchy in
+    let module P = Emsc_machine.Placement in
+    if plan.Plan.buffered = [] then
+      Json.Obj [ ("machine", Json.Str (H.name hier)) ]
+    else begin
+      let placement = P.of_plan ~double_buffer hier plan Runner.zero_env in
+      let moved (p : P.placed) =
+        let labels = [ ("buffer", p.P.p_buffer) ] in
+        int_of_float
+          (Metrics.counter_value ~labels measured "exec.move_in_words"
+           +. Metrics.counter_value ~labels measured "exec.move_out_words")
+      in
+      let edges = P.edge_totals hier placement ~words_of:moved in
+      Json.Obj
+        [ ("machine", Json.Str (H.name hier));
+          ("placement", P.to_json placement);
+          ( "level_movement",
+            Json.Obj
+              (List.map (fun (e, w) -> (e, Json.Int w)) edges) ) ]
+    end
   in
   let word_bytes = gpu_config.Emsc_machine.Config.word_bytes in
   let smem_bytes =
@@ -496,6 +547,7 @@ let gpu_profile ~cache ~name ~prog ~arch ~merge ~delta ~optimize_movement
          | `Parallel -> Printf.sprintf "parallel-j%d" (max 1 jobs)) );
     ("plan", Plan.explain_json ~capacity_words plan);
     ("profile", Emsc_machine.Timing.profile_json gpu_config gp result);
+    ("hierarchy", hierarchy_json);
     ("pipeline", Pipeline.report_json c) ]
   @
   match report with
@@ -510,30 +562,34 @@ let gpu_profile ~cache ~name ~prog ~arch ~merge ~delta ~optimize_movement
     [ ("runtime_report", runtime_report_json ?model ~double_buffer r) ]
   | None -> []
 
-let cpu_profile p ~params =
+let cpu_profile ?(hier = Emsc_machine.Hierarchy.core2duo_cache_as_scratchpad)
+    p ~params =
   let env = cli_env params in
-  let cpu = Emsc_machine.Config.core2duo in
-  let h = Emsc_machine.Cache.Hierarchy.create cpu in
-  let on_global _ addr _ =
-    ignore (Emsc_machine.Cache.Hierarchy.access h addr)
-  in
+  let module Sim = Emsc_machine.Cache.Sim in
+  let sim = Sim.create hier in
+  let on_global _ addr _ = ignore (Sim.access sim addr) in
   let _, c =
     Runner.reference ~memory:Runner.Pseudorandom ~param_env:env ~on_global p
   in
+  let hits = Sim.hits sim in
+  let names = Sim.level_names sim in
+  let home_accesses = Sim.home_accesses sim in
   let cpu_ms =
-    Emsc_machine.Timing.cpu_total_ms cpu ~flops:c.Emsc_machine.Exec.flops
-      ~l1_hits:(Emsc_machine.Cache.Hierarchy.l1_hits h)
-      ~l2_hits:(Emsc_machine.Cache.Hierarchy.l2_hits h)
-      ~mem_accesses:(Emsc_machine.Cache.Hierarchy.mem_accesses h)
+    Emsc_machine.Timing.cache_total_ms hier
+      ~flops:c.Emsc_machine.Exec.flops ~hits ~home_accesses
+  in
+  (* per-level keys: "<level>_hits" for each simulated cache level,
+     "<home>_accesses" for the home — "l1_hits"/"l2_hits"/
+     "mem_accesses" on the default core2duo hierarchy, as before *)
+  let cache_fields =
+    Array.to_list
+      (Array.mapi (fun i n -> (n ^ "_hits", Json.Float hits.(i))) names)
+    @ [ (Sim.home_name sim ^ "_accesses", Json.Float home_accesses) ]
   in
   [ ("mode", Json.Str "cpu-reference");
+    ("machine", Json.Str (Emsc_machine.Hierarchy.name hier));
     ("totals", Emsc_machine.Exec.counters_json c);
-    ( "cache",
-      Json.Obj
-        [ ("l1_hits", Json.Float (Emsc_machine.Cache.Hierarchy.l1_hits h));
-          ("l2_hits", Json.Float (Emsc_machine.Cache.Hierarchy.l2_hits h));
-          ( "mem_accesses",
-            Json.Float (Emsc_machine.Cache.Hierarchy.mem_accesses h) ) ] );
+    ("cache", Json.Obj cache_fields);
     ("cpu_ms", Json.Float cpu_ms) ]
 
 let profile_cmd =
@@ -546,10 +602,11 @@ let profile_cmd =
          & info [ "global-sync" ]
              ~doc:"Charge a cross-block synchronization per launch.")
   in
-  let run file arch merge delta optimize_movement block mem thread threads
-      global_sync backend jobs policy double_buffer runtime params trace
-      no_cache cache_dir out =
+  let run file machine arch merge delta optimize_movement block mem thread
+      threads global_sync backend jobs policy double_buffer runtime params
+      trace no_cache cache_dir out =
     with_trace trace @@ fun () ->
+    let hier = resolve_machine machine in
     let cache = cache_of no_cache cache_dir in
     let p, _digest = ok_or_die (Frontend.load (Source.file file)) in
     let block = parse_tile_list block
@@ -576,7 +633,7 @@ let profile_cmd =
             if tiled then spec_of_lists ~depth:s.Prog.depth ~block ~mem ~thread
             else default_runtime_spec ~depth:s.Prog.depth
           in
-          gpu_profile ~cache ~name:file ~prog:p ~arch ~merge ~delta
+          gpu_profile ~cache ~name:file ~prog:p ~hier ~arch ~merge ~delta
             ~optimize_movement ~spec ~threads ~global_sync ~backend ~jobs
             ~policy ~double_buffer ~runtime
         | _ ->
@@ -584,7 +641,12 @@ let profile_cmd =
             "profile: tiling flags need a single-statement program\n";
           exit 1
       end
-      else cpu_profile p ~params
+      else if machine = "gtx8800" then
+        (* untiled profile replays on the cache-simulated CPU; the GPU
+           default machine has no cache levels, so keep the legacy
+           core2duo model unless the user picked one explicitly *)
+        cpu_profile p ~params
+      else cpu_profile ~hier p ~params
     in
     let fields =
       if Trace.enabled () then
@@ -598,11 +660,11 @@ let profile_cmd =
        ~doc:"Execute on the simulated machine and report machine-readable \
              metrics: per-launch counters, occupancy, and the \
              compute/bandwidth/latency timing breakdown")
-    Term.(const run $ file_arg $ arch_arg $ merge_arg $ delta_arg
-          $ optmove_arg $ block_arg $ mem_arg $ thread_arg $ threads_arg
-          $ globalsync_arg $ backend_arg $ exec_jobs_arg $ policy_arg
-          $ double_buffer_arg $ runtime_flag $ param_args $ trace_arg
-          $ nocache_arg $ cachedir_arg $ out_arg)
+    Term.(const run $ file_arg $ machine_arg $ arch_arg $ merge_arg
+          $ delta_arg $ optmove_arg $ block_arg $ mem_arg $ thread_arg
+          $ threads_arg $ globalsync_arg $ backend_arg $ exec_jobs_arg
+          $ policy_arg $ double_buffer_arg $ runtime_flag $ param_args
+          $ trace_arg $ nocache_arg $ cachedir_arg $ out_arg)
 
 (* --- emsc check --------------------------------------------------------- *)
 
@@ -617,14 +679,15 @@ let check_cmd =
          & info [ "seed" ] ~docv:"S"
              ~doc:"Seed of the program generator (same seed, same programs).")
   in
-  let run fuzz seed backend jobs json trace out =
+  let run fuzz seed machine backend jobs json trace out =
     with_trace trace @@ fun () ->
+    let hier = resolve_machine machine in
     let progress =
       if json then fun _ -> () else fun m -> Printf.eprintf "emsc check: %s\n%!" m
     in
     let report =
       Emsc_check.Fuzz.run ~backend:(backend_of backend jobs) ~fuzz ~seed
-        ~capacity_words ~progress ()
+        ~capacity_words:(capacity_words_of hier) ~hierarchy:hier ~progress ()
     in
     if json then emit_json out (Emsc_check.Fuzz.report_json report)
     else Format.printf "%a@." Emsc_check.Fuzz.pp_report report;
@@ -643,8 +706,8 @@ let check_cmd =
              ownership tracker armed and requires counter totals \
              bit-identical to sequential execution.  Exits 1 on any \
              failure.")
-    Term.(const run $ fuzz_arg $ seed_arg $ backend_arg $ exec_jobs_arg
-          $ json_arg $ trace_arg $ out_arg)
+    Term.(const run $ fuzz_arg $ seed_arg $ machine_arg $ backend_arg
+          $ exec_jobs_arg $ json_arg $ trace_arg $ out_arg)
 
 (* --- emsc compile ------------------------------------------------------- *)
 
@@ -741,9 +804,10 @@ let audit_cmd =
     Arg.(value & flag
          & info [ "suite" ] ~doc:"Also audit the built-in kernel suite.")
   in
-  let run files suite tolerance arch merge delta optimize_movement params
-      json trace no_cache cache_dir out =
+  let run files suite tolerance machine arch merge delta optimize_movement
+      params json trace no_cache cache_dir out =
     with_trace trace @@ fun () ->
+    let hier = resolve_machine machine in
     if files = [] && not suite then begin
       Printf.eprintf "audit: give FILE arguments or --suite\n";
       exit 1
@@ -767,7 +831,9 @@ let audit_cmd =
     in
     let results =
       List.map (fun (name, job) ->
-        (name, Emsc_audit.Audit.audit_job ~cache ~tolerance ~param_env job))
+        (name,
+         Emsc_audit.Audit.audit_job ~cache ~tolerance ~hierarchy:hier
+           ~param_env job))
         (file_jobs @ suite_jobs)
     in
     let all_ok =
@@ -798,9 +864,9 @@ let audit_cmd =
              counter totals, timing-model terms) against the measured \
              telemetry.  Exits 1 when a compilation fails or drift \
              exceeds the tolerance.")
-    Term.(const run $ files_arg $ suite_arg $ tolerance_arg $ arch_arg
-          $ merge_arg $ delta_arg $ optmove_arg $ param_args $ json_arg
-          $ trace_arg $ nocache_arg $ cachedir_arg $ out_arg)
+    Term.(const run $ files_arg $ suite_arg $ tolerance_arg $ machine_arg
+          $ arch_arg $ merge_arg $ delta_arg $ optmove_arg $ param_args
+          $ json_arg $ trace_arg $ nocache_arg $ cachedir_arg $ out_arg)
 
 (* --- emsc bench-compare ------------------------------------------------- *)
 

@@ -22,13 +22,22 @@ type group = {
   g_unknown : string list;
 }
 
+type edge_group = {
+  e_edge : string;
+  e_quantities : quantity list;
+  e_unknown : string list;
+}
+
 type verdict = Pass | Warn | Fail
 
 type t = {
   a_source : string;
   a_tiled : bool;
   a_tolerance : float;
+  a_machine : string;
   a_groups : group list;
+  a_placement : Placement.t option;
+  a_edges : edge_group list;
   a_program : quantity list;
   a_timing : quantity list;
   a_unknown : string list;
@@ -281,8 +290,67 @@ let zeroed_sync (src : Exec.counters) =
   c.Exec.s_st <- src.Exec.s_st;
   c
 
+(* Per-edge movement accounting: a buffer placed at level i is staged
+   across every edge between i and the home, so each edge's totals are
+   the sums over the buffers at or inside its inner level.  These
+   aggregates are reported (and benched) but deliberately kept out of
+   the verdict: the per-buffer quantities already gate soundness, and
+   an aggregate is just their weighted combination. *)
+let audit_edges c plan env m hierarchy ~double_buffer =
+  let placement = Placement.of_plan ~double_buffer hierarchy plan env in
+  let buf_level (b : Plan.buffered) =
+    match Placement.find placement b.Plan.buffer.Alloc.local_name with
+    | Some p -> Some p.Placement.p_level_index
+    | None -> None  (* symbolic footprint: not placed *)
+  in
+  let edge_groups =
+    List.mapi
+      (fun j e ->
+        let crossing =
+          List.filter
+            (fun b -> match buf_level b with Some i -> i <= j | None -> false)
+            plan.Plan.buffered
+        in
+        let unplaced =
+          List.filter_map
+            (fun (b : Plan.buffered) ->
+              if buf_level b = None then
+                Some b.Plan.buffer.Alloc.local_name
+              else None)
+            plan.Plan.buffered
+        in
+        let quantities = ref [] and unknown = ref unplaced in
+        let direction q_name kind counter =
+          let measured =
+            List.fold_left
+              (fun acc (b : Plan.buffered) ->
+                acc
+                +. Metrics.counter_value
+                     ~labels:
+                       [ ("buffer", b.Plan.buffer.Alloc.local_name) ]
+                     m counter)
+              0.0 crossing
+          in
+          match
+            sum_known
+              (List.map (fun b -> predict_movement c plan env b kind)
+                 crossing)
+          with
+          | Some p -> quantities := quantity q_name p measured :: !quantities
+          | None -> unknown := q_name :: !unknown
+        in
+        direction "move_in_words" `Read "exec.move_in_words";
+        direction "move_out_words" `Write "exec.move_out_words";
+        { e_edge = Hierarchy.edge_name e;
+          e_quantities = List.rev !quantities;
+          e_unknown = List.rev !unknown })
+      (Hierarchy.edges hierarchy)
+  in
+  (placement, edge_groups)
+
 let audit_compiled ?(tolerance = default_tolerance) ?(double_buffer = false)
-    ?(param_env = Runner.zero_env) (c : Pipeline.compiled) =
+    ?(hierarchy = Hierarchy.gtx8800) ?(param_env = Runner.zero_env)
+    (c : Pipeline.compiled) =
   match c.Pipeline.plan with
   | None -> Skipped "pipeline stops before planning"
   | Some plan ->
@@ -312,6 +380,12 @@ let audit_compiled ?(tolerance = default_tolerance) ?(double_buffer = false)
            List.map (audit_group c plan env m mem) plan.Plan.buffered
          else []
        in
+       let placement, edges =
+         if staging && plan.Plan.buffered <> [] then
+           let p, e = audit_edges c plan env m hierarchy ~double_buffer in
+           (Some p, e)
+         else (None, [])
+       in
        let pred_in =
          if staging then
            sum_known
@@ -339,7 +413,8 @@ let audit_compiled ?(tolerance = default_tolerance) ?(double_buffer = false)
                quantity "global_words" g_pred (Exec.total_global totals);
                quantity "smem_words" s_pred (Exec.total_smem totals) ]
            in
-           let word_bytes = Config.gtx8800.Config.word_bytes in
+           let gpu = Hierarchy.to_gpu_exn hierarchy in
+           let word_bytes = gpu.Config.word_bytes in
            let smem_bytes =
              match
                Timing.plan_smem_bytes ~double_buffer ~word_bytes plan env
@@ -356,7 +431,7 @@ let audit_compiled ?(tolerance = default_tolerance) ?(double_buffer = false)
                Timing.double_buffer }
            in
            let breakdown cs =
-             Timing.gpu_launch_breakdown Config.gtx8800 params
+             Timing.gpu_launch_breakdown gpu params
                { Exec.grid = 1.0; per_block = cs; repeat = 1.0 }
            in
            let pc = Exec.fresh () in
@@ -423,7 +498,10 @@ let audit_compiled ?(tolerance = default_tolerance) ?(double_buffer = false)
          { a_source = c.Pipeline.source_name;
            a_tiled = c.Pipeline.tiled <> None;
            a_tolerance = tolerance;
+           a_machine = Hierarchy.name hierarchy;
            a_groups = groups;
+           a_placement = placement;
+           a_edges = edges;
            a_program = program;
            a_timing = timing;
            a_unknown = unknowns;
@@ -434,11 +512,11 @@ let audit_compiled ?(tolerance = default_tolerance) ?(double_buffer = false)
 
 let auditable (c : Pipeline.compiled) = c.Pipeline.plan <> None
 
-let audit_job ?cache ?tolerance ?double_buffer ?param_env
+let audit_job ?cache ?tolerance ?double_buffer ?hierarchy ?param_env
     (job : Pipeline.job) =
   match Pipeline.compile ?cache job with
   | Error e -> Failed ("compile: " ^ Frontend.error_message e)
-  | Ok c -> audit_compiled ?tolerance ?double_buffer ?param_env c
+  | Ok c -> audit_compiled ?tolerance ?double_buffer ?hierarchy ?param_env c
 
 let ok = function
   | Audited t -> t.a_verdict <> Fail
@@ -470,16 +548,28 @@ let group_json g =
       ("quantities", J.List (List.map quantity_json g.g_quantities));
       ("unknown", strs g.g_unknown) ]
 
+let edge_group_json e =
+  J.Obj
+    [ ("edge", J.Str e.e_edge);
+      ("quantities", J.List (List.map quantity_json e.e_quantities));
+      ("unknown", strs e.e_unknown) ]
+
 let json t =
   J.Obj
     [ ("schema", J.Str "emsc-audit/1");
       ("source", J.Str t.a_source);
       ("tiled", J.Bool t.a_tiled);
       ("tolerance", J.Float t.a_tolerance);
+      ("machine", J.Str t.a_machine);
       ("verdict", J.Str (verdict_string t.a_verdict));
       ( "worst",
         match t.a_worst with Some q -> quantity_json q | None -> J.Null );
       ("groups", J.List (List.map group_json t.a_groups));
+      ( "placement",
+        match t.a_placement with
+        | Some p -> Placement.to_json p
+        | None -> J.Null );
+      ("edges", J.List (List.map edge_group_json t.a_edges));
       ("program", J.List (List.map quantity_json t.a_program));
       ("timing", J.List (List.map quantity_json t.a_timing));
       ("unknown", strs t.a_unknown);
@@ -516,6 +606,13 @@ let pp fmt t =
     List.iter (fun u -> Format.fprintf fmt "  %-18s (not predicted)@," u)
       g.g_unknown)
     t.a_groups;
+  List.iter (fun e ->
+    Format.fprintf fmt "edge %s (%s)@," e.e_edge t.a_machine;
+    List.iter (fun q -> Format.fprintf fmt "  %a@," pp_quantity q)
+      e.e_quantities;
+    List.iter (fun u -> Format.fprintf fmt "  %-18s (not predicted)@," u)
+      e.e_unknown)
+    t.a_edges;
   if t.a_program <> [] then begin
     Format.fprintf fmt "program@,";
     List.iter (fun q -> Format.fprintf fmt "  %a@," pp_quantity q)

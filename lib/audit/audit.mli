@@ -42,13 +42,29 @@ type group = {
           occurrence factor unavailable) *)
 }
 
+type edge_group = {
+  e_edge : string;
+      (** hierarchy transfer edge, ["inner<-outer"], innermost first *)
+  e_quantities : quantity list;
+      (** [move_in_words], [move_out_words] summed over the buffers
+          whose placement crosses the edge *)
+  e_unknown : string list;
+}
+
 type verdict = Pass | Warn | Fail
 
 type t = {
   a_source : string;
   a_tiled : bool;
   a_tolerance : float;
+  a_machine : string;          (** hierarchy the audit ran against *)
   a_groups : group list;       (** one per staged buffer *)
+  a_placement : Emsc_machine.Placement.t option;
+      (** per-level placement of the staged buffers (staging runs) *)
+  a_edges : edge_group list;
+      (** per-edge movement accounting; reported (and benched) but not
+          part of the verdict — the per-buffer groups already gate
+          soundness, and an edge total is their weighted combination *)
   a_program : quantity list;   (** [flops], [global_words], [smem_words] *)
   a_timing : quantity list;    (** [t_comp], [t_bw], [t_lat] cycles *)
   a_unknown : string list;     (** program-level quantities not predicted *)
@@ -77,6 +93,7 @@ val auditable : Pipeline.compiled -> bool
 val audit_compiled :
   ?tolerance:float ->
   ?double_buffer:bool ->
+  ?hierarchy:Emsc_machine.Hierarchy.t ->
   ?param_env:(string -> Zint.t) ->
   Pipeline.compiled ->
   outcome
@@ -87,7 +104,11 @@ val audit_compiled :
     {!Emsc_driver.Runner.zero_env}.  [double_buffer] makes the
     timing-side scratchpad footprint use the effective (doubled)
     window, via {!Emsc_machine.Timing.plan_smem_bytes}, matching what
-    the runtime actually keeps resident.  The metrics registry is
+    the runtime actually keeps resident.  [hierarchy] (default
+    {!Emsc_machine.Hierarchy.gtx8800}, which keeps the numbers
+    bit-identical to the legacy 2-level model) selects the machine:
+    its staging projection drives the timing quantities and its edge
+    list the per-edge movement accounting.  The metrics registry is
     enabled for the duration of the measured run and restored
     afterwards. *)
 
@@ -95,6 +116,7 @@ val audit_job :
   ?cache:Cache.t ->
   ?tolerance:float ->
   ?double_buffer:bool ->
+  ?hierarchy:Emsc_machine.Hierarchy.t ->
   ?param_env:(string -> Zint.t) ->
   Pipeline.job ->
   outcome

@@ -66,6 +66,18 @@ let report_section j =
       fields
   | _ -> []
 
+(* "<kernel>.<machine>.<edge>" -> words moved across that hierarchy
+   edge; absent in artifacts that predate the N-level machine model,
+   so absence is an empty section (new keys surface as "added", not
+   "missing") *)
+let level_movement_section j =
+  match J.member "level_movement" j with
+  | Some (J.Obj fields) ->
+    List.filter_map (fun (k, v) ->
+      match num v with Some f -> Some (k, f) | None -> None)
+      fields
+  | _ -> []
+
 (* kernel -> global words moved (loads + stores): the deterministic
    movement-volume figure of merit *)
 let movement_section j =
@@ -126,6 +138,8 @@ let compare ?(wall_tolerance = default_wall_tolerance)
            wall_new
       |> diff_section ~metric:"global_words" ~tolerance:move_tolerance
            move_old move_new
+      |> diff_section ~metric:"level_words" ~tolerance:move_tolerance
+           (level_movement_section old_j) (level_movement_section new_j)
       |> diff_section ~metric:"runtime_wall_ms" ~tolerance:runtime_tolerance
            (runtime_section old_j) (runtime_section new_j)
       (* a freshly failing overlap audit (0 -> 1) is a regression in

@@ -82,7 +82,7 @@ let violations_str vs =
   String.concat "; "
     (List.map (Format.asprintf "%a" Invariants.pp_violation) vs)
 
-let check_plan ~backend ~capacity_words ~param_env ~(options : Options.t)
+let check_plan ~backend ~capacity_words ~hierarchy ~param_env ~(options : Options.t)
     (c : Pipeline.compiled) =
   match Oracle.check_compiled ~backend ~param_env c with
   | Error r -> Error ("oracle: " ^ r)
@@ -92,14 +92,14 @@ let check_plan ~backend ~capacity_words ~param_env ~(options : Options.t)
      | Some plan ->
        let env = invariant_env c param_env in
        (match
-          Invariants.check ~capacity_words
+          Invariants.check ~capacity_words ?hierarchy
             ~optimized_movement:options.Options.optimize_movement ~env plan
         with
         | [] -> Ok ()
         | vs -> Error ("invariants: " ^ violations_str vs)))
 
 (* [Ok None] = setting not applicable to this program (skipped) *)
-let check_setting ~backend ~capacity_words (spec : Gen.t) (st : setting) =
+let check_setting ~backend ~capacity_words ~hierarchy (spec : Gen.t) (st : setting) =
   let prog = Gen.materialize spec in
   if st.needs_independence && Deps.analyze prog <> [] then Ok None
   else
@@ -111,19 +111,19 @@ let check_setting ~backend ~capacity_words (spec : Gen.t) (st : setting) =
     | Error e -> Error ("compile: " ^ Frontend.error_message e)
     | Ok c ->
       (match
-         check_plan ~backend ~capacity_words
+         check_plan ~backend ~capacity_words ~hierarchy
            ~param_env:(Gen.param_env spec) ~options:st.options c
        with
        | Ok () -> Ok (Some ())
        | Error _ as e -> e)
 
-let check_generated ~backend ~capacity_words ~progress ~seed i =
+let check_generated ~backend ~capacity_words ~hierarchy ~progress ~seed i =
   let rng = Random.State.make [| seed; i |] in
   let spec = Gen.generate rng in
   Emsc_obs.Metrics.counter "fuzz.generated" 1.0;
   let checks = ref 0 and failures = ref [] in
   List.iter (fun st ->
-    match check_setting ~backend ~capacity_words spec st with
+    match check_setting ~backend ~capacity_words ~hierarchy spec st with
     | Ok None -> ()
     | Ok (Some ()) ->
       incr checks;
@@ -136,14 +136,14 @@ let check_generated ~backend ~capacity_words ~progress ~seed i =
         (Printf.sprintf "gen#%d failed under %s: %s — shrinking" i st.sname
            reason);
       let still_fails s =
-        match check_setting ~backend ~capacity_words s st with
+        match check_setting ~backend ~capacity_words ~hierarchy s st with
         | Error _ -> true
         | Ok _ -> false
       in
       Emsc_obs.Metrics.counter "fuzz.shrunk" 1.0;
       let small = Shrink.minimize ~max_steps:25 ~still_fails spec in
       let reason =
-        match check_setting ~backend ~capacity_words small st with
+        match check_setting ~backend ~capacity_words ~hierarchy small st with
         | Error r -> r
         | Ok _ -> reason
       in
@@ -156,7 +156,7 @@ let check_generated ~backend ~capacity_words ~progress ~seed i =
     (settings_for spec);
   (!checks, List.rev !failures)
 
-let check_suite_job ~backend ~capacity_words (job : Pipeline.job) =
+let check_suite_job ~backend ~capacity_words ~hierarchy (job : Pipeline.job) =
   let name = Source.name job.Pipeline.source in
   match Pipeline.compile job with
   | Error e ->
@@ -168,7 +168,7 @@ let check_suite_job ~backend ~capacity_words (job : Pipeline.job) =
      | None -> (0, [])  (* job stops before planning: nothing to validate *)
      | Some _ ->
        (match
-          check_plan ~backend ~capacity_words ~param_env:Runner.zero_env
+          check_plan ~backend ~capacity_words ~hierarchy ~param_env:Runner.zero_env
             ~options:job.Pipeline.options c
         with
         | Ok () -> (1, [])
@@ -177,18 +177,18 @@ let check_suite_job ~backend ~capacity_words (job : Pipeline.job) =
             [ { origin = name; setting = "suite"; reason; program = "" } ] )))
 
 let run ?(backend = `Seq) ?(fuzz = 50) ?(seed = 1) ?(capacity_words = 4096)
-    ?(progress = fun _ -> ()) () =
+    ?hierarchy ?(progress = fun _ -> ()) () =
   Emsc_obs.Trace.span "check.run" @@ fun () ->
   let checks = ref 0 and failures = ref [] in
   for i = 0 to fuzz - 1 do
-    let c, fs = check_generated ~backend ~capacity_words ~progress ~seed i in
+    let c, fs = check_generated ~backend ~capacity_words ~hierarchy ~progress ~seed i in
     checks := !checks + c;
     failures := !failures @ fs
   done;
   let suite = Emsc_kernels.Suite.jobs () in
   let suite_checked = ref 0 in
   List.iter (fun job ->
-    let c, fs = check_suite_job ~backend ~capacity_words job in
+    let c, fs = check_suite_job ~backend ~capacity_words ~hierarchy job in
     suite_checked := !suite_checked + c;
     checks := !checks + c;
     failures := !failures @ fs)

@@ -26,7 +26,8 @@ type report = {
 
 val run :
   ?backend:Emsc_driver.Runner.backend ->
-  ?fuzz:int -> ?seed:int -> ?capacity_words:int -> ?progress:(string -> unit) ->
+  ?fuzz:int -> ?seed:int -> ?capacity_words:int ->
+  ?hierarchy:Emsc_machine.Hierarchy.t -> ?progress:(string -> unit) ->
   unit -> report
 (** Defaults: [backend = `Seq], [fuzz = 50], [seed = 1],
     [capacity_words = 4096] (the GTX 8800 scratchpad).  Program [i] is
@@ -34,7 +35,8 @@ val run :
     reproduces from its index alone.  [backend] is forwarded to the
     {!Oracle}: under [`Par jobs] every tiled check also requires
     race-freedom and counter totals bit-identical to sequential
-    execution. *)
+    execution.  [hierarchy] additionally runs the per-level placement
+    capacity invariant of every plan against the given machine. *)
 
 val report_json : report -> Emsc_obs.Json.t
 val pp_report : Format.formatter -> report -> unit

@@ -87,7 +87,7 @@ let global_index ~np ~env prog (s : Prog.stmt) (a : Prog.access) iters =
     Zint.to_int_exn !acc)
     a.Prog.map
 
-let check ?capacity_words ?(double_buffer = false)
+let check ?capacity_words ?hierarchy ?(double_buffer = false)
     ?(live_out = fun _ -> true) ?(optimized_movement = false) ~env
     (plan : Plan.t) =
   let prog = plan.Plan.prog in
@@ -327,4 +327,20 @@ let check ?capacity_words ?(double_buffer = false)
       | exception _ ->
         report ~buffer:"<plan>" ~invariant:"capacity"
           "footprint did not evaluate to an integer"));
+  (match hierarchy with
+   | None -> ()
+   | Some h ->
+     (* per-level capacity: place the plan's buffers over the explicit
+        levels and compare each level's effective usage against its
+        capacity; on a 2-level machine this is the single-scratchpad
+        rule again, level by level elsewhere *)
+     let staged = List.length plan.Plan.buffered in
+     let pl = Placement.of_plan ~double_buffer h plan env in
+     if List.length pl.Placement.pl_placed < staged then
+       report ~buffer:"<plan>" ~invariant:"capacity"
+         "some buffer footprint did not evaluate to an integer"
+     else
+       List.iter
+         (fun v -> report ~buffer:"<plan>" ~invariant:"capacity" v)
+         pl.Placement.pl_violations);
   List.rev !violations

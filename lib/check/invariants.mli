@@ -33,6 +33,7 @@ type violation = {
 
 val check :
   ?capacity_words:int ->
+  ?hierarchy:Emsc_machine.Hierarchy.t ->
   ?double_buffer:bool ->
   ?live_out:(string -> bool) ->
   ?optimized_movement:bool ->
@@ -43,7 +44,12 @@ val check :
     exact-cover checks to containment (the Section 3.1.4 optimization
     legitimately copies less).  [double_buffer] makes the capacity
     check use the effective footprint
-    ({!Emsc_machine.Timing.effective_smem_words}): a plan that fits
-    single-buffered may not fit once staging double-buffers. *)
+    ({!Emsc_machine.Hierarchy.effective_words}): a plan that fits
+    single-buffered may not fit once staging double-buffers.
+    [hierarchy] generalizes the capacity invariant to per-level checks:
+    buffers are placed by {!Emsc_machine.Placement.of_plan} and each
+    explicit level's effective usage is compared against its capacity
+    (on a 2-level machine this coincides with [capacity_words] over the
+    staging level, which remains the legacy single-scratchpad path). *)
 
 val pp_violation : Format.formatter -> violation -> unit

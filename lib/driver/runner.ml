@@ -45,9 +45,12 @@ type backend = [ `Seq | `Par of int ]
 (* Parallel runs honor the machine's concurrent-blocks rule: at most
    [occupancy * num_mimd] arenas live at once, with occupancy derived
    from the block's effective scratchpad need (doubled when
-   double-buffering keeps two windows resident). *)
-let par_cfg ~jobs ~policy ~double_buffer ~track_ownership ~block_words =
-  let g = Config.gtx8800 in
+   double-buffering keeps two windows resident).  The machine defaults
+   to the paper's GPU; any hierarchy works through its staging-level
+   projection. *)
+let par_cfg ?(hierarchy = Hierarchy.gtx8800) ~jobs ~policy ~double_buffer
+    ~track_ownership ~block_words () =
+  let g = Hierarchy.to_gpu_exn hierarchy in
   let occ =
     Timing.occupancy g
       ~smem_bytes_per_block:
@@ -62,7 +65,7 @@ let par_cfg ~jobs ~policy ~double_buffer ~track_ownership ~block_words =
 let execute ~prog ?local_ref ?(locals = []) ?(mode = Exec.Sampled 6) ?memory
     ?(param_env = no_params) ?on_global ?(backend = `Seq)
     ?(policy = Emsc_runtime.Runtime.Static) ?(double_buffer = false)
-    ?(track_ownership = false) ?(block_words = 0) ast =
+    ?(track_ownership = false) ?(block_words = 0) ?hierarchy ast =
   let m = prepare ?memory ~param_env prog in
   List.iter (Memory.declare_local m) locals;
   let result =
@@ -74,7 +77,8 @@ let execute ~prog ?local_ref ?(locals = []) ?(mode = Exec.Sampled 6) ?memory
       (* parallel execution is Full-fidelity by construction: sampling
          extrapolates from iteration deltas, a sequential notion *)
       let cfg =
-        par_cfg ~jobs ~policy ~double_buffer ~track_ownership ~block_words
+        par_cfg ?hierarchy ~jobs ~policy ~double_buffer ~track_ownership
+          ~block_words ()
       in
       Trace.span "driver.execute" @@ fun () ->
       Emsc_runtime.Runtime.run ~prog ?local_ref ~param_env ~memory:m
@@ -84,7 +88,7 @@ let execute ~prog ?local_ref ?(locals = []) ?(mode = Exec.Sampled 6) ?memory
 
 let simulate ?(mode = Exec.Sampled 6) ?(memory = Phantom) ?param_env
     ?on_global ?(backend = `Seq) ?policy ?(double_buffer = false)
-    ?track_ownership (c : Pipeline.compiled) =
+    ?track_ownership ?hierarchy (c : Pipeline.compiled) =
   match (c.Pipeline.tiled, c.Pipeline.plan) with
   | Some t, Some plan ->
     let staged = c.Pipeline.options.Options.stage_data in
@@ -111,7 +115,7 @@ let simulate ?(mode = Exec.Sampled 6) ?(memory = Phantom) ?param_env
     let mode = match backend with `Seq -> mode | `Par _ -> Exec.Full in
     execute ~prog:t.Pipeline.tiled_prog ?local_ref ~locals ~mode ~memory
       ?param_env ?on_global ~backend ?policy ~double_buffer ?track_ownership
-      ~block_words t.Pipeline.ast
+      ~block_words ?hierarchy t.Pipeline.ast
   | _ ->
     invalid_arg
       "Emsc_driver.Runner.simulate: compilation has no generated kernel \

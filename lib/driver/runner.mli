@@ -52,6 +52,7 @@ val execute :
   ?double_buffer:bool ->
   ?track_ownership:bool ->
   ?block_words:int ->
+  ?hierarchy:Hierarchy.t ->
   Emsc_codegen.Ast.stm list ->
   Memory.t * Exec.result
 (** Run an AST: prepare memory, declare [locals], execute under a
@@ -61,7 +62,8 @@ val execute :
     sizes each block's scratchpad arena, [double_buffer] turns on the
     async DMA pipeline, and the concurrent-arena cap follows
     [Timing.occupancy] over the effective (buffering-adjusted)
-    footprint. *)
+    footprint against [hierarchy] (default {!Hierarchy.gtx8800},
+    through its staging-level projection). *)
 
 val simulate :
   ?mode:Exec.mode ->
@@ -72,6 +74,7 @@ val simulate :
   ?policy:Emsc_runtime.Runtime.policy ->
   ?double_buffer:bool ->
   ?track_ownership:bool ->
+  ?hierarchy:Hierarchy.t ->
   Pipeline.compiled ->
   Memory.t * Exec.result
 (** Run a compiled kernel: the tiled AST against the tiled program,

@@ -13,16 +13,26 @@ type t = {
   st : stats;
 }
 
-let create (c : Config.cache) ~word_bytes =
-  let line_words = max 1 (c.Config.line_bytes / word_bytes) in
-  let nlines = max 1 (c.Config.size_bytes / c.Config.line_bytes) in
-  let assoc = max 1 c.Config.assoc in
+let create ~size_bytes ~line_bytes ~assoc ~word_bytes =
+  let line_words = max 1 (line_bytes / word_bytes) in
+  let nlines = max 1 (size_bytes / line_bytes) in
+  let assoc = max 1 assoc in
   let nsets = max 1 (nlines / assoc) in
   { nsets; assoc; line_words;
     tags = Array.init nsets (fun _ -> Array.make assoc (-1));
     ages = Array.init nsets (fun _ -> Array.make assoc 0);
     clock = 0;
     st = { hits = 0.; misses = 0. } }
+
+let of_level (l : Hierarchy.level) =
+  match l.Hierarchy.l_capacity_bytes, l.Hierarchy.l_line_bytes,
+        l.Hierarchy.l_assoc
+  with
+  | Some size_bytes, Some line_bytes, Some assoc ->
+    Some
+      (create ~size_bytes ~line_bytes ~assoc
+         ~word_bytes:l.Hierarchy.l_word_bytes)
+  | _ -> None
 
 let access c word_addr =
   let line = word_addr / c.line_words in
@@ -58,35 +68,52 @@ let reset c =
   c.st.hits <- 0.;
   c.st.misses <- 0.
 
-module Hierarchy = struct
+(* Multi-level inclusive lookup over the cache-shaped levels of a
+   hierarchy (those with line/assoc geometry), innermost first; an
+   access that misses every simulated level counts against the home. *)
+module Sim = struct
   type h = {
-    l1 : t;
-    l2 : t;
-    mutable l1h : float;
-    mutable l2h : float;
-    mutable mem : float;
+    names : string array;   (* simulated cache levels, innermost first *)
+    caches : t array;
+    level_hits : float array;
+    mutable home : float;
+    home_name : string;
   }
 
-  let create (cpu : Config.cpu) =
-    { l1 = create cpu.Config.l1 ~word_bytes:4;
-      l2 = create cpu.Config.l2 ~word_bytes:4;
-      l1h = 0.; l2h = 0.; mem = 0. }
+  let create (hier : Hierarchy.t) =
+    let sims =
+      List.filter_map
+        (fun (l : Hierarchy.level) ->
+          match of_level l with
+          | Some c -> Some (l.Hierarchy.l_name, c)
+          | None -> None)
+        (Hierarchy.explicit_levels hier)
+    in
+    { names = Array.of_list (List.map fst sims);
+      caches = Array.of_list (List.map snd sims);
+      level_hits = Array.make (List.length sims) 0.0;
+      home = 0.0;
+      home_name = (Hierarchy.home hier).Hierarchy.l_name }
+
+  let num_levels h = Array.length h.caches
 
   let access h addr =
-    if access h.l1 addr then begin
-      h.l1h <- h.l1h +. 1.0;
-      `L1
-    end
-    else if access h.l2 addr then begin
-      h.l2h <- h.l2h +. 1.0;
-      `L2
-    end
-    else begin
-      h.mem <- h.mem +. 1.0;
-      `Mem
-    end
+    let n = num_levels h in
+    let rec go i =
+      if i >= n then begin
+        h.home <- h.home +. 1.0;
+        n
+      end
+      else if access h.caches.(i) addr then begin
+        h.level_hits.(i) <- h.level_hits.(i) +. 1.0;
+        i
+      end
+      else go (i + 1)
+    in
+    go 0
 
-  let l1_hits h = h.l1h
-  let l2_hits h = h.l2h
-  let mem_accesses h = h.mem
+  let hits h = Array.copy h.level_hits
+  let home_accesses h = h.home
+  let level_names h = Array.copy h.names
+  let home_name h = h.home_name
 end

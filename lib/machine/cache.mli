@@ -1,4 +1,5 @@
-(** Set-associative LRU cache simulator (CPU baseline timing). *)
+(** Set-associative LRU cache simulator (baseline timing for
+    cache-shaped hierarchy levels). *)
 
 type t
 
@@ -7,7 +8,13 @@ type stats = {
   mutable misses : float;
 }
 
-val create : Config.cache -> word_bytes:int -> t
+val create :
+  size_bytes:int -> line_bytes:int -> assoc:int -> word_bytes:int -> t
+
+val of_level : Hierarchy.level -> t option
+(** A simulator for a level with cache geometry ([l_line_bytes] and
+    [l_assoc] present); [None] for scratchpad-only levels. *)
+
 val access : t -> int -> bool
 (** [access c word_addr] returns whether the access hit, updating LRU
     state. *)
@@ -15,13 +22,24 @@ val access : t -> int -> bool
 val stats : t -> stats
 val reset : t -> unit
 
-(** Two-level hierarchy with the usual inclusive lookup. *)
-module Hierarchy : sig
+(** Multi-level inclusive lookup over the cache-shaped levels of a
+    {!Hierarchy}, innermost first; an access missing every simulated
+    level counts against the home. *)
+module Sim : sig
   type h
 
-  val create : Config.cpu -> h
-  val access : h -> int -> [ `L1 | `L2 | `Mem ]
-  val l1_hits : h -> float
-  val l2_hits : h -> float
-  val mem_accesses : h -> float
+  val create : Hierarchy.t -> h
+  val num_levels : h -> int
+  (** Simulated cache levels (the home is not one of them). *)
+
+  val access : h -> int -> int
+  (** Index of the level that served the access, [num_levels] for the
+      home. *)
+
+  val hits : h -> float array
+  (** Per simulated level, innermost first. *)
+
+  val home_accesses : h -> float
+  val level_names : h -> string array
+  val home_name : h -> string
 end

@@ -17,24 +17,11 @@ type gpu = {
   launch_overhead_cycles : float;
 }
 
-type cache = {
-  size_bytes : int;
-  line_bytes : int;
-  assoc : int;
-}
-
-type cpu = {
-  cpu_clock_mhz : float;
-  cpu_flop_cycles : float;
-  l1 : cache;
-  l2 : cache;
-  l1_hit_cycles : float;
-  l2_hit_cycles : float;
-  mem_cycles : float;
-}
-
 (* GeForce 8800 GTX: 16 MPs x 8 SIMD @ 1350 MHz shader clock, 16 KB
-   scratchpad per MP, 86.4 GB/s DRAM, ~400-600 cycle global latency. *)
+   scratchpad per MP, 86.4 GB/s DRAM, ~400-600 cycle global latency.
+   This record is the legacy 2-level view; the declarative source of
+   truth is [Hierarchy.gtx8800], whose staging-level projection
+   ([Hierarchy.to_gpu]) reproduces it field for field. *)
 let gtx8800 = {
   num_mimd = 16;
   simd_per_mimd = 8;
@@ -57,18 +44,4 @@ let gtx8800 = {
   launch_overhead_cycles = 7000.0;
 }
 
-(* Intel Core2 Duo @ 2.13 GHz, 32 KB L1D, 2 MB shared L2 (the host of
-   the paper's testbed); single-threaded baseline as in the paper. *)
-let core2duo = {
-  cpu_clock_mhz = 2130.0;
-  (* scalar in-order issue: the unvectorized -O3 baseline of the paper *)
-  cpu_flop_cycles = 2.5;
-  l1 = { size_bytes = 32768; line_bytes = 64; assoc = 8 };
-  l2 = { size_bytes = 2097152; line_bytes = 64; assoc = 8 };
-  l1_hit_cycles = 2.5;
-  l2_hit_cycles = 18.0;
-  mem_cycles = 165.0;
-}
-
 let gpu_ms g cycles = cycles /. (g.clock_mhz *. 1000.0)
-let cpu_ms c cycles = cycles /. (c.cpu_clock_mhz *. 1000.0)

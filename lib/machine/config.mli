@@ -1,11 +1,16 @@
-(** Machine models.
+(** Legacy 2-level GPU timing record.
 
-    The GPU model mirrors the NVIDIA GeForce 8800 GTX used in the
-    paper: 16 multiprocessors (MIMD units), 8 SIMD units each, warp
-    size 32, 16 KB scratchpad per multiprocessor.  Timing constants
-    are first-order calibrations, not cycle-accurate silicon — see
+    Mirrors the NVIDIA GeForce 8800 GTX used in the paper: 16
+    multiprocessors (MIMD units), 8 SIMD units each, warp size 32,
+    16 KB scratchpad per multiprocessor.  Timing constants are
+    first-order calibrations, not cycle-accurate silicon — see
     DESIGN.md for what the model is expected (and not expected) to
-    reproduce. *)
+    reproduce.
+
+    The declarative machine description is {!Hierarchy}; this record
+    is its staging-level projection ({!Hierarchy.to_gpu}) and what the
+    {!Timing} launch model consumes.  CPU cache parameters live in the
+    [core2duo_cache_as_scratchpad] hierarchy, not here. *)
 
 type gpu = {
   num_mimd : int;            (** multiprocessors *)
@@ -27,26 +32,7 @@ type gpu = {
   launch_overhead_cycles : float;
 }
 
-type cache = {
-  size_bytes : int;
-  line_bytes : int;
-  assoc : int;
-}
-
-type cpu = {
-  cpu_clock_mhz : float;
-  cpu_flop_cycles : float;   (** per scalar op, in-order issue *)
-  l1 : cache;
-  l2 : cache;
-  l1_hit_cycles : float;
-  l2_hit_cycles : float;
-  mem_cycles : float;        (** full miss *)
-}
-
 val gtx8800 : gpu
-val core2duo : cpu
 
 val gpu_ms : gpu -> float -> float
 (** Convert cycles to milliseconds. *)
-
-val cpu_ms : cpu -> float -> float

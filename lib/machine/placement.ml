@@ -1,0 +1,165 @@
+(* Per-level buffer placement over a hierarchy.
+
+   The plan gives one local buffer per staged partition; placement
+   decides which explicit level each lives at.  Greedy innermost-fit:
+   buffers sorted by footprint ascending (name-tiebroken, so placement
+   is deterministic) each go to the innermost explicit level with
+   enough remaining effective capacity; a buffer no level can hold
+   falls back to the staging level and the overflow is reported as a
+   violation.  On a 2-level machine there is only the staging level,
+   so this degenerates to the legacy rule: everything in scratchpad,
+   violation iff the total effective footprint exceeds its capacity —
+   which is what keeps gtx8800 behaviour identical to the old model.
+
+   A buffer placed at level i is staged from home through every
+   intermediate level, so its movement crosses every edge between
+   level i and the home; [edge_totals] aggregates per-buffer word
+   counts (predicted volumes or measured counters) into per-edge
+   totals under that rule. *)
+
+module J = Emsc_obs.Json
+
+type placed = {
+  p_buffer : string;  (* local buffer name *)
+  p_array : string;   (* original array *)
+  p_level : string;   (* level name *)
+  p_level_index : int;  (* innermost = 0 *)
+  p_words : int;
+  p_effective_words : int;  (* after the double-buffer rule *)
+}
+
+type level_usage = {
+  u_level : string;
+  u_index : int;
+  u_capacity_words : int option;
+  u_used_words : int;  (* effective *)
+  u_over : bool;
+}
+
+type t = {
+  pl_machine : string;
+  pl_double_buffer : bool;
+  pl_placed : placed list;
+  pl_usage : level_usage list;
+  pl_violations : string list;
+}
+
+let place ?(double_buffer = false) (h : Hierarchy.t)
+    ~(footprints : (string * string * int) list) =
+  let expl = Hierarchy.explicit_levels h in
+  let n_expl = List.length expl in
+  let caps =
+    Array.of_list (List.map Hierarchy.level_capacity_words expl)
+  in
+  let used = Array.make n_expl 0 in
+  let fits i eff =
+    match caps.(i) with
+    | None -> true
+    | Some cap -> used.(i) + eff <= cap
+  in
+  let sorted =
+    List.sort
+      (fun (n1, _, w1) (n2, _, w2) ->
+        match compare w1 w2 with 0 -> compare n1 n2 | c -> c)
+      footprints
+  in
+  let placed =
+    List.map
+      (fun (name, array, words) ->
+        let eff = Hierarchy.effective_words ~double_buffer words in
+        let rec try_level i =
+          if i >= n_expl then None
+          else if fits i eff then Some i
+          else try_level (i + 1)
+        in
+        (* overflow falls back to the staging level *)
+        let idx = match try_level 0 with Some i -> i | None -> n_expl - 1 in
+        used.(idx) <- used.(idx) + eff;
+        let level = List.nth expl idx in
+        { p_buffer = name; p_array = array; p_level = level.Hierarchy.l_name;
+          p_level_index = idx; p_words = words; p_effective_words = eff })
+      sorted
+  in
+  let usage =
+    List.mapi
+      (fun i (l : Hierarchy.level) ->
+        let cap = caps.(i) in
+        let over = match cap with Some c -> used.(i) > c | None -> false in
+        { u_level = l.Hierarchy.l_name; u_index = i;
+          u_capacity_words = cap; u_used_words = used.(i); u_over = over })
+      expl
+  in
+  let violations =
+    List.filter_map
+      (fun u ->
+        if u.u_over then
+          Some
+            (Printf.sprintf
+               "level %s over capacity: %d effective words > %d"
+               u.u_level u.u_used_words
+               (match u.u_capacity_words with Some c -> c | None -> 0))
+        else None)
+      usage
+  in
+  { pl_machine = Hierarchy.name h; pl_double_buffer = double_buffer;
+    pl_placed = placed; pl_usage = usage; pl_violations = violations }
+
+let of_plan ?double_buffer (h : Hierarchy.t) (plan : Emsc_core.Plan.t) env =
+  let footprints =
+    List.filter_map
+      (fun (b : Emsc_core.Plan.buffered) ->
+        let buf = b.Emsc_core.Plan.buffer in
+        match
+          Emsc_arith.Zint.to_int_opt (Emsc_core.Alloc.footprint buf env)
+        with
+        | Some w ->
+          Some
+            (buf.Emsc_core.Alloc.local_name, buf.Emsc_core.Alloc.array, w)
+        | None -> None)
+      plan.Emsc_core.Plan.buffered
+  in
+  place ?double_buffer h ~footprints
+
+let find t buffer =
+  List.find_opt (fun p -> p.p_buffer = buffer) t.pl_placed
+
+let ok t = t.pl_violations = []
+
+(* A buffer placed at level i crosses every edge from i outward to the
+   home: the same words move across each stage of the path. *)
+let edge_totals (h : Hierarchy.t) t ~words_of =
+  let edges = Hierarchy.edges h in
+  List.mapi
+    (fun j e ->
+      let total =
+        List.fold_left
+          (fun acc p ->
+            if p.p_level_index <= j then acc + words_of p else acc)
+          0 t.pl_placed
+      in
+      (Hierarchy.edge_name e, total))
+    edges
+
+let placed_json p =
+  J.Obj
+    [ ("buffer", J.Str p.p_buffer);
+      ("array", J.Str p.p_array);
+      ("level", J.Str p.p_level);
+      ("words", J.Int p.p_words);
+      ("effective_words", J.Int p.p_effective_words) ]
+
+let usage_json u =
+  J.Obj
+    [ ("level", J.Str u.u_level);
+      ("capacity_words",
+       (match u.u_capacity_words with Some c -> J.Int c | None -> J.Null));
+      ("used_words", J.Int u.u_used_words);
+      ("over", J.Bool u.u_over) ]
+
+let to_json t =
+  J.Obj
+    [ ("machine", J.Str t.pl_machine);
+      ("double_buffer", J.Bool t.pl_double_buffer);
+      ("placed", J.List (List.map placed_json t.pl_placed));
+      ("levels", J.List (List.map usage_json t.pl_usage));
+      ("violations", J.List (List.map (fun v -> J.Str v) t.pl_violations)) ]

@@ -1,0 +1,62 @@
+(** Per-level buffer placement over a {!Hierarchy}.
+
+    Greedy innermost-fit: buffers sorted by footprint ascending
+    (name-tiebroken, deterministic) each go to the innermost explicit
+    level with enough remaining effective capacity; overflow falls back
+    to the staging level and is reported as a violation.  On a 2-level
+    machine this degenerates to the legacy rule — everything in the
+    scratchpad, violation iff the total effective footprint exceeds its
+    capacity — so gtx8800 placement matches the old model exactly. *)
+
+type placed = {
+  p_buffer : string;  (** local buffer name *)
+  p_array : string;  (** original array *)
+  p_level : string;
+  p_level_index : int;  (** innermost = 0 *)
+  p_words : int;
+  p_effective_words : int;  (** after the double-buffer rule *)
+}
+
+type level_usage = {
+  u_level : string;
+  u_index : int;
+  u_capacity_words : int option;
+  u_used_words : int;  (** effective *)
+  u_over : bool;
+}
+
+type t = {
+  pl_machine : string;
+  pl_double_buffer : bool;
+  pl_placed : placed list;
+  pl_usage : level_usage list;
+  pl_violations : string list;
+}
+
+val place :
+  ?double_buffer:bool ->
+  Hierarchy.t ->
+  footprints:(string * string * int) list ->
+  t
+(** [footprints] are [(local_name, array, words)] triples. *)
+
+val of_plan :
+  ?double_buffer:bool ->
+  Hierarchy.t ->
+  Emsc_core.Plan.t ->
+  (string -> Emsc_arith.Zint.t) ->
+  t
+(** Footprints of the plan's staged buffers under a parameter
+    valuation; buffers whose footprint stays symbolic are skipped. *)
+
+val find : t -> string -> placed option
+val ok : t -> bool
+
+val edge_totals :
+  Hierarchy.t -> t -> words_of:(placed -> int) -> (string * int) list
+(** Aggregate per-buffer word counts into per-edge totals, innermost
+    edge first: a buffer placed at level [i] crosses every edge from
+    [i] outward to the home.  [words_of] supplies the per-buffer count
+    (a predicted volume or a measured counter). *)
+
+val to_json : t -> Emsc_obs.Json.t

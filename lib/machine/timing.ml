@@ -14,14 +14,12 @@ let default_params = {
   double_buffer = false;
 }
 
-(* Double buffering keeps two windows of every staged buffer resident
-   (the one being computed on and the one in flight), so the effective
-   scratchpad need is twice the plan's footprint.  Every capacity
-   comparison must go through these helpers rather than re-deriving
-   the rule — forgetting the factor was an easy way to accept plans
-   that cannot actually fit double-buffered. *)
-let effective_smem_words ~double_buffer words =
-  if double_buffer then 2 * words else words
+(* The generalized per-level capacity rule lives in
+   [Hierarchy.effective_words]; these are its scratchpad-flavoured
+   aliases.  Every capacity comparison must go through them rather
+   than re-deriving the double-buffer factor — forgetting it was an
+   easy way to accept plans that cannot actually fit. *)
+let effective_smem_words = Hierarchy.effective_words
 
 let effective_smem_bytes ~double_buffer ~word_bytes words =
   effective_smem_words ~double_buffer words * word_bytes
@@ -122,14 +120,39 @@ let gpu_total_ms g p (r : Exec.result) =
      generated kernels put all computation inside block loops *)
   Config.gpu_ms g cycles
 
-let cpu_total_ms (c : Config.cpu) ~flops ~l1_hits ~l2_hits ~mem_accesses =
-  let cycles =
-    (flops *. c.Config.cpu_flop_cycles)
-    +. (l1_hits *. c.Config.l1_hit_cycles)
-    +. (l2_hits *. c.Config.l2_hit_cycles)
-    +. (mem_accesses *. c.Config.mem_cycles)
+(* --- hierarchy front-end ------------------------------------------------ *)
+
+(* The hierarchy path projects onto the legacy 2-level record through
+   its staging level, so for [Hierarchy.gtx8800] every number below is
+   bit-identical to calling the [Config.gtx8800] entry points
+   directly (test/test_hierarchy.ml pins this). *)
+
+let launch_breakdown h p l = gpu_launch_breakdown (Hierarchy.to_gpu_exn h) p l
+
+let launch_cycles h p l = gpu_launch_cycles (Hierarchy.to_gpu_exn h) p l
+
+let hierarchy_total_ms h p r = gpu_total_ms (Hierarchy.to_gpu_exn h) p r
+
+(* Cache-baseline timing over a cache-shaped hierarchy: one term per
+   simulated level's hits plus the home accesses, same shape (and for
+   [core2duo_cache_as_scratchpad], the same constants and float-op
+   order) as the old Config.cpu formula. *)
+let cache_total_ms (h : Hierarchy.t) ~flops ~hits ~home_accesses =
+  let c = Hierarchy.compute h in
+  let cached =
+    List.filter
+      (fun (l : Hierarchy.level) -> l.Hierarchy.l_assoc <> None)
+      (Hierarchy.explicit_levels h)
   in
-  Config.cpu_ms c cycles
+  let cycles = ref (flops *. c.Hierarchy.c_flop_cycles) in
+  List.iteri
+    (fun i (l : Hierarchy.level) ->
+      if i < Array.length hits then
+        cycles := !cycles +. (hits.(i) *. l.Hierarchy.l_access_cycles))
+    cached;
+  let home = Hierarchy.home h in
+  cycles := !cycles +. (home_accesses *. home.Hierarchy.l_access_cycles);
+  Hierarchy.ms_of_cycles h !cycles
 
 (* --- machine-readable profiles ----------------------------------------- *)
 

@@ -68,9 +68,24 @@ val gpu_launch_cycles : Config.gpu -> gpu_params -> Exec.launch -> float
 
 val gpu_total_ms : Config.gpu -> gpu_params -> Exec.result -> float
 
-val cpu_total_ms :
-  Config.cpu -> flops:float -> l1_hits:float -> l2_hits:float ->
-  mem_accesses:float -> float
+(** {2 Hierarchy front-end}
+
+    The declarative machine path: projects the hierarchy onto the
+    2-level launch model through its staging level
+    ({!Hierarchy.to_gpu}), so for [Hierarchy.gtx8800] these are
+    bit-identical to the [Config.gtx8800] entry points. *)
+
+val launch_breakdown : Hierarchy.t -> gpu_params -> Exec.launch -> breakdown
+val launch_cycles : Hierarchy.t -> gpu_params -> Exec.launch -> float
+val hierarchy_total_ms : Hierarchy.t -> gpu_params -> Exec.result -> float
+
+val cache_total_ms :
+  Hierarchy.t -> flops:float -> hits:float array -> home_accesses:float ->
+  float
+(** Cache-baseline timing over a cache-shaped hierarchy: [hits.(i)]
+    aligns with {!Cache.Sim.hits} (the cache-geometry levels in
+    order); each level is charged its [l_access_cycles] per hit, the
+    home its own per access. *)
 
 (** {2 Machine-readable profiles} *)
 

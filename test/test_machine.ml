@@ -53,8 +53,7 @@ let test_memory_phantom () =
 
 let test_cache_basics () =
   let c =
-    Cache.create { Config.size_bytes = 1024; line_bytes = 64; assoc = 2 }
-      ~word_bytes:4
+    Cache.create ~size_bytes:1024 ~line_bytes:64 ~assoc:2 ~word_bytes:4
   in
   Alcotest.(check bool) "cold miss" false (Cache.access c 0);
   Alcotest.(check bool) "hit same line" true (Cache.access c 1);
@@ -68,8 +67,7 @@ let test_cache_lru_eviction () =
   (* 1024 B, 64 B lines, 2-way: 8 sets; lines mapping to set 0 are
      word addresses 0, 128, 256, ... *)
   let c =
-    Cache.create { Config.size_bytes = 1024; line_bytes = 64; assoc = 2 }
-      ~word_bytes:4
+    Cache.create ~size_bytes:1024 ~line_bytes:64 ~assoc:2 ~word_bytes:4
   in
   ignore (Cache.access c 0);
   ignore (Cache.access c 128);
@@ -81,11 +79,12 @@ let test_cache_lru_eviction () =
   Alcotest.(check bool) "128 evicted" false (Cache.access c 128)
 
 let test_cache_hierarchy () =
-  let h = Cache.Hierarchy.create Config.core2duo in
-  Alcotest.(check bool) "first access misses to memory" true
-    (Cache.Hierarchy.access h 0 = `Mem);
-  Alcotest.(check bool) "second hits L1" true
-    (Cache.Hierarchy.access h 0 = `L1)
+  let h = Cache.Sim.create Hierarchy.core2duo_cache_as_scratchpad in
+  Alcotest.(check int) "two simulated levels" 2 (Cache.Sim.num_levels h);
+  Alcotest.(check int) "first access misses to memory" 2 (Cache.Sim.access h 0);
+  Alcotest.(check int) "second hits L1" 0 (Cache.Sim.access h 0);
+  Alcotest.(check (float 0.0)) "one home access" 1.0
+    (Cache.Sim.home_accesses h)
 
 (* --- executor ---------------------------------------------------------------- *)
 
