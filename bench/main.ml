@@ -127,6 +127,12 @@ let audit_results : J.t list ref = ref []
    gates) *)
 let level_movement : (string * float) list ref = ref []
 
+(* inter-tile figure: "<kernel>.<full|delta>" (and per-buffer
+   breakdowns) -> measured movement words; becomes the artifact's
+   top-level [transfer_volume] key (what bench-compare's
+   transfer_words section gates) *)
+let transfer_volume : (string * float) list ref = ref []
+
 let write_bench_json ~figure_ms =
   let t = Unix.localtime (Unix.time ()) in
   let stamp fmt =
@@ -156,6 +162,9 @@ let write_bench_json ~figure_ms =
         ( "level_movement",
           J.Obj
             (List.rev_map (fun (k, w) -> (k, J.Float w)) !level_movement) );
+        ( "transfer_volume",
+          J.Obj
+            (List.rev_map (fun (k, w) -> (k, J.Float w)) !transfer_volume) );
         ("metrics", Emsc_obs.Metrics.snapshot_json (Emsc_obs.Metrics.snapshot ()));
         ( "pass_cache",
           Emsc_driver.Cache.stats_json bench_cache );
@@ -918,6 +927,143 @@ let hierarchy () =
       across its edge path)\n\n"
 
 (* ------------------------------------------------------------------ *)
+(* Inter-tile reuse: full vs delta transfer volume                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The same kernel, same block tiling, compiled twice: once with full
+   per-block movement, once with --inter-tile-reuse delta movement.
+   Both runs execute Full-fidelity on pseudorandom memory and must
+   leave bit-identical arrays; the measured per-buffer movement words
+   prove the transfer-volume drop.  Each delta compilation is also
+   pushed through the cost-model audit, whose reuse section gates
+   "delta never moves more than the redundant counterfactual". *)
+let inter_tile () =
+  pf "=== Inter-tile reuse: measured transfer volume, full vs delta ===\n";
+  let module M = Emsc_obs.Metrics in
+  let module A = Emsc_audit.Audit in
+  let t b = { Tile.block = b; mem = None; thread = None } in
+  let stencil1d_src =
+    {|
+    array nxt[1024];
+    array cur[1026];
+    for (i = 0; i <= 1023; i++) {
+      nxt[i] = (cur[i] + cur[i+1] + cur[i+2]) / 3;
+    }
+    |}
+  in
+  (* (kernel, source, block-only tile spec, stencil?).  Stencil-class
+     kernels (sliding-window reads) must show a strict drop; matmul's
+     innermost-origin footprints are disjoint per block for C and
+     origin-invariant for A, so delta <= full still holds *)
+  let kernels =
+    [ ( "stencil1d",
+        Source.Text { name = "stencil1d-1k"; text = stencil1d_src },
+        [| t (Some 64) |], true );
+      ( "conv2d",
+        Source.Program
+          { name = "conv2d-reuse"; prog = Conv2d.program ~n:32 ~kw:3 },
+        [| t (Some 8); t (Some 8); t None; t None |], true );
+      ( "me",
+        Source.Program
+          { name = "me-reuse"; prog = Me.program ~ni:32 ~nj:32 ~ws:8 },
+        [| t (Some 8); t (Some 8); t None; t None |], true );
+      ( "matmul",
+        Source.Program { name = "matmul-reuse"; prog = Matmul.program ~n:32 },
+        [| t (Some 8); t (Some 8); t None |], false ) ]
+  in
+  pf "%-10s %12s %12s %9s\n" "kernel" "full" "delta" "saved";
+  List.iter (fun (kernel, source, spec, stencil) ->
+    let job reuse =
+      Pipeline.job
+        ~options:
+          { Options.default with
+            arch = `Cell; find_band = false;
+            tiling = Options.Spec spec; inter_tile_reuse = reuse }
+        source
+    in
+    let run c =
+      let plan = plan_of c in
+      let snap0 = M.snapshot () in
+      let m, result =
+        Runner.simulate ~mode:Exec.Full ~memory:Runner.Pseudorandom c
+      in
+      let measured = M.diff snap0 (M.snapshot ()) in
+      note_counters ("intertile-" ^ kernel) result.Exec.totals;
+      let per_buffer =
+        List.map (fun (b : Plan.buffered) ->
+          let name = b.Plan.buffer.Alloc.local_name in
+          let labels = [ ("buffer", name) ] in
+          ( name,
+            M.counter_value ~labels measured "exec.move_in_words"
+            +. M.counter_value ~labels measured "exec.move_out_words" ))
+          plan.Plan.buffered
+      in
+      (m, List.fold_left (fun a (_, w) -> a +. w) 0.0 per_buffer, per_buffer)
+    in
+    let c_full = compiled (job false) in
+    let c_delta = compiled (job true) in
+    (match plan_of c_delta with
+     | plan when List.exists (fun (b : Plan.buffered) -> b.Plan.reuse <> None)
+                   plan.Plan.buffered -> ()
+     | _ -> failwith ("bench: inter_tile: " ^ kernel ^ " planned no reuse"));
+    let m_full, w_full, per_full = run c_full in
+    let m_delta, w_delta, per_delta = run c_delta in
+    (* same program, same pseudorandom init: residency must not change
+       the arrays at all *)
+    List.iter (fun (d : Prog.array_decl) ->
+      if not (Memory.arrays_equal ~eps:0.0 m_full m_delta d.Prog.array_name)
+      then
+        failwith
+          (Printf.sprintf "bench: inter_tile: %s diverges on %s" kernel
+             d.Prog.array_name))
+      c_full.Pipeline.prog.Prog.arrays;
+    if w_delta > w_full then
+      failwith
+        (Printf.sprintf
+           "bench: inter_tile: %s delta movement (%.0f) exceeds full (%.0f)"
+           kernel w_delta w_full);
+    if stencil && not (w_delta < w_full) then
+      failwith
+        (Printf.sprintf
+           "bench: inter_tile: stencil %s shows no transfer-volume drop \
+            (full %.0f, delta %.0f)"
+           kernel w_full w_delta);
+    transfer_volume := (kernel ^ ".full", w_full)
+                       :: (kernel ^ ".delta", w_delta) :: !transfer_volume;
+    List.iter (fun (b, w) ->
+      transfer_volume :=
+        (Printf.sprintf "%s.full.%s" kernel b, w) :: !transfer_volume)
+      per_full;
+    List.iter (fun (b, w) ->
+      transfer_volume :=
+        (Printf.sprintf "%s.delta.%s" kernel b, w) :: !transfer_volume)
+      per_delta;
+    record_point ~fig:"inter_tile" ~series:"full" ~x:kernel ~unit_:"words"
+      w_full;
+    record_point ~fig:"inter_tile" ~series:"delta" ~x:kernel ~unit_:"words"
+      w_delta;
+    pf "%-10s %12.0f %12.0f %8.1f%%\n" kernel w_full w_delta
+      ((w_full -. w_delta) /. Float.max 1.0 w_full *. 100.0);
+    (* per-buffer audit: predictions stay sound under delta movement,
+       and no reuse buffer moves more than the redundant counterfactual *)
+    match A.audit_job ~cache:bench_cache (job true) with
+    | A.Audited a ->
+      audit_results := A.outcome_json ~name:("intertile-" ^ kernel) (A.Audited a)
+                       :: !audit_results;
+      List.iter (fun (g : A.reuse_group) ->
+        pf "  %-24s redundant %10.0f  irredundant %10.0f  (saved %.1f%%)\n"
+          g.A.r_buffer g.A.r_redundant g.A.r_irredundant
+          ((g.A.r_redundant -. g.A.r_irredundant)
+           /. Float.max 1.0 g.A.r_redundant *. 100.0))
+        a.A.a_reuse;
+      if a.A.a_verdict = A.Fail then
+        failwith ("bench: inter_tile: audit failed on " ^ kernel)
+    | A.Skipped r | A.Failed r ->
+      failwith ("bench: inter_tile: audit did not run on " ^ kernel ^ ": " ^ r))
+    kernels;
+  pf "(delta mode must never move more; stencils must move strictly less)\n\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the compiler passes                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -996,7 +1142,7 @@ let all_figs =
   [ ("fig4", fig4); ("fig5", fig5); ("fig6", fig6); ("fig7", fig7);
     ("fig8", fig8); ("ablations", ablations); ("batch", batch);
     ("check", check); ("audit", audit); ("runtime", runtime);
-    ("hierarchy", hierarchy); ("micro", micro) ]
+    ("hierarchy", hierarchy); ("inter_tile", inter_tile); ("micro", micro) ]
 
 let () =
   let requested =

@@ -102,6 +102,14 @@ let optmove_arg =
            ~doc:"Apply the Section 3.1.4 dependence-based copy-set \
                  minimization.")
 
+let intertile_arg =
+  Arg.(value & flag
+       & info [ "inter-tile-reuse" ]
+           ~doc:"Irredundant inter-tile movement: consecutive blocks of \
+                 the innermost block loop move only the footprint delta \
+                 and keep the overlapping slab resident in the \
+                 scratchpad.")
+
 let json_arg =
   Arg.(value & flag
        & info [ "json" ]
@@ -243,6 +251,11 @@ let resolve_machine spec =
 let capacity_words_of hier =
   Emsc_machine.Hierarchy.staging_capacity_words hier
 
+(* every command that resolves --machine folds the hierarchy digest into
+   the option record, so a warm pass cache never serves a plan computed
+   for a different machine *)
+let machine_digest hier = Emsc_machine.Hierarchy.digest hier
+
 let plan_of c =
   match c.Pipeline.plan with
   | Some plan -> plan
@@ -250,8 +263,8 @@ let plan_of c =
                   stage = "plan"; message = "pipeline produced no plan" }
 
 let analyze_cmd =
-  let run file machine arch merge delta optimize_movement json trace no_cache
-      cache_dir out =
+  let run file machine arch merge delta optimize_movement inter_tile_reuse
+      json trace no_cache cache_dir out =
     with_trace trace @@ fun () ->
     let hier = resolve_machine machine in
     let capacity_words = capacity_words_of hier in
@@ -259,7 +272,8 @@ let analyze_cmd =
     let options =
       { Options.default with
         arch; merge_per_array = merge; delta;
-        optimize_movement }
+        optimize_movement; inter_tile_reuse;
+        machine = machine_digest hier }
     in
     (* the registry picks up pass-cache and per-stage counters during
        compilation; the JSON report carries the resulting snapshot *)
@@ -305,8 +319,8 @@ let analyze_cmd =
   in
   Cmd.v (Cmd.info "analyze" ~doc:"Data-management plan for a program block")
     Term.(const run $ file_arg $ machine_arg $ arch_arg $ merge_arg
-          $ delta_arg $ optmove_arg $ json_arg $ trace_arg $ nocache_arg
-          $ cachedir_arg $ out_arg)
+          $ delta_arg $ optmove_arg $ intertile_arg $ json_arg $ trace_arg
+          $ nocache_arg $ cachedir_arg $ out_arg)
 
 let deps_cmd =
   let run file no_cache cache_dir =
@@ -385,8 +399,8 @@ let run_cmd =
       Printf.printf "checksum %-10s = %.6f\n" d.Prog.array_name sum)
       p.Prog.arrays
   in
-  let run file machine params backend jobs policy double_buffer runtime block
-      mem thread =
+  let run file machine params backend jobs policy double_buffer runtime
+      inter_tile_reuse block mem thread =
     let hier = resolve_machine machine in
     let backend = if runtime then `Parallel else backend in
     match backend with
@@ -423,7 +437,8 @@ let run_cmd =
          let spec = spec_of_lists ~depth:s.Prog.depth ~block ~mem ~thread in
          let options =
            { Options.default with
-             Options.find_band = false; tiling = Options.Spec spec }
+             Options.find_band = false; tiling = Options.Spec spec;
+             inter_tile_reuse; machine = machine_digest hier }
          in
          let c =
            ok_or_die
@@ -462,18 +477,19 @@ let run_cmd =
              machine (bit-identical checksums)")
     Term.(const run $ file_arg $ machine_arg $ param_args $ backend_arg
           $ exec_jobs_arg $ policy_arg $ double_buffer_arg $ runtime_flag
-          $ block_arg $ mem_arg $ thread_arg)
+          $ intertile_arg $ block_arg $ mem_arg $ thread_arg)
 
 (* --- emsc profile ------------------------------------------------------- *)
 
 let gpu_profile ~cache ~name ~prog ~hier ~arch ~merge ~delta
-    ~optimize_movement ~spec ~threads ~global_sync ~backend ~jobs ~policy
-    ~double_buffer ~runtime =
+    ~optimize_movement ~inter_tile_reuse ~spec ~threads ~global_sync ~backend
+    ~jobs ~policy ~double_buffer ~runtime =
   let gpu_config = Emsc_machine.Hierarchy.to_gpu_exn hier in
   let capacity_words = capacity_words_of hier in
   let options =
     { Options.default with
       arch; merge_per_array = merge; delta; optimize_movement;
+      inter_tile_reuse; machine = machine_digest hier;
       find_band = false; tiling = Options.Spec spec }
   in
   let c =
@@ -602,9 +618,9 @@ let profile_cmd =
          & info [ "global-sync" ]
              ~doc:"Charge a cross-block synchronization per launch.")
   in
-  let run file machine arch merge delta optimize_movement block mem thread
-      threads global_sync backend jobs policy double_buffer runtime params
-      trace no_cache cache_dir out =
+  let run file machine arch merge delta optimize_movement inter_tile_reuse
+      block mem thread threads global_sync backend jobs policy double_buffer
+      runtime params trace no_cache cache_dir out =
     with_trace trace @@ fun () ->
     let hier = resolve_machine machine in
     let cache = cache_of no_cache cache_dir in
@@ -634,8 +650,8 @@ let profile_cmd =
             else default_runtime_spec ~depth:s.Prog.depth
           in
           gpu_profile ~cache ~name:file ~prog:p ~hier ~arch ~merge ~delta
-            ~optimize_movement ~spec ~threads ~global_sync ~backend ~jobs
-            ~policy ~double_buffer ~runtime
+            ~optimize_movement ~inter_tile_reuse ~spec ~threads ~global_sync
+            ~backend ~jobs ~policy ~double_buffer ~runtime
         | _ ->
           Printf.eprintf
             "profile: tiling flags need a single-statement program\n";
@@ -661,10 +677,10 @@ let profile_cmd =
              metrics: per-launch counters, occupancy, and the \
              compute/bandwidth/latency timing breakdown")
     Term.(const run $ file_arg $ machine_arg $ arch_arg $ merge_arg
-          $ delta_arg $ optmove_arg $ block_arg $ mem_arg $ thread_arg
-          $ threads_arg $ globalsync_arg $ backend_arg $ exec_jobs_arg
-          $ policy_arg $ double_buffer_arg $ runtime_flag $ param_args
-          $ trace_arg $ nocache_arg $ cachedir_arg $ out_arg)
+          $ delta_arg $ optmove_arg $ intertile_arg $ block_arg $ mem_arg
+          $ thread_arg $ threads_arg $ globalsync_arg $ backend_arg
+          $ exec_jobs_arg $ policy_arg $ double_buffer_arg $ runtime_flag
+          $ param_args $ trace_arg $ nocache_arg $ cachedir_arg $ out_arg)
 
 (* --- emsc check --------------------------------------------------------- *)
 
@@ -679,7 +695,7 @@ let check_cmd =
          & info [ "seed" ] ~docv:"S"
              ~doc:"Seed of the program generator (same seed, same programs).")
   in
-  let run fuzz seed machine backend jobs json trace out =
+  let run fuzz seed machine backend jobs inter_tile_reuse json trace out =
     with_trace trace @@ fun () ->
     let hier = resolve_machine machine in
     let progress =
@@ -687,6 +703,7 @@ let check_cmd =
     in
     let report =
       Emsc_check.Fuzz.run ~backend:(backend_of backend jobs) ~fuzz ~seed
+        ~inter_tile:inter_tile_reuse
         ~capacity_words:(capacity_words_of hier) ~hierarchy:hier ~progress ()
     in
     if json then emit_json out (Emsc_check.Fuzz.report_json report)
@@ -707,7 +724,7 @@ let check_cmd =
              bit-identical to sequential execution.  Exits 1 on any \
              failure.")
     Term.(const run $ fuzz_arg $ seed_arg $ machine_arg $ backend_arg
-          $ exec_jobs_arg $ json_arg $ trace_arg $ out_arg)
+          $ exec_jobs_arg $ intertile_arg $ json_arg $ trace_arg $ out_arg)
 
 (* --- emsc compile ------------------------------------------------------- *)
 
@@ -805,7 +822,7 @@ let audit_cmd =
          & info [ "suite" ] ~doc:"Also audit the built-in kernel suite.")
   in
   let run files suite tolerance machine arch merge delta optimize_movement
-      params json trace no_cache cache_dir out =
+      inter_tile_reuse params json trace no_cache cache_dir out =
     with_trace trace @@ fun () ->
     let hier = resolve_machine machine in
     if files = [] && not suite then begin
@@ -815,7 +832,8 @@ let audit_cmd =
     let cache = cache_of no_cache cache_dir in
     let options =
       { Options.default with
-        arch; merge_per_array = merge; delta; optimize_movement }
+        arch; merge_per_array = merge; delta; optimize_movement;
+        inter_tile_reuse; machine = machine_digest hier }
     in
     let param_env =
       if params = [] then Runner.zero_env else cli_env params
@@ -865,8 +883,9 @@ let audit_cmd =
              telemetry.  Exits 1 when a compilation fails or drift \
              exceeds the tolerance.")
     Term.(const run $ files_arg $ suite_arg $ tolerance_arg $ machine_arg
-          $ arch_arg $ merge_arg $ delta_arg $ optmove_arg $ param_args
-          $ json_arg $ trace_arg $ nocache_arg $ cachedir_arg $ out_arg)
+          $ arch_arg $ merge_arg $ delta_arg $ optmove_arg $ intertile_arg
+          $ param_args $ json_arg $ trace_arg $ nocache_arg $ cachedir_arg
+          $ out_arg)
 
 (* --- emsc bench-compare ------------------------------------------------- *)
 

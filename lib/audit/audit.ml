@@ -30,12 +30,19 @@ type edge_group = {
 
 type verdict = Pass | Warn | Fail
 
+type reuse_group = {
+  r_buffer : string;
+  r_redundant : float;
+  r_irredundant : float;
+}
+
 type t = {
   a_source : string;
   a_tiled : bool;
   a_tolerance : float;
   a_machine : string;
   a_groups : group list;
+  a_reuse : reuse_group list;
   a_placement : Placement.t option;
   a_edges : edge_group list;
   a_program : quantity list;
@@ -179,8 +186,9 @@ let volume (plan : Plan.t) (b : Plan.buffered) kind env =
   with Failure _ | Not_found -> None
 
 (* per-occurrence volume scaled to a whole-run total; a movement list
-   the plan left empty is a *known* zero, not an unknown *)
-let predict_movement c plan env (b : Plan.buffered) kind =
+   the plan left empty is a *known* zero, not an unknown.  This is the
+   REDUNDANT model: every block pays its full footprint. *)
+let predict_full_movement c plan env (b : Plan.buffered) kind =
   let code =
     match kind with `Read -> b.Plan.move_in | `Write -> b.Plan.move_out
   in
@@ -189,6 +197,100 @@ let predict_movement c plan env (b : Plan.buffered) kind =
     match occurrences c b, volume plan b kind env with
     | Some occ, Some v -> Some (occ *. v)
     | _ -> None
+
+(* data spaces live in (params ++ array dims); fix the leading
+   parameter dimensions under a valuation — same convention as the
+   invariant checker *)
+let instantiate_union prog ~env us =
+  let np = Prog.nparams prog in
+  let values = Array.map env prog.Prog.params in
+  let fix_piece p =
+    let p = ref p in
+    for k = 0 to np - 1 do
+      p := Poly.fix_dim !p 0 values.(k)
+    done;
+    !p
+  in
+  Uset.of_pieces ~dim:(Uset.dim us - np) (List.map fix_piece (Uset.pieces us))
+
+(* exact point count of a plan data set with the reuse origin pinned at
+   a chosen block and every other origin at the valuation *)
+let count_at prog ~env ~origin ~origin_at us =
+  let env' name = if name = origin then origin_at else env name in
+  match Count.count_uset (instantiate_union prog ~env:env' us) with
+  | Count.Exact n -> Some (Zint.to_float n)
+  | Count.More_than _ | Count.Unbounded -> None
+  | exception _ -> None
+
+(* (total blocks, chains) of a reuse buffer over the whole run: the
+   origin steps [trips] times per chain, so the block-tile count
+   factors into chains of [trips] consecutive blocks *)
+let reuse_chain_counts c (b : Plan.buffered) (r : Plan.reuse) =
+  match occurrences c b with
+  | None -> None
+  | Some blocks ->
+    let trips =
+      float_of_int (((r.Plan.r_last - r.Plan.r_lb) / r.Plan.r_step) + 1)
+    in
+    Some (blocks, blocks /. trips)
+
+(* IRREDUNDANT model for a reuse buffer: each chain opens (move-in) or
+   closes (move-out) with one full transfer; its other blocks move
+   only the delta.  Delta sizes are taken at a chain-interior block
+   (origin = lb + step); blocks clipped by the domain boundary move
+   less, so the prediction stays an upper bound. *)
+let predict_reuse_movement c plan env (b : Plan.buffered) (r : Plan.reuse)
+    kind =
+  match reuse_chain_counts c b r with
+  | None -> None
+  | Some (blocks, chains) ->
+    let prog = plan.Plan.prog in
+    let origin = r.Plan.r_origin in
+    let full, delta =
+      match kind with
+      | `Read -> (r.Plan.r_full_in, r.Plan.r_delta_in)
+      | `Write -> (r.Plan.r_full_out, r.Plan.r_delta_out)
+    in
+    (match
+       count_at prog ~env ~origin ~origin_at:(Zint.of_int r.Plan.r_lb) full
+     with
+     | None -> None
+     | Some fv ->
+       if r.Plan.r_lb = r.Plan.r_last then Some (chains *. fv)
+       else (
+         match
+           count_at prog ~env ~origin
+             ~origin_at:(Zint.of_int (r.Plan.r_lb + r.Plan.r_step))
+             delta
+         with
+         | Some dv -> Some ((chains *. fv) +. ((blocks -. chains) *. dv))
+         | None -> None))
+
+let predict_movement c plan env (b : Plan.buffered) kind =
+  match b.Plan.reuse with
+  | Some r -> (
+    match predict_reuse_movement c plan env b r kind with
+    | Some _ as v -> v
+    | None -> predict_full_movement c plan env b kind)
+  | None -> predict_full_movement c plan env b kind
+
+(* local-to-local relocation of resident slabs: invisible to the DMA
+   counters but one scratchpad load + store per shifted cell, so the
+   program-level smem prediction must carry it *)
+let predict_buffer_shift c plan env (b : Plan.buffered) =
+  match b.Plan.reuse with
+  | Some r
+    when Array.exists (fun s -> s <> 0) r.Plan.r_shift
+         && r.Plan.r_lb <> r.Plan.r_last -> (
+    match
+      ( reuse_chain_counts c b r,
+        count_at plan.Plan.prog ~env ~origin:r.Plan.r_origin
+          ~origin_at:(Zint.of_int (r.Plan.r_lb + r.Plan.r_step))
+          r.Plan.r_resident )
+    with
+    | Some (blocks, chains), Some rv -> Some ((blocks -. chains) *. rv)
+    | _ -> None)
+  | _ -> Some 0.0
 
 (* ------------------------------------------------------------------ *)
 (* Measured side                                                       *)
@@ -273,6 +375,36 @@ let audit_group c plan env m mem (b : Plan.buffered) =
   end;
   { g_buffer = name; g_array = b.Plan.buffer.Alloc.array;
     g_quantities = List.rev !quantities; g_unknown = List.rev !unknown }
+
+(* redundant vs irredundant movement for a reuse buffer: the
+   counterfactual every-block-pays-its-footprint total against the
+   words the delta-mode run actually moved.  A delta run may never move
+   MORE than full mode would — that's the bug class this section
+   gates. *)
+let reuse_group c plan env m (b : Plan.buffered) =
+  match b.Plan.reuse with
+  | None -> None
+  | Some r ->
+    let name = b.Plan.buffer.Alloc.local_name in
+    let labels = [ ("buffer", name) ] in
+    let measured =
+      Metrics.counter_value ~labels m "exec.move_in_words"
+      +. Metrics.counter_value ~labels m "exec.move_out_words"
+    in
+    let prog = plan.Plan.prog in
+    let origin = r.Plan.r_origin in
+    let at_lb = Zint.of_int r.Plan.r_lb in
+    (match
+       ( reuse_chain_counts c b r,
+         count_at prog ~env ~origin ~origin_at:at_lb r.Plan.r_full_in,
+         count_at prog ~env ~origin ~origin_at:at_lb r.Plan.r_full_out )
+     with
+     | Some (blocks, _), Some fin, Some fout ->
+       Some
+         { r_buffer = name;
+           r_redundant = blocks *. (fin +. fout);
+           r_irredundant = measured }
+     | _ -> None)
 
 let sum_known = function
   | [] -> Some 0.0
@@ -380,6 +512,11 @@ let audit_compiled ?(tolerance = default_tolerance) ?(double_buffer = false)
            List.map (audit_group c plan env m mem) plan.Plan.buffered
          else []
        in
+       let reuse_groups =
+         if staging then
+           List.filter_map (reuse_group c plan env m) plan.Plan.buffered
+         else []
+       in
        let placement, edges =
          if staging && plan.Plan.buffered <> [] then
            let p, e = audit_edges c plan env m hierarchy ~double_buffer in
@@ -400,14 +537,23 @@ let audit_compiled ?(tolerance = default_tolerance) ?(double_buffer = false)
                 plan.Plan.buffered)
          else Some 0.0
        in
+       let pred_shift =
+         if staging then
+           sum_known
+             (List.map (predict_buffer_shift c plan env) plan.Plan.buffered)
+         else Some 0.0
+       in
        let access = predict_accesses ~staging c plan env in
        let totals = res.Exec.totals in
        let program, timing, unknowns =
-         match access, pred_in, pred_out with
-         | Some a, Some tin, Some tout ->
-           (* each moved word is one global op and one scratchpad op *)
+         match access, pred_in, pred_out, pred_shift with
+         | Some a, Some tin, Some tout, Some tsh ->
+           (* each moved word is one global op and one scratchpad op;
+              each shifted (relocated) word is two scratchpad ops *)
            let g_pred = a.p_g_ld +. a.p_g_st +. tin +. tout in
-           let s_pred = a.p_s_ld +. a.p_s_st +. tin +. tout in
+           let s_pred =
+             a.p_s_ld +. a.p_s_st +. tin +. tout +. (2.0 *. tsh)
+           in
            let program =
              [ quantity "flops" a.p_flops totals.Exec.flops;
                quantity "global_words" g_pred (Exec.total_global totals);
@@ -438,8 +584,8 @@ let audit_compiled ?(tolerance = default_tolerance) ?(double_buffer = false)
            pc.Exec.flops <- a.p_flops;
            pc.Exec.g_ld <- a.p_g_ld +. tin;
            pc.Exec.g_st <- a.p_g_st +. tout;
-           pc.Exec.s_ld <- a.p_s_ld +. tout;
-           pc.Exec.s_st <- a.p_s_st +. tin;
+           pc.Exec.s_ld <- a.p_s_ld +. tout +. tsh;
+           pc.Exec.s_st <- a.p_s_st +. tin +. tsh;
            (* synchronization is placement-driven, not modelled here:
               audit the three resource terms on sync-free counters *)
            let pb = breakdown pc and mb = breakdown (zeroed_sync totals) in
@@ -464,6 +610,12 @@ let audit_compiled ?(tolerance = default_tolerance) ?(double_buffer = false)
               [ "movement optimization on: predictions use the \
                  unoptimized copy sets (upper bounds)" ]
             else [])
+         @ (if reuse_groups <> [] then
+              [ "inter-tile reuse on: movement predictions use the \
+                 chain-aware delta model; the reuse section compares \
+                 measured movement against the full-per-block \
+                 counterfactual" ]
+            else [])
          @
          if staging then []
          else
@@ -486,9 +638,22 @@ let audit_compiled ?(tolerance = default_tolerance) ?(double_buffer = false)
        in
        (* predictions are upper bounds: measured above predicted is a
           soundness violation of the model and fails; slack beyond the
-          tolerance (loose boxes, e.g. diagonal access) only warns *)
+          tolerance (loose boxes, e.g. diagonal access) only warns.
+          Irredundant (delta) movement exceeding the redundant
+          counterfactual is likewise unsound — delta mode must never
+          move more than full mode would. *)
+       let reuse_unsound =
+         List.exists
+           (fun rg ->
+             rg.r_irredundant
+             > rg.r_redundant +. (1e-6 *. Float.max 1.0 rg.r_redundant))
+           reuse_groups
+       in
        let verdict =
-         if List.exists (fun q -> q.q_rel_err < -.tolerance) all_q then Fail
+         if
+           reuse_unsound
+           || List.exists (fun q -> q.q_rel_err < -.tolerance) all_q
+         then Fail
          else if
            any_unknown || List.exists (fun q -> q.q_rel_err > tolerance) all_q
          then Warn
@@ -500,6 +665,7 @@ let audit_compiled ?(tolerance = default_tolerance) ?(double_buffer = false)
            a_tolerance = tolerance;
            a_machine = Hierarchy.name hierarchy;
            a_groups = groups;
+           a_reuse = reuse_groups;
            a_placement = placement;
            a_edges = edges;
            a_program = program;
@@ -548,6 +714,16 @@ let group_json g =
       ("quantities", J.List (List.map quantity_json g.g_quantities));
       ("unknown", strs g.g_unknown) ]
 
+let reuse_group_json rg =
+  J.Obj
+    [ ("buffer", J.Str rg.r_buffer);
+      ("redundant_words", J.Float rg.r_redundant);
+      ("irredundant_words", J.Float rg.r_irredundant);
+      ( "saved_fraction",
+        J.Float
+          ((rg.r_redundant -. rg.r_irredundant)
+          /. Float.max 1.0 rg.r_redundant) ) ]
+
 let edge_group_json e =
   J.Obj
     [ ("edge", J.Str e.e_edge);
@@ -565,6 +741,7 @@ let json t =
       ( "worst",
         match t.a_worst with Some q -> quantity_json q | None -> J.Null );
       ("groups", J.List (List.map group_json t.a_groups));
+      ("reuse", J.List (List.map reuse_group_json t.a_reuse));
       ( "placement",
         match t.a_placement with
         | Some p -> Placement.to_json p
@@ -606,6 +783,14 @@ let pp fmt t =
     List.iter (fun u -> Format.fprintf fmt "  %-18s (not predicted)@," u)
       g.g_unknown)
     t.a_groups;
+  List.iter (fun rg ->
+    Format.fprintf fmt
+      "reuse %-12s irredundant %14.6g  redundant %14.6g  saved %.1f%%@,"
+      rg.r_buffer rg.r_irredundant rg.r_redundant
+      (100.0
+      *. (rg.r_redundant -. rg.r_irredundant)
+      /. Float.max 1.0 rg.r_redundant))
+    t.a_reuse;
   List.iter (fun e ->
     Format.fprintf fmt "edge %s (%s)@," e.e_edge t.a_machine;
     List.iter (fun q -> Format.fprintf fmt "  %a@," pp_quantity q)

@@ -53,12 +53,27 @@ type edge_group = {
 
 type verdict = Pass | Warn | Fail
 
+(** Redundant-vs-irredundant movement for one buffer planned with
+    inter-tile reuse: [r_redundant] is the counterfactual
+    full-per-block total (every block pays its whole footprint, in and
+    out), [r_irredundant] the words the delta-mode run actually moved.
+    [r_irredundant > r_redundant] fails the audit — delta movement may
+    never exceed what full movement would have cost. *)
+type reuse_group = {
+  r_buffer : string;
+  r_redundant : float;
+  r_irredundant : float;
+}
+
 type t = {
   a_source : string;
   a_tiled : bool;
   a_tolerance : float;
   a_machine : string;          (** hierarchy the audit ran against *)
   a_groups : group list;       (** one per staged buffer *)
+  a_reuse : reuse_group list;
+      (** one per buffer planned with inter-tile reuse (empty
+          otherwise); part of the verdict *)
   a_placement : Emsc_machine.Placement.t option;
       (** per-level placement of the staged buffers (staging runs) *)
   a_edges : edge_group list;
@@ -72,9 +87,10 @@ type t = {
   a_worst : quantity option;   (** largest absolute relative error *)
   a_verdict : verdict;
       (** [Fail] when any quantity is under-predicted beyond the
-          tolerance (the upper-bound model is unsound there); [Warn]
-          when over-prediction slack exceeds the tolerance or some
-          quantity could not be predicted; [Pass] otherwise *)
+          tolerance (the upper-bound model is unsound there) or any
+          reuse buffer moved more than the redundant counterfactual;
+          [Warn] when over-prediction slack exceeds the tolerance or
+          some quantity could not be predicted; [Pass] otherwise *)
   a_metrics : Emsc_obs.Metrics.snapshot;
       (** registry diff over the measured run (movement per buffer,
           occupancy, run totals) *)

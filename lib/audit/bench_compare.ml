@@ -78,6 +78,20 @@ let level_movement_section j =
       fields
   | _ -> []
 
+(* "<kernel>.<full|delta>[.<buffer>]" -> words moved by the inter-tile
+   reuse figure; absent in artifacts that predate delta movement, so
+   absence is an empty section (new keys surface as "added", not
+   "missing").  Deterministic like level_movement: gated with the move
+   tolerance, so a delta-mode volume that creeps back up toward the
+   redundant full-mode volume fails the comparison *)
+let transfer_volume_section j =
+  match J.member "transfer_volume" j with
+  | Some (J.Obj fields) ->
+    List.filter_map (fun (k, v) ->
+      match num v with Some f -> Some (k, f) | None -> None)
+      fields
+  | _ -> []
+
 (* kernel -> global words moved (loads + stores): the deterministic
    movement-volume figure of merit *)
 let movement_section j =
@@ -140,6 +154,8 @@ let compare ?(wall_tolerance = default_wall_tolerance)
            move_old move_new
       |> diff_section ~metric:"level_words" ~tolerance:move_tolerance
            (level_movement_section old_j) (level_movement_section new_j)
+      |> diff_section ~metric:"transfer_words" ~tolerance:move_tolerance
+           (transfer_volume_section old_j) (transfer_volume_section new_j)
       |> diff_section ~metric:"runtime_wall_ms" ~tolerance:runtime_tolerance
            (runtime_section old_j) (runtime_section new_j)
       (* a freshly failing overlap audit (0 -> 1) is a regression in

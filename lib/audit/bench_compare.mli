@@ -10,8 +10,13 @@
     time is machine-dependent, so it gets its own — typically
     generous — tolerance; movement volume is deterministic and is
     gated tightly; the runtime section is gated loosest of all (domain
-    scheduling on shared CI hosts is noisy).  Absence of the
-    [runtime_wall_ms] or [runtime_report] sections from an older
+    scheduling on shared CI hosts is noisy).  The [transfer_volume]
+    section (full- vs delta-mode movement words from the inter-tile
+    reuse figure) is deterministic and gated with the movement
+    tolerance, so delta movement creeping back toward the redundant
+    full-mode volume is a regression.  Absence of the
+    [runtime_wall_ms], [runtime_report], [level_movement] or
+    [transfer_volume] sections from an older
     artifact is fine — the new points show up as added, not missing.
     A key present in the old artifact but missing from the new one is a
     lost measurement and fails the comparison. *)

@@ -41,12 +41,19 @@ let untiled_settings =
       options = { base with Options.arch = `Gpu; delta = 0.0 };
       needs_independence = false } ]
 
-let settings_for (spec : Gen.t) =
+let settings_for ~inter_tile (spec : Gen.t) =
   match spec.Gen.stmts with
   | [ s ] when not spec.Gen.uses_param ->
     let tile_spec =
       Array.init s.Gen.depth (fun _ ->
         { Tile.block = None; mem = Some 4; thread = None })
+    in
+    (* block tiling with no mem level: the shape inter-tile reuse keys
+       on — every dim's origin is a launch parameter and consecutive
+       innermost blocks form residency chains *)
+    let block_spec =
+      Array.init s.Gen.depth (fun _ ->
+        { Tile.block = Some 4; mem = None; thread = None })
     in
     untiled_settings
     @ [ { sname = "cell-tiled4";
@@ -56,6 +63,16 @@ let settings_for (spec : Gen.t) =
               find_band = false;
               tiling = Options.Spec tile_spec };
           needs_independence = true } ]
+    @ (if inter_tile then
+         [ { sname = "cell-intertile4";
+             options =
+               { Options.default with
+                 Options.arch = `Cell;
+                 find_band = false;
+                 inter_tile_reuse = true;
+                 tiling = Options.Spec block_spec };
+             needs_independence = true } ]
+       else [])
   | _ -> untiled_settings
 
 (* valuation for the plan's program: original parameters from
@@ -117,7 +134,8 @@ let check_setting ~backend ~capacity_words ~hierarchy (spec : Gen.t) (st : setti
        | Ok () -> Ok (Some ())
        | Error _ as e -> e)
 
-let check_generated ~backend ~capacity_words ~hierarchy ~progress ~seed i =
+let check_generated ~backend ~capacity_words ~hierarchy ~inter_tile ~progress
+    ~seed i =
   let rng = Random.State.make [| seed; i |] in
   let spec = Gen.generate rng in
   Emsc_obs.Metrics.counter "fuzz.generated" 1.0;
@@ -153,7 +171,7 @@ let check_generated ~backend ~capacity_words ~hierarchy ~progress ~seed i =
           reason;
           program = Gen.to_string small }
         :: !failures)
-    (settings_for spec);
+    (settings_for ~inter_tile spec);
   (!checks, List.rev !failures)
 
 let check_suite_job ~backend ~capacity_words ~hierarchy (job : Pipeline.job) =
@@ -177,11 +195,14 @@ let check_suite_job ~backend ~capacity_words ~hierarchy (job : Pipeline.job) =
             [ { origin = name; setting = "suite"; reason; program = "" } ] )))
 
 let run ?(backend = `Seq) ?(fuzz = 50) ?(seed = 1) ?(capacity_words = 4096)
-    ?hierarchy ?(progress = fun _ -> ()) () =
+    ?hierarchy ?(inter_tile = false) ?(progress = fun _ -> ()) () =
   Emsc_obs.Trace.span "check.run" @@ fun () ->
   let checks = ref 0 and failures = ref [] in
   for i = 0 to fuzz - 1 do
-    let c, fs = check_generated ~backend ~capacity_words ~hierarchy ~progress ~seed i in
+    let c, fs =
+      check_generated ~backend ~capacity_words ~hierarchy ~inter_tile
+        ~progress ~seed i
+    in
     checks := !checks + c;
     failures := !failures @ fs
   done;

@@ -27,7 +27,8 @@ type report = {
 val run :
   ?backend:Emsc_driver.Runner.backend ->
   ?fuzz:int -> ?seed:int -> ?capacity_words:int ->
-  ?hierarchy:Emsc_machine.Hierarchy.t -> ?progress:(string -> unit) ->
+  ?hierarchy:Emsc_machine.Hierarchy.t -> ?inter_tile:bool ->
+  ?progress:(string -> unit) ->
   unit -> report
 (** Defaults: [backend = `Seq], [fuzz = 50], [seed = 1],
     [capacity_words = 4096] (the GTX 8800 scratchpad).  Program [i] is
@@ -36,7 +37,11 @@ val run :
     {!Oracle}: under [`Par jobs] every tiled check also requires
     race-freedom and counter totals bit-identical to sequential
     execution.  [hierarchy] additionally runs the per-level placement
-    capacity invariant of every plan against the given machine. *)
+    capacity invariant of every plan against the given machine.
+    [inter_tile] adds a block-tiled setting with [inter_tile_reuse]
+    on, so every dependence-free single-statement program also
+    exercises delta movement, residency chains and the reuse-partition
+    invariant. *)
 
 val report_json : report -> Emsc_obs.Json.t
 val pp_report : Format.formatter -> report -> unit

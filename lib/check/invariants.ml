@@ -232,6 +232,39 @@ let check ?capacity_words ?hierarchy ?(double_buffer = false)
       and writes = instantiate_union prog ~env
           (Dataspaces.writes_union prog buf.Alloc.partition)
       in
+      (* inter-tile reuse: the delta/resident split must partition the
+         per-block footprint exactly — every integer point, symbolic in
+         the tile origins — and the delta move-out must stay inside the
+         write footprint.  At the valuation (origins at their lower
+         bound: a chain's FIRST block) move-in takes the full path but
+         move-out takes the delta path whenever the chain has more than
+         one block, so the move-out cover check below compares against
+         the delta set instead of the whole write space. *)
+      let reuse_out =
+        match b.Plan.reuse with
+        | None -> None
+        | Some r ->
+          if
+            not
+              (Uset.equal_set
+                 (Uset.union r.Plan.r_delta_in r.Plan.r_resident)
+                 r.Plan.r_full_in)
+          then
+            report ~invariant:"reuse-partition"
+              "delta move-in U resident differs from the full per-block \
+               footprint";
+          if
+            not
+              (Uset.equal_set
+                 (Uset.union r.Plan.r_delta_out r.Plan.r_full_out)
+                 r.Plan.r_full_out)
+          then
+            report ~invariant:"reuse-partition"
+              "delta move-out leaves the write footprint";
+          if r.Plan.r_lb <> r.Plan.r_last then
+            Some (instantiate_union prog ~env r.Plan.r_delta_out)
+          else None
+      in
       let in_globals = List.map (split ~dir:`In) move_in in
       let in_set = distinct ~what:"move-in" in_globals in
       (* move-in never exceeds the partition's data spaces *)
@@ -271,16 +304,21 @@ let check ?capacity_words ?hierarchy ?(double_buffer = false)
                buf.Alloc.array (idx_str g)))
         out_globals;
       if live_out buf.Alloc.array then begin
-        if not optimized_movement then
-          match Count.count_uset writes with
+        if not optimized_movement then begin
+          let expected_set, what =
+            match reuse_out with
+            | Some delta -> (delta, "delta move-out set")
+            | None -> (writes, "write data space")
+          in
+          match Count.count_uset expected_set with
           | Count.Exact n ->
             let expected = Zint.to_int_exn n in
             if List.length out_globals <> expected then
               report ~invariant:"movement-cover"
-                (Printf.sprintf "move-out writes %d elements, write data \
-                                 space has %d"
-                   (List.length out_globals) expected)
+                (Printf.sprintf "move-out writes %d elements, %s has %d"
+                   (List.length out_globals) what expected)
           | Count.More_than _ | Count.Unbounded -> ()
+        end
       end
       else if move_out <> [] then
         report ~invariant:"live-out"

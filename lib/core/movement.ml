@@ -31,6 +31,40 @@ let copy_code ?context p (buf : Alloc.buffer) ~dir ~data =
   in
   Scan.scan_uset ?context ~names ~outer:np ~body data
 
+(* Local-to-local relocation of the resident slab for inter-tile reuse:
+   when the buffer's global window advances with the block origin, a
+   kept cell's local address drops by the per-dim shift, so the cells
+   that stay resident must move to their new addresses before the delta
+   move-in fills the rest.  [new[i] = old[i + s]] scanned in ascending
+   (lexicographic) order is safe for s >= 0: the source cell is always
+   ahead of the write front.  [data] is scanned in global coordinates,
+   like the movement code, so the same context-based guard elision
+   applies. *)
+let shift_code ?context p (buf : Alloc.buffer) ~shift ~data =
+  if Array.for_all (fun s -> s = 0) shift then []
+  else begin
+    let np = Prog.nparams p in
+    let rank = buf.Alloc.orig_rank in
+    let dnames = data_dim_names ~prefix:"c" rank in
+    let names = Array.append p.Prog.params dnames in
+    let idx i k =
+      Ast.simplify (Ast.Sub (Ast.Var dnames.(k), buf.Alloc.lbs.(i).expr))
+    in
+    let dst : Ast.ref_expr =
+      { array = buf.Alloc.local_name;
+        indices = Array.mapi (fun i k -> idx i k) buf.Alloc.kept }
+    in
+    let src : Ast.ref_expr =
+      { array = buf.Alloc.local_name;
+        indices =
+          Array.mapi (fun i k ->
+            Ast.simplify (Ast.Add (idx i k, Ast.int_ shift.(i))))
+            buf.Alloc.kept }
+    in
+    Scan.scan_uset ?context ~names ~outer:np
+      ~body:[ Ast.Copy { dst; src } ] data
+  end
+
 let move_in ?context p buf =
   copy_code ?context p buf ~dir:`In
     ~data:(Dataspaces.reads_union p buf.Alloc.partition)

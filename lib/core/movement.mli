@@ -23,6 +23,17 @@ val copy_code :
     original array and the local buffer.  [`In] copies global → local,
     [`Out] local → global. *)
 
+val shift_code :
+  ?context:Poly.t -> Prog.t -> Alloc.buffer -> shift:int array ->
+  data:Uset.t -> Ast.stm list
+(** Local-to-local relocation of the resident slab for inter-tile
+    reuse: scans [data] (the resident set, in global coordinates) and
+    copies each cell from its previous-block local address
+    [idx + shift] to its current one [idx].  [shift] is per kept dim
+    and must be non-negative (ascending scan order then never
+    overwrites a cell before reading it); an all-zero shift returns
+    [[]] — resident cells already sit at the right addresses. *)
+
 val move_in : ?context:Poly.t -> Prog.t -> Alloc.buffer -> Ast.stm list
 (** Copy-in of everything read in the partition. *)
 

@@ -4,11 +4,33 @@ open Emsc_poly
 open Emsc_ir
 open Emsc_codegen
 
+(* Inter-tile reuse: consecutive blocks along the innermost block
+   origin share most of their footprint, so every block after the first
+   of a chain moves only the delta and every block before the last
+   flushes only the writes no later block rewrites.  The sets are
+   symbolic in the tile origins; the generated movement selects full or
+   delta code with origin-based guards, so it stays deterministic (the
+   sequential and parallel executors run bit-identical copies). *)
+type reuse = {
+  r_origin : string;  (** innermost block origin parameter *)
+  r_step : int;       (** its loop step (the block size) *)
+  r_lb : int;         (** first origin value of a chain *)
+  r_last : int;       (** origin value of a chain's final block *)
+  r_full_in : Uset.t;   (** DS(o), what a chain-opening block loads *)
+  r_delta_in : Uset.t;  (** DS(o) − DS(o−step) *)
+  r_resident : Uset.t;  (** DS(o) ∩ DS(o−step) *)
+  r_full_out : Uset.t;  (** W(o), what a chain-closing block flushes *)
+  r_delta_out : Uset.t; (** W(o) − W(o+step): a later block of the
+                            chain rewrites (and flushes) the rest *)
+  r_shift : int array;  (** local relocation per kept dim *)
+}
+
 type buffered = {
   buffer : Alloc.buffer;
   report : Reuse.report;
   move_in : Ast.stm list;
   move_out : Ast.stm list;
+  reuse : reuse option;
 }
 
 type t = {
@@ -19,9 +41,101 @@ type t = {
   arch : [ `Gpu | `Cell ];
 }
 
+let expr_vars e = Ast.free_vars [ Ast.Guard ([ e ], []) ]
+
+(* g ∈ result(o) ⟺ (o + delta, g) ∈ data: the footprint of an adjacent
+   block, over the same (params, data) space *)
+let origin_shifted ~oi ~delta data =
+  let dim = Uset.dim data in
+  let map =
+    Array.init dim (fun r ->
+      let row = Vec.make (dim + 1) in
+      row.(r) <- Zint.one;
+      if r = oi then row.(dim) <- Zint.of_int delta;
+      row)
+  in
+  Uset.image data map
+
+(* Decide whether a buffer can carry the inter-tile delta, and compute
+   the symbolic sets if so.  Refused (falling back to full per-block
+   movement, which is always sound) when:
+   - the movement sits inside a mem loop: the buffer is re-staged per
+     mem iteration, so block-to-block residency does not exist;
+   - a buffer bound tracks the origin but not as a unit-coefficient
+     affine row, the size is not origin-invariant, or the local window
+     moves backwards: the resident relocation would not be a constant
+     non-negative per-dim shift;
+   - a nonzero shift with a genuinely non-convex resident set: the
+     ascending scan-order safety argument is per convex piece, so a
+     multi-piece set is accepted only when its template hull is exact
+     on integer points (e.g. the contiguous union of a stencil's
+     shifted reads) and the relocation scans that single hull. *)
+let reuse_of ~p ~param_context ~origin ~step ~mem_names ~buffer ~in_data
+    ~out_data ~full_in ~full_out =
+  match param_context with
+  | None -> None
+  | Some ctx -> begin
+    try
+      let params = p.Prog.params in
+      let oi =
+        let rec find i =
+          if i >= Array.length params then raise Exit
+          else if params.(i) = origin then i
+          else find (i + 1)
+        in
+        find 0
+      in
+      let lb, hi =
+        match Poly.var_bounds_int ctx oi with
+        | Some lo, Some hi -> (Zint.to_int_exn lo, Zint.to_int_exn hi)
+        | _ -> raise Exit
+      in
+      let last = lb + ((hi - lb) / step) * step in
+      let fv = Ast.free_vars (full_in @ full_out) in
+      if List.exists (fun m -> List.mem m fv) mem_names then raise Exit;
+      let shift =
+        Array.mapi (fun i _k ->
+          let lbb = buffer.Alloc.lbs.(i) and ubb = buffer.Alloc.ubs.(i) in
+          let mentions (b : Alloc.bound) = List.mem origin (expr_vars b.Alloc.expr) in
+          if not (mentions lbb) && not (mentions ubb) then 0
+          else
+            match lbb.Alloc.row, ubb.Alloc.row with
+            | Some lrow, Some urow when Zint.compare lrow.(oi) urow.(oi) = 0 ->
+              let s = Zint.to_int_exn (Zint.mul lrow.(oi) (Zint.of_int step)) in
+              if s < 0 then raise Exit else s
+            | _ -> raise Exit)
+          buffer.Alloc.kept
+      in
+      let prev_in = origin_shifted ~oi ~delta:step in_data in
+      let next_out = origin_shifted ~oi ~delta:(-step) out_data in
+      let resident = Uset.intersect in_data prev_in in
+      let resident =
+        if Array.for_all (fun s -> s = 0) shift then resident
+        else
+          match Uset.pieces (Uset.make_disjoint resident) with
+          | [] | [ _ ] -> resident
+          | _ ->
+            (* multi-access footprints (stencils) intersect to a
+               multi-piece representation of what is often a convex
+               set: coalesce through the template hull when that is
+               exact on integer points, else refuse *)
+            let hull = Uset.of_poly (Uset.template_hull resident) in
+            if Uset.equal_set hull resident then hull else raise Exit
+      in
+      Some
+        { r_origin = origin; r_step = step; r_lb = lb; r_last = last;
+          r_full_in = in_data;
+          r_delta_in = Uset.subtract in_data prev_in;
+          r_resident = resident;
+          r_full_out = out_data;
+          r_delta_out = Uset.subtract out_data next_out;
+          r_shift = shift }
+    with Exit | Failure _ -> None
+  end
+
 let plan_block ?(delta = 0.3) ?param_env ?param_context ?(arch = `Gpu)
     ?(optimize_movement = false) ?(live_out = fun _ -> true)
-    ?(merge_per_array = false) p =
+    ?(merge_per_array = false) ?inter_tile p =
   Emsc_obs.Trace.span "plan.plan_block"
     ~args:
       [ ("arch", Emsc_obs.Json.Str (match arch with `Gpu -> "gpu" | `Cell -> "cell"));
@@ -102,7 +216,49 @@ let plan_block ?(delta = 0.3) ?param_env ?param_context ?(arch = `Gpu)
         Movement.copy_code ?context:param_context p buffer ~dir:`Out
           ~data:out_data
       in
-      buffered := { buffer; report; move_in; move_out } :: !buffered
+      (* optimized movement already prunes the move-in with flow-
+         dependence cover, whose interaction with cross-block residency
+         is not established; the two refinements are exclusive *)
+      let reuse =
+        match inter_tile with
+        | Some (origin, step, mem_names) when not optimize_movement ->
+          Emsc_obs.Trace.span "plan.inter_tile_reuse" @@ fun () ->
+          reuse_of ~p ~param_context ~origin ~step ~mem_names ~buffer
+            ~in_data ~out_data ~full_in:move_in ~full_out:move_out
+        | _ -> None
+      in
+      let move_in, move_out =
+        match reuse with
+        | None -> (move_in, move_out)
+        | Some r ->
+          let o = Ast.Var r.r_origin in
+          let delta_in_nests =
+            Movement.copy_code ?context:param_context p buffer ~dir:`In
+              ~data:r.r_delta_in
+          in
+          let delta_out_nests =
+            Movement.copy_code ?context:param_context p buffer ~dir:`Out
+              ~data:r.r_delta_out
+          in
+          let shift_nests =
+            Movement.shift_code ?context:param_context p buffer
+              ~shift:r.r_shift ~data:r.r_resident
+          in
+          (* all guard conditions are over the block origin, which both
+             executors bind identically: full movement on the chain's
+             first (move-in) / last (move-out) block, delta elsewhere.
+             The shift must precede the delta nests — the delta may
+             land on old addresses of resident cells. *)
+          ( [ Ast.Guard ([ Ast.Sub (Ast.int_ r.r_lb, o) ], move_in);
+              Ast.Guard
+                ( [ Ast.simplify (Ast.Sub (o, Ast.int_ (r.r_lb + 1))) ],
+                  shift_nests @ delta_in_nests ) ],
+            [ Ast.Guard
+                ( [ Ast.simplify (Ast.Sub (Ast.int_ (r.r_last - 1), o)) ],
+                  delta_out_nests );
+              Ast.Guard ([ Ast.Sub (o, Ast.int_ r.r_last) ], move_out) ] )
+      in
+      buffered := { buffer; report; move_in; move_out; reuse } :: !buffered
     end
     else skipped := (part, report) :: !skipped)
     partitions;
@@ -172,6 +328,9 @@ type buffer_summary = {
           stays symbolic *)
   b_move_in_nests : int;
   b_move_out_nests : int;
+  b_inter_tile_reuse : bool;
+      (** the buffer carries the inter-tile delta: chain-interior
+          blocks move only the footprint difference *)
 }
 
 type verdict = {
@@ -207,7 +366,8 @@ let buffer_summary ~param_env (b : buffered) =
   { b_name = buf.Alloc.local_name; b_dims = dims;
     b_footprint_words = footprint;
     b_move_in_nests = List.length b.move_in;
-    b_move_out_nests = List.length b.move_out }
+    b_move_out_nests = List.length b.move_out;
+    b_inter_tile_reuse = b.reuse <> None }
 
 let explain ?(param_env = fun _ -> Zint.zero) plan =
   let of_report ~copied ~buffer (part : Dataspaces.partition)
@@ -258,7 +418,8 @@ let verdict_json v =
                         b.b_dims)) );
               ("footprint_words", opt_int b.b_footprint_words);
               ("move_in_nests", J.Int b.b_move_in_nests);
-              ("move_out_nests", J.Int b.b_move_out_nests) ] ) ]
+              ("move_out_nests", J.Int b.b_move_out_nests);
+              ("inter_tile_reuse", J.Bool b.b_inter_tile_reuse) ] ) ]
 
 let explain_json ?capacity_words ?param_env plan =
   let verdicts = explain ?param_env plan in

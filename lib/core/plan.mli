@@ -7,11 +7,38 @@ open Emsc_arith
 open Emsc_ir
 open Emsc_codegen
 
+(** Inter-tile reuse evidence for one buffer: consecutive blocks along
+    the innermost block origin [r_origin] (stepping by [r_step] from
+    [r_lb] to [r_last]) share [r_resident]; chain-interior blocks load
+    only [r_delta_in] (after relocating the resident slab by [r_shift]
+    local cells per kept dim) and flush only [r_delta_out] — writes a
+    later block of the chain rewrites stay in the scratchpad until
+    that block (or the chain-closing full flush) moves them out.  All
+    sets are symbolic in the tile origins; [Uset.union r_delta_in
+    r_resident] equals [r_full_in] exactly on integer points (checked
+    by {!Emsc_check.Invariants}). *)
+type reuse = {
+  r_origin : string;
+  r_step : int;
+  r_lb : int;
+  r_last : int;
+  r_full_in : Emsc_poly.Uset.t;
+  r_delta_in : Emsc_poly.Uset.t;
+  r_resident : Emsc_poly.Uset.t;
+  r_full_out : Emsc_poly.Uset.t;
+  r_delta_out : Emsc_poly.Uset.t;
+  r_shift : int array;
+}
+
 type buffered = {
   buffer : Alloc.buffer;
   report : Reuse.report;
   move_in : Ast.stm list;
   move_out : Ast.stm list;
+  reuse : reuse option;
+      (** when present, [move_in]/[move_out] are guard pairs selecting
+          full movement on a chain's first/last block and delta
+          movement elsewhere *)
 }
 
 type t = {
@@ -31,13 +58,21 @@ val plan_block :
   ?optimize_movement:bool ->
   ?live_out:(string -> bool) ->
   ?merge_per_array:bool ->
+  ?inter_tile:string * int * string list ->
   Prog.t -> t
 (** [arch = `Gpu] (default) copies only partitions Algorithm 1 marks
     beneficial; [`Cell] copies everything, since Cell-like machines
     cannot touch global memory from compute code.
     [optimize_movement] applies the Section 3.1.4 refinement using
     flow-dependence information.  [live_out] defaults to treating every
-    array as live (conservative). *)
+    array as live (conservative).
+    [inter_tile = (origin, step, mem_origins)] (normally
+    {!Emsc_transform.Tile.inter_tile_origin}) enables irredundant
+    inter-tile movement keyed on the named block origin: eligible
+    buffers get guarded full/delta movement (see {!reuse}); ineligible
+    ones silently keep full per-block movement.  Requires
+    [param_context] for the origin's range and is mutually exclusive
+    with [optimize_movement]. *)
 
 val local_ref : t -> Prog.stmt -> Prog.access -> Ast.ref_expr option
 (** How an access is rewritten to the local buffer: index expressions
@@ -71,6 +106,9 @@ type buffer_summary = {
           stays symbolic *)
   b_move_in_nests : int;
   b_move_out_nests : int;
+  b_inter_tile_reuse : bool;
+      (** the buffer carries the inter-tile delta: chain-interior
+          blocks move only the footprint difference *)
 }
 
 type verdict = {

@@ -26,7 +26,11 @@ let instantiate np env space =
 let volume ?(limit = 200_000) p =
   match Count.count_poly ~limit p with
   | Count.Exact n -> Some (Zint.to_float n)
-  | Count.More_than n -> Some (Zint.to_float n)
+  (* the count limit was hit: the partial tally is a lower bound, and
+     criterion (b) compares a ratio against δ — deciding from a
+     truncated numerator or denominator is arbitrary, so report
+     "unknown" instead *)
+  | Count.More_than _ -> None
   | Count.Unbounded -> None
   | exception _ -> None
 
@@ -39,7 +43,8 @@ let overlap_fraction ~count_limit np env (part : Dataspaces.partition) =
   let union = Uset.of_pieces ~dim spaces in
   let total =
     match Count.count_uset ~limit:count_limit union with
-    | Count.Exact n | Count.More_than n -> Some (Zint.to_float n)
+    | Count.Exact n -> Some (Zint.to_float n)
+    | Count.More_than _ -> None
     | Count.Unbounded -> None
     | exception _ -> None
   in

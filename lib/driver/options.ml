@@ -23,9 +23,11 @@ type t = {
   merge_per_array : bool;
   delta : float;
   optimize_movement : bool;
+  inter_tile_reuse : bool;
   find_band : bool;
   tiling : tiling;
   stage_data : bool;
+  machine : string;
   stop : stop;
 }
 
@@ -34,9 +36,11 @@ let default =
     merge_per_array = false;
     delta = 0.3;
     optimize_movement = false;
+    inter_tile_reuse = false;
     find_band = true;
     tiling = No_tiling;
     stage_data = true;
+    machine = "";
     stop = Full }
 
 let opt_int = function None -> "_" | Some n -> string_of_int n
@@ -65,6 +69,7 @@ let tiling_fingerprint t =
       ts.search_transfer_cost ts.search_max_evals ts.search_snap_pow2
 
 let plan_fingerprint t =
-  Printf.sprintf "arch=%s;merge=%b;delta=%g;optmove=%b;%s"
+  Printf.sprintf "arch=%s;merge=%b;delta=%g;optmove=%b;intertile=%b;machine=%s;%s"
     (match t.arch with `Gpu -> "gpu" | `Cell -> "cell")
-    t.merge_per_array t.delta t.optimize_movement (tiling_fingerprint t)
+    t.merge_per_array t.delta t.optimize_movement t.inter_tile_reuse
+    t.machine (tiling_fingerprint t)

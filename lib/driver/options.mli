@@ -38,12 +38,20 @@ type t = {
   merge_per_array : bool;
   delta : float;                 (** Algorithm 1 threshold *)
   optimize_movement : bool;      (** Section 3.1.4 refinement *)
+  inter_tile_reuse : bool;
+      (** emit irredundant inter-tile movement: consecutive blocks of
+          the innermost block loop move only the footprint delta, the
+          rest stays resident in the scratchpad *)
   find_band : bool;              (** run the hyperplane search *)
   tiling : tiling;
   stage_data : bool;
       (** when false the plan is still computed but the generated
           kernel keeps every access in global memory (the bench
           harness's no-scratchpad baselines) *)
+  machine : string;
+      (** digest of the resolved [--machine] hierarchy ([""] = default
+          machine); folded into the plan fingerprint so a warm cache
+          never serves a plan computed for a different machine *)
   stop : stop;
 }
 
@@ -57,5 +65,5 @@ val tiling_fingerprint : t -> string
 
 val plan_fingerprint : t -> string
 (** Everything {!Emsc_core.Plan.plan_block} depends on: arch, merge,
-    delta, movement optimization, and the tiling (the plan runs on the
-    tiled program). *)
+    delta, movement optimization, inter-tile reuse, the machine
+    digest, and the tiling (the plan runs on the tiled program). *)

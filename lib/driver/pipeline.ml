@@ -130,6 +130,14 @@ let compile ?(cache = Cache.off) { source; options = o } =
                  | Some (_, tp, ctx) -> (tp, Some ctx)
                  | None -> (prog, None)
                in
+               (* the delta is keyed on the innermost block origin of
+                  the tile spec; an untiled compile has no chains *)
+               let inter_tile =
+                 match pre with
+                 | Some (spec, _, _) when o.Options.inter_tile_reuse ->
+                   Tile.inter_tile_origin prog spec
+                 | _ -> None
+               in
                cached_exec ~stage:"plan"
                  ~extra:(Options.plan_fingerprint o)
                  (fun (p, ctx) ->
@@ -137,7 +145,7 @@ let compile ?(cache = Cache.off) { source; options = o } =
                      ~merge_per_array:o.Options.merge_per_array
                      ~delta:o.Options.delta
                      ~optimize_movement:o.Options.optimize_movement
-                     ?param_context:ctx p)
+                     ?param_context:ctx ?inter_tile p)
                  (plan_input, ctx)
              in
              let movement =

@@ -49,7 +49,7 @@ type backend = [ `Seq | `Par of int ]
    to the paper's GPU; any hierarchy works through its staging-level
    projection. *)
 let par_cfg ?(hierarchy = Hierarchy.gtx8800) ~jobs ~policy ~double_buffer
-    ~track_ownership ~block_words () =
+    ~track_ownership ~block_words ?(inter_tile_reuse = false) () =
   let g = Hierarchy.to_gpu_exn hierarchy in
   let occ =
     Timing.occupancy g
@@ -60,12 +60,13 @@ let par_cfg ?(hierarchy = Hierarchy.gtx8800) ~jobs ~policy ~double_buffer
   { (Emsc_runtime.Runtime.default_cfg ~jobs) with
     Emsc_runtime.Runtime.policy; double_buffer; track_ownership;
     max_concurrent_blocks = Some (occ * g.Config.num_mimd);
-    block_words }
+    block_words; inter_tile_reuse }
 
 let execute ~prog ?local_ref ?(locals = []) ?(mode = Exec.Sampled 6) ?memory
     ?(param_env = no_params) ?on_global ?(backend = `Seq)
     ?(policy = Emsc_runtime.Runtime.Static) ?(double_buffer = false)
-    ?(track_ownership = false) ?(block_words = 0) ?hierarchy ast =
+    ?(track_ownership = false) ?(block_words = 0) ?(inter_tile_reuse = false)
+    ?hierarchy ast =
   let m = prepare ?memory ~param_env prog in
   List.iter (Memory.declare_local m) locals;
   let result =
@@ -78,7 +79,7 @@ let execute ~prog ?local_ref ?(locals = []) ?(mode = Exec.Sampled 6) ?memory
          extrapolates from iteration deltas, a sequential notion *)
       let cfg =
         par_cfg ?hierarchy ~jobs ~policy ~double_buffer ~track_ownership
-          ~block_words ()
+          ~block_words ~inter_tile_reuse ()
       in
       Trace.span "driver.execute" @@ fun () ->
       Emsc_runtime.Runtime.run ~prog ?local_ref ~param_env ~memory:m
@@ -113,9 +114,18 @@ let simulate ?(mode = Exec.Sampled 6) ?(memory = Phantom) ?param_env
         | exception _ -> 0)
     in
     let mode = match backend with `Seq -> mode | `Par _ -> Exec.Full in
+    (* chain-aware scheduling is needed exactly when the generated
+       movement carries delta guards — i.e. some buffer planned with
+       inter-tile reuse *)
+    let inter_tile_reuse =
+      staged
+      && List.exists
+           (fun (b : Plan.buffered) -> b.Plan.reuse <> None)
+           plan.Plan.buffered
+    in
     execute ~prog:t.Pipeline.tiled_prog ?local_ref ~locals ~mode ~memory
       ?param_env ?on_global ~backend ?policy ~double_buffer ?track_ownership
-      ~block_words ?hierarchy t.Pipeline.ast
+      ~block_words ~inter_tile_reuse ?hierarchy t.Pipeline.ast
   | _ ->
     invalid_arg
       "Emsc_driver.Runner.simulate: compilation has no generated kernel \

@@ -52,6 +52,7 @@ val execute :
   ?double_buffer:bool ->
   ?track_ownership:bool ->
   ?block_words:int ->
+  ?inter_tile_reuse:bool ->
   ?hierarchy:Hierarchy.t ->
   Emsc_codegen.Ast.stm list ->
   Memory.t * Exec.result
@@ -63,7 +64,11 @@ val execute :
     async DMA pipeline, and the concurrent-arena cap follows
     [Timing.occupancy] over the effective (buffering-adjusted)
     footprint against [hierarchy] (default {!Hierarchy.gtx8800},
-    through its staging-level projection). *)
+    through its staging-level projection).  [inter_tile_reuse] switches
+    the parallel executor to chain-aware scheduling (one arena per
+    chain of consecutive blocks) so the plan's resident slabs survive
+    between blocks — required when the AST carries delta-movement
+    guards. *)
 
 val simulate :
   ?mode:Exec.mode ->

@@ -379,6 +379,12 @@ let to_json h =
       ("compute", compute_json h.h_compute);
       ("levels", J.List (List.map level_json h.h_levels)) ]
 
+(* stable content digest over the serialized machine: two hierarchies
+   with the same name but different capacities digest differently, so
+   cache keys built from this cannot serve a plan computed for a
+   different machine *)
+let digest h = Digest.to_hex (Digest.string (J.to_string (to_json h)))
+
 (* -- parsing ------------------------------------------------------- *)
 
 let ( let* ) = Result.bind

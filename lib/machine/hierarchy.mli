@@ -117,6 +117,12 @@ val find_builtin : string -> t option
 (** {2 JSON} *)
 
 val to_json : t -> Emsc_obs.Json.t
+
+val digest : t -> string
+(** Stable content digest of {!to_json}.  Fold this into any cache key
+    whose value depends on the machine (plan-stage fingerprints): two
+    machines that differ only in capacities digest differently. *)
+
 val of_json : Emsc_obs.Json.t -> (t, string) result
 val of_file : string -> (t, string) result
 

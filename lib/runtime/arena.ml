@@ -7,6 +7,7 @@ type pool = {
   capacity_words : int option;
   max_arenas : int option;
   base : Memory.t;
+  fork : Memory.t -> Memory.t;
   mutable free_views : Memory.t list;  (* recycled, locals cleared *)
   mutable in_use : int;
   mutable words_in_use : int;
@@ -29,16 +30,26 @@ type error =
       requested_words : int;
       capacity_words : int;
     }
+  | Too_many_arenas of {
+      requested : int;
+      max_arenas : int;
+    }
 
 let error_message = function
   | Capacity_exceeded { requested_words; capacity_words } ->
     Printf.sprintf
       "arena request of %d words exceeds pool capacity of %d words"
       requested_words capacity_words
+  | Too_many_arenas { requested; max_arenas } ->
+    Printf.sprintf
+      "request for %d arenas exceeds the pool's concurrent-arena cap of %d"
+      requested max_arenas
 
-let create_pool ?capacity_words ?max_arenas ~base () =
+let create_pool ?capacity_words ?max_arenas ?fork ~base () =
   { m = Mutex.create (); cv = Condition.create (); capacity_words;
-    max_arenas; base; free_views = []; in_use = 0; words_in_use = 0;
+    max_arenas; base;
+    fork = (match fork with Some f -> f | None -> Memory.fork_view);
+    free_views = []; in_use = 0; words_in_use = 0;
     peak_in_use = 0; occupancy = Hashtbl.create 4; evr = None }
 
 let set_event_ring p r =
@@ -66,14 +77,17 @@ let fits_now p words =
       | Some cap -> p.words_in_use + words <= cap
       | None -> true)
 
-(* caller holds [p.m] and has checked [fits_now] *)
+(* caller holds [p.m] and has checked [fits_now].  The view fork runs
+   before any counter moves, so a raise (injected fork in tests, OOM)
+   leaves the pool's accounting untouched — but the CALLER must unlock
+   [p.m] on the way out, or every later acquirer deadlocks. *)
 let take_locked p words =
   let mem =
     match p.free_views with
     | v :: rest ->
       p.free_views <- rest;
       v
-    | [] -> Memory.fork_view p.base
+    | [] -> p.fork p.base
   in
   p.in_use <- p.in_use + 1;
   p.words_in_use <- p.words_in_use + words;
@@ -92,16 +106,24 @@ let acquire p ~words =
     while not (fits_now p words) do
       Condition.wait p.cv p.m
     done;
-    let a = take_locked p words in
-    Mutex.unlock p.m;
-    Ok a
+    match take_locked p words with
+    | a ->
+      Mutex.unlock p.m;
+      Ok a
+    | exception e ->
+      Mutex.unlock p.m;
+      raise e
   end
 
 let try_acquire p ~words =
   Mutex.lock p.m;
   let r =
     if fits_eventually p words && fits_now p words then
-      Some (take_locked p words)
+      match take_locked p words with
+      | a -> Some a
+      | exception e ->
+        Mutex.unlock p.m;
+        raise e
     else None
   in
   Mutex.unlock p.m;
@@ -109,9 +131,9 @@ let try_acquire p ~words =
 
 let memory a = a.mem
 
-let release a =
+(* caller holds [a.pool.m] *)
+let release_locked a =
   let p = a.pool in
-  Mutex.lock p.m;
   if not a.released then begin
     a.released <- true;
     List.iter (fun (name, cells) ->
@@ -125,8 +147,60 @@ let release a =
     p.words_in_use <- p.words_in_use - a.words;
     emit_occupancy p;
     Condition.broadcast p.cv
-  end;
+  end
+
+let release a =
+  let p = a.pool in
+  Mutex.lock p.m;
+  release_locked a;
   Mutex.unlock p.m
+
+(* Transactional multi-arena acquisition: all requests are granted
+   under one critical section — two concurrent half-granted callers can
+   therefore never deadlock each other — and a fork failure mid-way
+   rolls the already-granted arenas back into the pool before the
+   exception propagates, so neither views nor reserved words leak and
+   [peak_in_use] reflects only acquisitions that fully succeeded. *)
+let acquire_all p ~words =
+  let total = List.fold_left ( + ) 0 words in
+  let k = List.length words in
+  Mutex.lock p.m;
+  if not (fits_eventually p total) then begin
+    let cap = Option.get p.capacity_words in
+    Mutex.unlock p.m;
+    Error (Capacity_exceeded { requested_words = total; capacity_words = cap })
+  end
+  else if (match p.max_arenas with Some m -> k > m | None -> false) then begin
+    let m = Option.get p.max_arenas in
+    Mutex.unlock p.m;
+    Error (Too_many_arenas { requested = k; max_arenas = m })
+  end
+  else begin
+    let peak0 = p.peak_in_use in
+    let fits_all_now () =
+      (match p.max_arenas with Some m -> p.in_use + k <= m | None -> true)
+      && (match p.capacity_words with
+          | Some cap -> p.words_in_use + total <= cap
+          | None -> true)
+    in
+    while not (fits_all_now ()) do
+      Condition.wait p.cv p.m
+    done;
+    let taken = ref [] in
+    match
+      List.iter (fun w -> taken := take_locked p w :: !taken) words
+    with
+    | () ->
+      let arenas = List.rev !taken in
+      Mutex.unlock p.m;
+      Ok arenas
+    | exception e ->
+      List.iter release_locked !taken;
+      (* a partial grant must not move the high-water mark *)
+      p.peak_in_use <- max peak0 p.in_use;
+      Mutex.unlock p.m;
+      raise e
+  end
 
 let in_use p =
   Mutex.lock p.m;

@@ -13,12 +13,14 @@ type cfg = {
   capacity_words : int option;
   max_concurrent_blocks : int option;
   block_words : int;
+  inter_tile_reuse : bool;
 }
 
 let default_cfg ~jobs =
   { jobs = max 1 jobs; policy = Static; double_buffer = false;
     track_ownership = false; capacity_words = None;
-    max_concurrent_blocks = None; block_words = 0 }
+    max_concurrent_blocks = None; block_words = 0;
+    inter_tile_reuse = false }
 
 exception Ownership_violation of string
 exception Runtime_error of string
@@ -355,12 +357,10 @@ let run_phase rt st hook i ~memory phase =
   Exec.run_block rt.session ~memory ?on_global:(hook i)
     ~collect_dma:rt.collect_dma ~bindings phase
 
-(* simple path: the whole block body runs on the worker *)
-let exec_task_plain rt st hook w i =
+(* run one block body in a caller-supplied arena *)
+let exec_task_in_arena rt st hook w i arena =
   let _, body = st.tasks.(i) in
   let er = ev_ring rt w in
-  let arena = acquire_arena ?er rt in
-  Fun.protect ~finally:(fun () -> Arena.release arena) @@ fun () ->
   (match er with
    | Some r when Ev.enabled () ->
      let t0 = Ev.now () in
@@ -372,6 +372,75 @@ let exec_task_plain rt st hook w i =
      st.core_slots.(i) <-
        Some (run_phase rt st hook i ~memory:(Arena.memory arena) body));
   st.chan_of.(i) <- w
+
+(* simple path: the whole block body runs on the worker in a fresh
+   arena *)
+let exec_task_plain rt st hook w i =
+  let er = ev_ring rt w in
+  let arena = acquire_arena ?er rt in
+  Fun.protect ~finally:(fun () -> Arena.release arena) @@ fun () ->
+  exec_task_in_arena rt st hook w i arena
+
+(* inter-tile reuse path: tasks are partitioned into chains (runs of
+   consecutive blocks that differ only in the innermost block origin);
+   a whole chain executes on one worker in ONE arena, so local buffers
+   — and in particular the resident slabs the plan's delta guards rely
+   on — survive from block to block.  The arena is released (locals
+   cleared) only at chain boundaries; a fresh chain therefore always
+   starts from a clean scratchpad and its first block's full move-in.
+   Assignment is chain-static ([chain mod jobs]): stealing mid-chain
+   would break residency, and the barrier reduction keeps counter
+   totals bit-identical regardless of worker count anyway. *)
+let exec_tasks_chained rt st hook chain_id w =
+  let n = Array.length st.tasks in
+  let jobs = rt.wpool.Pool.jobs in
+  let er = ev_ring rt w in
+  let arena = ref None in
+  let release_current () =
+    match !arena with
+    | Some a ->
+      arena := None;
+      Arena.release a
+    | None -> ()
+  in
+  Fun.protect ~finally:release_current @@ fun () ->
+  let prev_chain = ref (-1) in
+  for i = 0 to n - 1 do
+    let c = chain_id.(i) in
+    if c mod jobs = w then begin
+      if c <> !prev_chain then begin
+        release_current ();
+        arena := Some (acquire_arena ?er rt);
+        prev_chain := c
+      end;
+      exec_task_in_arena rt st hook w i (Option.get !arena)
+    end
+  done
+
+(* Chains are contiguous in sequential task order because
+   [enumerate_tasks] walks the block-loop chain in lexicographic
+   order; task bindings are inner-first, so two consecutive tasks
+   belong to one chain exactly when their binding TAILS (everything
+   but the innermost origin) agree. *)
+let chain_ids tasks =
+  let n = Array.length tasks in
+  let ids = Array.make n 0 in
+  let same_tail a b =
+    match (a, b) with
+    | _ :: ta, _ :: tb ->
+      (try
+         List.for_all2
+           (fun (na, va) (nb, vb) ->
+             String.equal na nb && Zint.compare va vb = 0)
+           ta tb
+       with Invalid_argument _ -> false)
+    | _ -> false
+  in
+  for i = 1 to n - 1 do
+    let ba, _ = tasks.(i - 1) and bb, _ = tasks.(i) in
+    ids.(i) <- (if same_tail ba bb then ids.(i - 1) else ids.(i - 1) + 1)
+  done;
+  ids
 
 (* double-buffered path: the worker's DMA channel carries the move
    phases; block j+1's move-in is staged while block j computes *)
@@ -473,9 +542,11 @@ let exec_launch rt host_bindings (l : Ast.loop) =
           ("jobs", J.Int rt.cfg.jobs);
           ( "policy",
             J.Str
-              (match rt.cfg.policy with
-               | Static -> "static"
-               | Work_stealing -> "work-stealing") ) ]
+              (if rt.cfg.inter_tile_reuse then "chain-static"
+               else
+                 match rt.cfg.policy with
+                 | Static -> "static"
+                 | Work_stealing -> "work-stealing") ) ]
     @@ fun () ->
     let launch_id = rt.launch_seq in
     rt.launch_seq <- launch_id + 1;
@@ -487,9 +558,14 @@ let exec_launch rt host_bindings (l : Ast.loop) =
     let tracker = if rt.cfg.track_ownership then Some (fresh_tracker ()) else None in
     let hook = block_hook rt tracker in
     let _, body0 = tasks.(0) in
+    (* residency needs the plain path: the pipelined executor releases
+       each block's arena after its move-out, which would wipe the
+       resident slab between blocks of a chain *)
     let phases =
-      if rt.cfg.double_buffer && Array.length rt.channels > 0 then
-        pipeline_phases body0
+      if
+        rt.cfg.double_buffer && (not rt.cfg.inter_tile_reuse)
+        && Array.length rt.channels > 0
+      then pipeline_phases body0
       else None
     in
     (* the task source is built once per launch — with Work_stealing
@@ -539,19 +615,25 @@ let exec_launch rt host_bindings (l : Ast.loop) =
             in
             scan 1
     in
+    let chains =
+      if rt.cfg.inter_tile_reuse then Some (chain_ids tasks) else None
+    in
     Pool.dispatch rt.wpool (fun w ->
-      let next = next_task w in
-      match phases with
-      | Some p -> exec_tasks_pipelined rt st hook p w next
-      | None ->
-        let rec drain () =
-          match next () with
-          | None -> ()
-          | Some i ->
-            exec_task_plain rt st hook w i;
-            drain ()
-        in
-        drain ());
+      match chains with
+      | Some chain_id -> exec_tasks_chained rt st hook chain_id w
+      | None -> (
+        let next = next_task w in
+        match phases with
+        | Some p -> exec_tasks_pipelined rt st hook p w next
+        | None ->
+          let rec drain () =
+            match next () with
+            | None -> ()
+            | Some i ->
+              exec_task_plain rt st hook w i;
+              drain ()
+          in
+          drain ()));
     (match tracker with
      | Some { violation = Some msg; _ } -> raise (Ownership_violation msg)
      | _ -> ());

@@ -45,10 +45,21 @@ type cfg = {
   block_words : int;
       (** estimated per-block scratchpad words, the pool accounting
           unit (0 = unknown, arenas are unaccounted) *)
+  inter_tile_reuse : bool;
+      (** the plan carries inter-tile delta movement (guarded
+          full/delta nests from [Plan.plan_block ~inter_tile]): group
+          consecutive blocks differing only in the innermost block
+          origin into chains, run each chain on one worker in ONE
+          arena so resident slabs survive between blocks, and schedule
+          chain-statically ([chain mod jobs]) — [policy] and
+          [double_buffer] are ignored, since stealing or releasing
+          arenas mid-chain would wipe residency.  Counter totals stay
+          bit-identical to sequential execution. *)
 }
 
 val default_cfg : jobs:int -> cfg
-(** [Static], no double buffering, no tracking, unbounded pool. *)
+(** [Static], no double buffering, no tracking, unbounded pool, no
+    inter-tile reuse. *)
 
 exception Ownership_violation of string
 exception Runtime_error of string

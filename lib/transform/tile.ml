@@ -291,6 +291,35 @@ let block_tile_count p spec =
   done;
   !count
 
+(* --- inter-tile reuse: the innermost block origin ------------------------ *)
+
+let innermost_block_dim spec =
+  let last = ref None in
+  Array.iteri (fun j (d : dim_spec) -> if d.block <> None then last := Some j)
+    spec;
+  !last
+
+let inter_tile_origin p spec =
+  match p.Prog.stmts with
+  | [ s ] when Array.length spec = s.Prog.depth -> begin
+    match innermost_block_dim spec with
+    (* the delta is keyed on consecutive values of the *innermost*
+       block origin — the one sequential task enumeration varies
+       fastest.  A dim that is also mem-tiled exposes only its M origin
+       to the plan, so it cannot carry the inter-tile delta. *)
+    | Some j when spec.(j).mem = None ->
+      let sz = match spec.(j).block with Some sz -> sz | None -> assert false in
+      let mem_names =
+        List.filter_map (fun k ->
+          if spec.(k).mem <> None then Some (s.Prog.iter_names.(k) ^ "M")
+          else None)
+          (List.init (Array.length spec) (fun k -> k))
+      in
+      Some (s.Prog.iter_names.(j) ^ "T", sz, mem_names)
+    | _ -> None
+  end
+  | _ -> None
+
 type level = {
   var : string;
   lb : Ast.aexpr;

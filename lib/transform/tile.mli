@@ -66,6 +66,18 @@ val block_tile_count : Prog.t -> spec -> float
     @raise Invalid_argument on multi-statement programs or unbounded
     domains, like {!movement_profile}. *)
 
+val inter_tile_origin : Prog.t -> spec -> (string * int * string list) option
+(** The origin the inter-tile delta movement is keyed on:
+    [(origin parameter name, block size, mem-origin names)] of the
+    innermost block-tiled dimension — the loop sequential task
+    enumeration varies fastest, so consecutive tasks of a chain are
+    consecutive values of this origin.  [None] when no dimension is
+    block-tiled, or the innermost one is also mem-tiled (its block
+    origin is then not a parameter of the tile program).  The
+    mem-origin names let the planner refuse the delta for buffers whose
+    movement sits inside a mem loop (re-staged per mem iteration, so
+    block-to-block residency does not exist for them). *)
+
 val generate :
   Prog.t -> spec -> movement:(Ast.stm list * Ast.stm list) list ->
   Ast.stm list

@@ -110,6 +110,76 @@ let test_invariants_catch_tiny_capacity () =
   Alcotest.(check bool) "capacity violated" true
     (List.exists (fun v -> v.Invariants.invariant = "capacity") vs)
 
+(* --- inter-tile reuse partition property --------------------------------- *)
+
+(* for every fuzz-generated program that plans with inter-tile reuse,
+   the delta/resident split must partition the full per-block footprint
+   exactly on integer points, symbolically in the tile origins:
+   delta_in ∪ resident ≡ full_in, and the delta flush never writes
+   outside the full move-out set *)
+let test_reuse_partition_property () =
+  let module Uset = Emsc_poly.Uset in
+  let block_options depth =
+    let spec =
+      Array.init depth (fun _ ->
+        { Emsc_transform.Tile.block = Some 4; mem = None; thread = None })
+    in
+    { Emsc_driver.Options.default with
+      arch = `Cell; find_band = false; inter_tile_reuse = true;
+      tiling = Emsc_driver.Options.Spec spec }
+  in
+  let reuse_buffers = ref 0 in
+  for i = 0 to 29 do
+    let rng = Random.State.make [| 91; i |] in
+    let spec = Gen.generate rng in
+    match spec.Gen.stmts with
+    | [ s ] when (not spec.Gen.uses_param) && Deps.analyze (Gen.materialize spec) = [] ->
+      (match
+         Emsc_driver.Pipeline.compile
+           (Emsc_driver.Pipeline.job ~options:(block_options s.Gen.depth)
+              (Emsc_driver.Source.Program
+                 { name = Printf.sprintf "gen#%d" i;
+                   prog = Gen.materialize spec }))
+       with
+       | Error e ->
+         Alcotest.failf "gen#%d: compile: %s" i
+           (Emsc_driver.Frontend.error_message e)
+       | Ok c ->
+         let plan = Option.get c.Emsc_driver.Pipeline.plan in
+         List.iter (fun (b : Plan.buffered) ->
+           match b.Plan.reuse with
+           | None -> ()
+           | Some r ->
+             incr reuse_buffers;
+             Alcotest.(check bool)
+               (Printf.sprintf "gen#%d %s: delta_in ∪ resident ≡ full_in" i
+                  b.Plan.buffer.Alloc.local_name)
+               true
+               (Uset.equal_set
+                  (Uset.union r.Plan.r_delta_in r.Plan.r_resident)
+                  r.Plan.r_full_in);
+             Alcotest.(check bool)
+               (Printf.sprintf "gen#%d %s: delta_out ⊆ full_out" i
+                  b.Plan.buffer.Alloc.local_name)
+               true
+               (Uset.equal_set
+                  (Uset.union r.Plan.r_delta_out r.Plan.r_full_out)
+                  r.Plan.r_full_out))
+           plan.Plan.buffered)
+    | _ -> ()
+  done;
+  Alcotest.(check bool) "property exercised on reuse buffers" true
+    (!reuse_buffers > 0)
+
+(* the fuzz harness's inter-tile setting: delta movement, residency
+   chains and the reuse-partition invariant, sequential and -j 4 *)
+let test_fuzz_inter_tile_clean () =
+  let r = Fuzz.run ~fuzz:8 ~seed:3 ~inter_tile:true () in
+  Alcotest.(check int) "seq: no failures" 0 (List.length r.Fuzz.failures);
+  let rp = Fuzz.run ~backend:(`Par 4) ~fuzz:8 ~seed:3 ~inter_tile:true () in
+  Alcotest.(check int) "-j4: no failures" 0 (List.length rp.Fuzz.failures);
+  Alcotest.(check int) "same checks either backend" r.Fuzz.checks rp.Fuzz.checks
+
 (* --- the strided-write staging fix --------------------------------------- *)
 
 (* S: A[2i] = ... for 0 <= i <= 3 over A[8].  The write's rational image
@@ -164,7 +234,12 @@ let () =
       ( "shrink",
         [ Alcotest.test_case "minimizes" `Quick test_shrink_minimizes ] );
       ( "fuzz",
-        [ Alcotest.test_case "small run clean" `Slow test_fuzz_clean ] );
+        [ Alcotest.test_case "small run clean" `Slow test_fuzz_clean;
+          Alcotest.test_case "inter-tile setting clean" `Slow
+            test_fuzz_inter_tile_clean ] );
+      ( "inter-tile-reuse",
+        [ Alcotest.test_case "partition property" `Slow
+            test_reuse_partition_property ] );
       ( "invariants",
         [
           Alcotest.test_case "accept fig1 plan" `Quick

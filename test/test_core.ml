@@ -169,6 +169,49 @@ let test_reuse_constant_overlap () =
    | None -> Alcotest.fail "expected overlap fraction");
   Alcotest.(check bool) "beneficial by δ" true r.Reuse.beneficial
 
+let test_reuse_truncated_count_is_unknown () =
+  (* regression: when the point count hits [count_limit] mid-partition,
+     the partial tally is only a lower bound — criterion (b) must
+     report "unknown" rather than compare a truncated sum against δ *)
+  let acc1 =
+    Prog.mk_access ~array:"A" ~kind:Prog.Read
+      ~rows:[ [ 1; 0; 0 ]; [ 0; 1; 0 ] ]
+  in
+  let acc2 =
+    Prog.mk_access ~array:"A" ~kind:Prog.Read
+      ~rows:[ [ 1; 0; 1 ]; [ 0; 1; 0 ] ]
+  in
+  let w =
+    Prog.mk_access ~array:"C" ~kind:Prog.Write
+      ~rows:[ [ 1; 0; 0 ]; [ 0; 1; 0 ] ]
+  in
+  let s =
+    Build.stmt ~id:1 ~name:"S" ~np:0 ~depth:2
+      ~domain:(Build.box_domain ~np:0 [ (0, 19); (0, 19) ])
+      ~writes:[ w ] ~reads:[ acc1; acc2 ]
+      ~body:(w, Prog.Eadd (Prog.Eref acc1, Prog.Eref acc2))
+      ~beta:[ 0; 0; 0 ] ()
+  in
+  let p =
+    { Prog.params = [||];
+      arrays =
+        [ Emsc_ir.Build.array2 "A" 32 32 ~np:0;
+          Emsc_ir.Build.array2 "C" 32 32 ~np:0 ];
+      stmts = [ s ] }
+  in
+  let part = List.hd (Dataspaces.partition_array p "A") in
+  (* with an honest limit the ~100% overlap is computable... *)
+  let full = Reuse.analyze p part in
+  Alcotest.(check bool) "computable overlap is beneficial" true
+    full.Reuse.beneficial;
+  (* ...with a limit below the ~420-point union the fraction must be
+     unknown, and criterion (b) must not fire from the truncation *)
+  let truncated = Reuse.analyze ~count_limit:16 p part in
+  Alcotest.(check bool) "fraction unknown when truncated" true
+    (truncated.Reuse.overlap_fraction = None);
+  Alcotest.(check bool) "truncated count is not beneficial" false
+    truncated.Reuse.beneficial
+
 let test_overlap_three_way () =
   (* regression: three mutually-overlapping reads A[i], A[i+1], A[i+2]
      over i in [0,5] give spaces [0,5], [1,6], [2,7]: union [0,7] has 8
@@ -513,6 +556,8 @@ let () =
             test_reuse_constant_overlap;
           Alcotest.test_case "three-way overlap not double-counted" `Quick
             test_overlap_three_way;
+          Alcotest.test_case "truncated count is unknown" `Quick
+            test_reuse_truncated_count_is_unknown;
           Alcotest.test_case "empty partition" `Quick test_empty_partition;
           Alcotest.test_case "zero-volume union" `Quick test_zero_volume_union;
           Alcotest.test_case "fraction exactly δ" `Quick

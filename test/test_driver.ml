@@ -63,6 +63,32 @@ let test_option_change_misses_plan_only () =
     (stage_cached c "hyperplanes");
   Alcotest.(check bool) "plan misses" false (stage_cached c "plan")
 
+let test_machine_change_misses_plan_only () =
+  let cache = Cache.in_memory () in
+  let with_machine h =
+    { Options.default with machine = Emsc_machine.Hierarchy.digest h }
+  in
+  let gtx = Emsc_machine.Hierarchy.gtx8800 in
+  let (_ : Pipeline.compiled) =
+    compile_ok ~cache ~options:(with_machine gtx) (src ())
+  in
+  (* same machine digest: the plan entry is warm *)
+  let c1 = compile_ok ~cache ~options:(with_machine gtx) (src ()) in
+  Alcotest.(check bool) "same machine: plan hits" true (stage_cached c1 "plan");
+  (* a different hierarchy must not be served the gtx8800 plan — the
+     machine digest is part of the plan fingerprint, while the
+     machine-independent analyses stay warm *)
+  let c2 =
+    compile_ok ~cache
+      ~options:(with_machine Emsc_machine.Hierarchy.gtx8800_3level) (src ())
+  in
+  Alcotest.(check bool) "changed machine: deps hits" true
+    (stage_cached c2 "deps");
+  Alcotest.(check bool) "changed machine: hyperplanes hits" true
+    (stage_cached c2 "hyperplanes");
+  Alcotest.(check bool) "changed machine: plan misses" false
+    (stage_cached c2 "plan")
+
 let test_tiling_change_misses () =
   let cache = Cache.in_memory () in
   let spec1 =
@@ -274,6 +300,8 @@ let () =
         [ Alcotest.test_case "repeat compilation hits" `Quick test_cache_hits;
           Alcotest.test_case "delta change misses plan only" `Quick
             test_option_change_misses_plan_only;
+          Alcotest.test_case "machine change misses plan only" `Quick
+            test_machine_change_misses_plan_only;
           Alcotest.test_case "tile change misses tile+plan" `Quick
             test_tiling_change_misses;
           Alcotest.test_case "source change misses" `Quick

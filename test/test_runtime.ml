@@ -167,6 +167,7 @@ let test_arena_capacity_typed_error () =
    | Error (Arena.Capacity_exceeded { requested_words; capacity_words }) ->
      Alcotest.(check int) "requested" 65 requested_words;
      Alcotest.(check int) "capacity" 64 capacity_words
+   | Error e -> Alcotest.failf "wrong error: %s" (Arena.error_message e)
    | Ok _ -> Alcotest.fail "over-capacity acquire succeeded");
   (* a fitting request still works after the refusal *)
   match Arena.acquire pool ~words:64 with
@@ -208,6 +209,121 @@ let test_arena_blocks_then_proceeds () =
   match Arena.try_acquire pool ~words:1 with
   | Some b -> Arena.release b
   | None -> Alcotest.fail "pool still full after release"
+
+(* --- arena failure paths (satellite: transactional acquisition) ---------- *)
+
+exception Fork_failed
+
+(* forks happen only while the free list is empty, so holding every
+   granted arena until the end makes each iteration fork anew: the
+   hammer alternates injected fork failures with retries and checks the
+   pool is left exactly as found after every failure (counters
+   untouched, mutex released — the retry would deadlock otherwise) *)
+let test_arena_fork_failure_hammer () =
+  let should_fail = ref false in
+  let fork m = if !should_fail then raise Fork_failed else Memory.fork_view m in
+  let pool = Arena.create_pool ~fork ~base:(arena_base ()) () in
+  let held = ref [] in
+  for i = 1 to 20 do
+    should_fail := true;
+    (match Arena.acquire pool ~words:1 with
+     | _ -> Alcotest.fail "acquire swallowed the fork failure"
+     | exception Fork_failed -> ());
+    Alcotest.(check int) "in_use untouched by failed acquire" (i - 1)
+      (Arena.in_use pool);
+    (match Arena.try_acquire pool ~words:1 with
+     | _ -> Alcotest.fail "try_acquire swallowed the fork failure"
+     | exception Fork_failed -> ());
+    should_fail := false;
+    match Arena.acquire pool ~words:1 with
+    | Ok a -> held := a :: !held
+    | Error e -> Alcotest.failf "retry failed: %s" (Arena.error_message e)
+  done;
+  Alcotest.(check int) "every retry granted" 20 (Arena.in_use pool);
+  Alcotest.(check int) "peak counts only successes" 20
+    (Arena.peak_in_use pool);
+  List.iter Arena.release !held;
+  Alcotest.(check int) "drained" 0 (Arena.in_use pool)
+
+let test_arena_acquire_all_transactional () =
+  let pool =
+    Arena.create_pool ~capacity_words:100 ~max_arenas:4 ~base:(arena_base ())
+      ()
+  in
+  (match Arena.acquire_all pool ~words:[ 30; 30; 30 ] with
+   | Ok arenas ->
+     Alcotest.(check int) "batch granted atomically" 3 (Arena.in_use pool);
+     List.iter Arena.release arenas
+   | Error e -> Alcotest.failf "batch refused: %s" (Arena.error_message e));
+  Alcotest.(check int) "batch drained" 0 (Arena.in_use pool);
+  (match Arena.acquire_all pool ~words:[ 60; 60 ] with
+   | Error (Arena.Capacity_exceeded { requested_words; capacity_words }) ->
+     Alcotest.(check int) "total requested" 120 requested_words;
+     Alcotest.(check int) "capacity" 100 capacity_words
+   | Error e -> Alcotest.failf "wrong error: %s" (Arena.error_message e)
+   | Ok _ -> Alcotest.fail "over-capacity batch granted");
+  match Arena.acquire_all pool ~words:[ 1; 1; 1; 1; 1 ] with
+  | Error (Arena.Too_many_arenas { requested; max_arenas }) ->
+    Alcotest.(check int) "requested arenas" 5 requested;
+    Alcotest.(check int) "arena cap" 4 max_arenas
+  | Error e -> Alcotest.failf "wrong error: %s" (Arena.error_message e)
+  | Ok _ -> Alcotest.fail "batch wider than the arena cap granted"
+
+(* a fork failure mid-batch must roll the already-granted arenas back:
+   no slab leak, no peak_in_use skew, and the pool keeps working *)
+let test_arena_acquire_all_rollback () =
+  let calls = ref 0 in
+  let fork m =
+    incr calls;
+    if !calls = 3 then raise Fork_failed else Memory.fork_view m
+  in
+  let pool = Arena.create_pool ~fork ~base:(arena_base ()) () in
+  (match Arena.acquire_all pool ~words:[ 10; 10; 10 ] with
+   | _ -> Alcotest.fail "acquire_all swallowed the fork failure"
+   | exception Fork_failed -> ());
+  Alcotest.(check int) "no slab leak" 0 (Arena.in_use pool);
+  Alcotest.(check int) "no peak skew" 0 (Arena.peak_in_use pool);
+  match Arena.acquire_all pool ~words:[ 10; 10 ] with
+  | Ok arenas ->
+    Alcotest.(check int) "rolled-back views recycle" 2 (List.length arenas);
+    List.iter Arena.release arenas
+  | Error e ->
+    Alcotest.failf "batch after rollback failed: %s" (Arena.error_message e)
+
+(* --- inter-tile reuse (tentpole): chained residency ----------------------- *)
+
+let conv2d_block_job ~inter_tile_reuse () =
+  let t b = { Emsc_transform.Tile.block = b; mem = None; thread = None } in
+  let spec = [| t (Some 8); t (Some 8); t None; t None |] in
+  Pipeline.job
+    ~options:
+      { Options.default with
+        find_band = false; tiling = Options.Spec spec; inter_tile_reuse }
+    (Source.Program
+       { name = "conv2d-reuse"; prog = Emsc_kernels.Conv2d.program ~n:32 ~kw:3 })
+
+let test_inter_tile_matches_seq_and_moves_less () =
+  let c = compiled (conv2d_block_job ~inter_tile_reuse:true ()) in
+  (match c.Pipeline.plan with
+   | Some p ->
+     Alcotest.(check bool) "plan carries reuse" true
+       (List.exists (fun (b : Plan.buffered) -> b.Plan.reuse <> None)
+          p.Plan.buffered)
+   | None -> Alcotest.fail "no plan");
+  (* residency chains with delta movement stay bit-identical to the
+     sequential interpreter across job counts *)
+  let seq = simulate_seq c in
+  check_same c.Pipeline.prog seq (simulate_par ~jobs:1 c);
+  check_same c.Pipeline.prog seq (simulate_par ~jobs:3 c);
+  (* and genuinely move less: the img halo columns and the whole w
+     window stay resident between consecutive j-blocks *)
+  let full = compiled (conv2d_block_job ~inter_tile_reuse:false ()) in
+  let _, r_full = simulate_par ~jobs:3 full in
+  let _, r_delta = simulate_par ~jobs:3 c in
+  Alcotest.(check bool) "delta run loads strictly less" true
+    (r_delta.Exec.totals.Exec.g_ld < r_full.Exec.totals.Exec.g_ld);
+  Alcotest.(check (float 0.0)) "stores unchanged"
+    r_full.Exec.totals.Exec.g_st r_delta.Exec.totals.Exec.g_st
 
 (* --- pipeline splitter --------------------------------------------------- *)
 
@@ -354,7 +470,16 @@ let () =
           Alcotest.test_case "idempotent release + peaks" `Quick
             test_arena_release_idempotent_and_peak;
           Alcotest.test_case "occupancy cap" `Quick
-            test_arena_blocks_then_proceeds ] );
+            test_arena_blocks_then_proceeds;
+          Alcotest.test_case "fork-failure hammer" `Quick
+            test_arena_fork_failure_hammer;
+          Alcotest.test_case "acquire_all transactional" `Quick
+            test_arena_acquire_all_transactional;
+          Alcotest.test_case "acquire_all rollback" `Quick
+            test_arena_acquire_all_rollback ] );
+      ( "inter-tile-reuse",
+        [ Alcotest.test_case "bit-identical + strictly fewer loads" `Quick
+            test_inter_tile_matches_seq_and_moves_less ] );
       ( "pipeline",
         [ Alcotest.test_case "splits canonical body" `Quick
             test_pipeline_phases_split;
