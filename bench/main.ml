@@ -168,7 +168,10 @@ let write_bench_json ~figure_ms =
         ("metrics", Emsc_obs.Metrics.snapshot_json (Emsc_obs.Metrics.snapshot ()));
         ( "pass_cache",
           Emsc_driver.Cache.stats_json bench_cache );
-        ("pass_timings", Emsc_obs.Trace.aggregate_json ()) ]
+        ("pass_timings", Emsc_obs.Trace.aggregate_json ());
+        (* per-pass self times with caller stacks; bench-compare uses
+           this to attribute a wall regression to the offending pass *)
+        ("compile_profile", Emsc_obs.Prof.json (Emsc_obs.Prof.snapshot ())) ]
   in
   let oc = open_out path in
   Fun.protect
@@ -1152,9 +1155,11 @@ let () =
   in
   (* pass timings in the artifact come from the tracing layer; counter
      totals (pass cache, exec movement, fuzz progress) from the
-     metrics registry *)
+     metrics registry; per-pass self times with caller attribution
+     from the self-profiler *)
   Emsc_obs.Trace.enable ();
   Emsc_obs.Metrics.enable ();
+  Emsc_obs.Prof.enable ();
   let figure_ms =
     List.filter_map (fun name ->
       match List.assoc_opt name all_figs with

@@ -276,14 +276,27 @@ let analyze_cmd =
         machine = machine_digest hier }
     in
     (* the registry picks up pass-cache and per-stage counters during
-       compilation; the JSON report carries the resulting snapshot *)
+       compilation; the JSON report carries the resulting snapshot,
+       and the Prof layer attributes the compile's wall time per pass *)
     let metrics_were_on = Metrics.enabled () in
     if json then Metrics.enable ();
+    let prof_was_on = Prof.enabled () in
+    if json && not prof_was_on then begin
+      Prof.reset ();
+      Prof.enable ()
+    end;
     let snap0 = Metrics.snapshot () in
+    let t0 = Unix.gettimeofday () in
     let c =
       ok_or_die (Pipeline.compile_source ~cache ~options (Source.file file))
     in
+    let compile_wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
     let metrics = Metrics.diff snap0 (Metrics.snapshot ()) in
+    let compile_prof = if json then Some (Prof.snapshot ()) else None in
+    if json && not prof_was_on then begin
+      Prof.disable ();
+      Prof.reset ()
+    end;
     if json && not metrics_were_on then Metrics.disable ();
     let plan = plan_of c in
     if json then
@@ -298,7 +311,13 @@ let analyze_cmd =
             @ [ ("machine",
                  Json.Str (Emsc_machine.Hierarchy.name hier));
                 ("pipeline", Pipeline.report_json c);
-                ("metrics", Metrics.snapshot_json metrics) ]))
+                ("metrics", Metrics.snapshot_json metrics) ]
+            @
+            match compile_prof with
+            | Some prof ->
+              [ ( "compile_profile",
+                  Prof.json ~wall_ms:compile_wall_ms prof ) ]
+            | None -> []))
     else begin
       Format.printf "%a@." Plan.pp plan;
       List.iter (fun (b : Plan.buffered) ->
@@ -492,6 +511,13 @@ let gpu_profile ~cache ~name ~prog ~hier ~arch ~merge ~delta
       inter_tile_reuse; machine = machine_digest hier;
       find_band = false; tiling = Options.Spec spec }
   in
+  (* the metrics registry is on for the whole compile + run: the
+     compile contributes per-stage and cache-latency histograms
+     (p50/p95/p99 in the JSON), the run contributes the per-buffer DMA
+     words the per-edge movement report below aggregates *)
+  let metrics_were_on = Metrics.enabled () in
+  Metrics.enable ();
+  let snap0 = Metrics.snapshot () in
   let c =
     ok_or_die
       (Pipeline.compile ~cache
@@ -499,6 +525,7 @@ let gpu_profile ~cache ~name ~prog ~hier ~arch ~merge ~delta
   in
   let plan = plan_of c in
   let simulate () =
+    Prof.probe "runner.simulate" @@ fun () ->
     match backend with
     | `Seq -> Runner.simulate c
     | `Parallel ->
@@ -506,12 +533,6 @@ let gpu_profile ~cache ~name ~prog ~hier ~arch ~merge ~delta
         ~backend:(backend_of `Parallel jobs) ~policy ~double_buffer
         ~hierarchy:hier c
   in
-  (* the metrics registry counts per-buffer DMA words during the run;
-     the per-edge movement report below aggregates them over the
-     placement *)
-  let metrics_were_on = Metrics.enabled () in
-  Metrics.enable ();
-  let snap0 = Metrics.snapshot () in
   let (_, result), report =
     if runtime then Runner.with_runtime_report simulate
     else (simulate (), None)
@@ -564,7 +585,10 @@ let gpu_profile ~cache ~name ~prog ~hier ~arch ~merge ~delta
     ("plan", Plan.explain_json ~capacity_words plan);
     ("profile", Emsc_machine.Timing.profile_json gpu_config gp result);
     ("hierarchy", hierarchy_json);
-    ("pipeline", Pipeline.report_json c) ]
+    ("pipeline", Pipeline.report_json c);
+    (* histograms in here carry p50/p95/p99 summaries — the per-stage
+       stage_ms and cache hit/miss/store latency distributions *)
+    ("metrics", Metrics.snapshot_json measured) ]
   @
   match report with
   | Some r ->
@@ -585,6 +609,7 @@ let cpu_profile ?(hier = Emsc_machine.Hierarchy.core2duo_cache_as_scratchpad)
   let sim = Sim.create hier in
   let on_global _ addr _ = ignore (Sim.access sim addr) in
   let _, c =
+    Prof.probe "runner.reference" @@ fun () ->
     Runner.reference ~memory:Runner.Pseudorandom ~param_env:env ~on_global p
   in
   let hits = Sim.hits sim in
@@ -618,10 +643,33 @@ let profile_cmd =
          & info [ "global-sync" ]
              ~doc:"Charge a cross-block synchronization per launch.")
   in
+  let hotspots_arg =
+    Arg.(value & flag
+         & info [ "hotspots" ]
+             ~doc:"Self-profile the compiler itself: print a top-K \
+                   self-time table of the hot passes (FM projection, \
+                   simplex, ILP, scanning, driver stages) to stderr, \
+                   write flamegraph-compatible collapsed stacks (see \
+                   --collapsed), and embed the compile_profile section \
+                   in the JSON report.")
+  in
+  let collapsed_arg =
+    Arg.(value & opt string "emsc-profile.collapsed"
+         & info [ "collapsed" ] ~docv:"FILE"
+             ~doc:"Where --hotspots writes collapsed stacks (one \
+                   'pass;pass;pass <self µs>' line per call stack; feed \
+                   to flamegraph.pl or speedscope).")
+  in
   let run file machine arch merge delta optimize_movement inter_tile_reuse
       block mem thread threads global_sync backend jobs policy double_buffer
-      runtime params trace no_cache cache_dir out =
+      runtime hotspots collapsed params trace no_cache cache_dir out =
     with_trace trace @@ fun () ->
+    let prof_was_on = Prof.enabled () in
+    if hotspots && not prof_was_on then begin
+      Prof.reset ();
+      Prof.enable ()
+    end;
+    let t_start = Unix.gettimeofday () in
     let hier = resolve_machine machine in
     let cache = cache_of no_cache cache_dir in
     let p, _digest = ok_or_die (Frontend.load (Source.file file)) in
@@ -669,6 +717,23 @@ let profile_cmd =
         fields @ [ ("pass_timings", Trace.aggregate_json ()) ]
       else fields
     in
+    let fields =
+      if Prof.enabled () then begin
+        let wall_ms = (Unix.gettimeofday () -. t_start) *. 1000.0 in
+        let prof = Prof.snapshot () in
+        if hotspots then begin
+          Prof.pp_top Format.err_formatter prof;
+          Prof.write_collapsed collapsed prof;
+          Printf.eprintf "collapsed stacks written to %s\n%!" collapsed
+        end;
+        fields @ [ ("compile_profile", Prof.json ~wall_ms prof) ]
+      end
+      else fields
+    in
+    if hotspots && not prof_was_on then begin
+      Prof.disable ();
+      Prof.reset ()
+    end;
     emit_json out (Json.Obj fields)
   in
   Cmd.v
@@ -680,6 +745,7 @@ let profile_cmd =
           $ delta_arg $ optmove_arg $ intertile_arg $ block_arg $ mem_arg
           $ thread_arg $ threads_arg $ globalsync_arg $ backend_arg
           $ exec_jobs_arg $ policy_arg $ double_buffer_arg $ runtime_flag
+          $ hotspots_arg $ collapsed_arg
           $ param_args $ trace_arg $ nocache_arg $ cachedir_arg $ out_arg)
 
 (* --- emsc check --------------------------------------------------------- *)

@@ -14,6 +14,7 @@ type report = {
   r_unchanged : int;
   r_missing : string list;
   r_added : string list;
+  r_attribution : change list;
 }
 
 let default_wall_tolerance = 0.5
@@ -92,6 +93,52 @@ let transfer_volume_section j =
       fields
   | _ -> []
 
+(* pass name -> self ms from the compile_profile section written by the
+   Prof layer; absent in artifacts that predate the profiler, so absence
+   is an empty section.  Never gated: per-pass self times are micro
+   timings and exist to *attribute* a wall regression to the offending
+   pass, not to fail a run on their own *)
+let profile_section j =
+  match J.member "compile_profile" j with
+  | Some p ->
+    (match J.member "passes" p with
+     | Some (J.Obj fields) ->
+       List.filter_map (fun (name, entry) ->
+         match J.member "self_ms" entry with
+         | Some v -> (match num v with Some f -> Some (name, f) | None -> None)
+         | None -> None)
+         fields
+     | _ -> [])
+  | None -> []
+
+(* ignore sub-tenth-of-a-millisecond growth: micro-pass jitter, not a
+   credible cause of a wall regression *)
+let attribution_floor_ms = 0.1
+
+(* When a wall-clock metric regressed, diff the per-pass self times and
+   name the top offenders: passes whose self time grew beyond the wall
+   tolerance, largest absolute growth first.  Passes absent from the old
+   profile are tolerated as added coverage (they surface in [r_added]),
+   and passes the new profile dropped are ignored — attribution explains
+   failures, it does not create them. *)
+let attribute ~tolerance ~top olds news =
+  List.filter_map (fun (name, new_v) ->
+    match List.assoc_opt name olds with
+    | None -> None
+    | Some old_v ->
+      if new_v > old_v *. (1.0 +. tolerance)
+         && new_v -. old_v >= attribution_floor_ms
+      then
+        Some
+          { c_key = name; c_metric = "pass_self_ms"; c_old = old_v;
+            c_new = new_v;
+            c_ratio = (if old_v > 0.0 then new_v /. old_v else infinity) }
+      else None)
+    news
+  |> List.sort (fun a b ->
+       Stdlib.compare (b.c_new -. b.c_old) (a.c_new -. a.c_old))
+  |> List.filteri (fun i _ -> i < top)
+
 (* kernel -> global words moved (loads + stores): the deterministic
    movement-volume figure of merit *)
 let movement_section j =
@@ -163,12 +210,33 @@ let compare ?(wall_tolerance = default_wall_tolerance)
       |> diff_section ~metric:"overlap_fail" ~tolerance:0.0
            (report_section old_j) (report_section new_j)
     in
+    let prof_old = profile_section old_j in
+    let prof_new = profile_section new_j in
+    (* profile coverage the old artifact lacked is added, never missing *)
+    let a =
+      a
+      @ List.filter_map (fun (name, _) ->
+          if List.mem_assoc name prof_old then None
+          else Some (name ^ "/pass_self_ms"))
+          prof_new
+    in
+    let wall_regressed =
+      List.exists (fun c ->
+        c.c_metric = "wall_ms" || c.c_metric = "runtime_wall_ms")
+        r
+    in
+    let attribution =
+      if wall_regressed then
+        attribute ~tolerance:wall_tolerance ~top:3 prof_old prof_new
+      else []
+    in
     Ok
       { r_regressions = List.rev r;
         r_improvements = List.rev i;
         r_unchanged = u;
         r_missing = List.rev m;
-        r_added = a }
+        r_added = a;
+        r_attribution = attribution }
 
 let ok r = r.r_regressions = [] && r.r_missing = []
 
@@ -188,7 +256,8 @@ let json r =
       ("improvements", J.List (List.map change_json r.r_improvements));
       ("unchanged", J.Int r.r_unchanged);
       ("missing", strs r.r_missing);
-      ("added", strs r.r_added) ]
+      ("added", strs r.r_added);
+      ("attribution", J.List (List.map change_json r.r_attribution)) ]
 
 let pp_change fmt c =
   Format.fprintf fmt "%s %s: %.6g -> %.6g (%.2fx)" c.c_key c.c_metric c.c_old
@@ -205,6 +274,11 @@ let pp fmt r =
     (List.length r.r_added);
   List.iter (fun c -> Format.fprintf fmt "REGRESSION %a@," pp_change c)
     r.r_regressions;
+  if r.r_attribution <> [] then begin
+    Format.fprintf fmt "wall regression attributed to (per-pass self time):@,";
+    List.iter (fun c -> Format.fprintf fmt "  ATTRIBUTION %a@," pp_change c)
+      r.r_attribution
+  end;
   List.iter (fun k -> Format.fprintf fmt "MISSING %s@," k) r.r_missing;
   List.iter (fun c -> Format.fprintf fmt "improved %a@," pp_change c)
     r.r_improvements;

@@ -19,13 +19,22 @@
     [transfer_volume] sections from an older
     artifact is fine — the new points show up as added, not missing.
     A key present in the old artifact but missing from the new one is a
-    lost measurement and fails the comparison. *)
+    lost measurement and fails the comparison.
+
+    The [compile_profile] section (per-pass self times from the
+    {!Emsc_obs.Prof} layer) is never gated on its own — micro timings
+    are too noisy to fail a run — but when a wall-clock metric
+    regresses past its tolerance, the old and new per-pass profiles
+    are diffed and the top offending passes are named in the failure
+    message ({!report}[.r_attribution]).  Passes absent from the old
+    profile surface as added coverage; passes the new profile dropped
+    are ignored. *)
 
 type change = {
-  c_key : string;     (** figure or kernel name *)
+  c_key : string;     (** figure, kernel, or (attribution) pass name *)
   c_metric : string;
-      (** ["wall_ms"], ["global_words"], ["runtime_wall_ms"] or
-          ["overlap_fail"] *)
+      (** ["wall_ms"], ["global_words"], ["runtime_wall_ms"],
+          ["overlap_fail"] or ["pass_self_ms"] (attribution only) *)
   c_old : float;
   c_new : float;
   c_ratio : float;    (** new / old; [infinity] when old is 0 *)
@@ -37,6 +46,10 @@ type report = {
   r_unchanged : int;
   r_missing : string list;  (** measurements the new artifact dropped *)
   r_added : string list;
+  r_attribution : change list;
+      (** non-empty only when a wall metric regressed: the passes whose
+          self time grew beyond the wall tolerance (and by at least
+          0.1 ms), largest absolute growth first, capped at 3 *)
 }
 
 val default_wall_tolerance : float

@@ -13,7 +13,7 @@ let bound_to_aexpr ~names ~kind (a, e) =
     let pos = Ast.vec_to_aexpr ~names e in
     if Zint.is_one a then pos else Ast.Fdiv (pos, a)
 
-let scan_poly ?context ~names ~outer ~body p =
+let scan_poly_impl ?context ~names ~outer ~body p =
   let dim = Poly.dim p in
   if Array.length names < dim then invalid_arg "Scan.scan_poly: names";
   let known =
@@ -87,7 +87,14 @@ let scan_poly ?context ~names ~outer ~body p =
     end
   end
 
-let scan_uset ?context ~names ~outer ~body u =
+let scan_poly ?context ~names ~outer ~body p =
+  if not (Emsc_obs.Prof.enabled ()) then
+    scan_poly_impl ?context ~names ~outer ~body p
+  else
+    Emsc_obs.Prof.probe "scan.poly" (fun () ->
+      scan_poly_impl ?context ~names ~outer ~body p)
+
+let scan_uset_impl ?context ~names ~outer ~body u =
   let disjoint = Uset.make_disjoint u in
   let keyed =
     List.map (fun p ->
@@ -110,3 +117,10 @@ let scan_uset ?context ~names ~outer ~body u =
   let sorted = List.stable_sort cmp keyed in
   List.concat_map (fun (_, p) -> scan_poly ?context ~names ~outer ~body p)
     sorted
+
+let scan_uset ?context ~names ~outer ~body u =
+  if not (Emsc_obs.Prof.enabled ()) then
+    scan_uset_impl ?context ~names ~outer ~body u
+  else
+    Emsc_obs.Prof.probe "scan.uset" (fun () ->
+      scan_uset_impl ?context ~names ~outer ~body u)

@@ -125,19 +125,31 @@ let store ?(writer = output_string) t ~key v =
 
 let memo t ~key f =
   if not t.on then (f (), false)
-  else
-    match find t ~key with
+  else begin
+    (* lookup/store latencies feed warm-vs-cold compile cost into the
+       compile_profile artifact: a hit's cost is its lookup (decode,
+       possibly disk), a miss pays lookup + compute + store *)
+    let t0 = Unix.gettimeofday () in
+    let found = Emsc_obs.Prof.probe "driver.cache.lookup" (fun () -> find t ~key) in
+    let lookup_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    match found with
     | Some v ->
       t.hits <- t.hits + 1;
       Emsc_obs.Metrics.counter "driver.cache.hits" 1.0;
+      Emsc_obs.Metrics.observe "driver.cache.hit_ms" lookup_ms;
       (v, true)
     | None ->
       t.misses <- t.misses + 1;
       Emsc_obs.Metrics.counter "driver.cache.misses" 1.0;
+      Emsc_obs.Metrics.observe "driver.cache.miss_ms" lookup_ms;
       let v = f () in
-      store t ~key v;
+      let t1 = Unix.gettimeofday () in
+      Emsc_obs.Prof.probe "driver.cache.store" (fun () -> store t ~key v);
+      Emsc_obs.Metrics.observe "driver.cache.store_ms"
+        ((Unix.gettimeofday () -. t1) *. 1000.0);
       Emsc_obs.Metrics.counter "driver.cache.stores" 1.0;
       (v, false)
+  end
 
 let stats_json t =
   Emsc_obs.Json.Obj

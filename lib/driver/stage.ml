@@ -24,8 +24,10 @@ let timing_json t =
 
 let exec ?cache ~record st x =
   let t0 = Unix.gettimeofday () in
+  let label = "driver." ^ st.name in
   let result, cacheable, cached =
-    Trace.span ("driver." ^ st.name) @@ fun () ->
+    Prof.probe label @@ fun () ->
+    Trace.span label @@ fun () ->
     match cache with
     | Some (c, key) when Cache.enabled c ->
       let value, hit = Cache.memo c ~key (fun () -> st.run x) in

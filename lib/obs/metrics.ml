@@ -185,6 +185,38 @@ let find ?(labels = []) snap name =
 let counter_value ?labels snap name =
   match find ?labels snap name with Some (Counter v) -> v | _ -> 0.0
 
+(* Bucket-interpolated quantiles over the log2 histogram.  Bucket k
+   spans (2^(k-1), 2^k] (k = 0 spans (0, 1]; the underflow bucket is
+   exactly 0), and the estimate interpolates linearly inside the
+   bucket that crosses the target rank — coarse above, but monotone,
+   and honest about the histogram's resolution. *)
+let bucket_bounds k =
+  if k = min_int then (0.0, 0.0)
+  else if k = 0 then (0.0, 1.0)
+  else (Float.pow 2.0 (float_of_int (k - 1)), Float.pow 2.0 (float_of_int k))
+
+let quantile v q =
+  match v with
+  | Histogram { count; buckets; _ } when count > 0 && buckets <> [] ->
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let target = q *. float_of_int count in
+    let rec go cum = function
+      | [] -> None
+      | (k, n) :: rest ->
+        let cum' = cum +. float_of_int n in
+        if cum' >= target || rest = [] then begin
+          let lo, hi = bucket_bounds k in
+          let frac =
+            if n = 0 then 1.0
+            else Float.max 0.0 (Float.min 1.0 ((target -. cum) /. float_of_int n))
+          in
+          Some (lo +. ((hi -. lo) *. frac))
+        end
+        else go cum' rest
+    in
+    go 0.0 buckets
+  | _ -> None
+
 (* --- rendering --------------------------------------------------------- *)
 
 let bucket_label k = if k = min_int then "le0" else string_of_int k
@@ -192,13 +224,23 @@ let bucket_label k = if k = min_int then "le0" else string_of_int k
 let value_fields = function
   | Counter v -> [ ("type", Json.Str "counter"); ("value", Json.Float v) ]
   | Gauge v -> [ ("type", Json.Str "gauge"); ("value", Json.Float v) ]
-  | Histogram { count; sum; buckets } ->
+  | Histogram { count; sum; buckets } as h ->
+    let quantiles =
+      if count = 0 then []
+      else
+        List.filter_map (fun (label, q) ->
+          match quantile h q with
+          | Some v -> Some (label, Json.Float v)
+          | None -> None)
+          [ ("p50", 0.5); ("p95", 0.95); ("p99", 0.99) ]
+    in
     [ ("type", Json.Str "histogram");
       ("count", Json.Int count);
-      ("sum", Json.Float sum);
-      ( "buckets",
-        Json.Obj (List.map (fun (k, n) -> (bucket_label k, Json.Int n)) buckets)
-      ) ]
+      ("sum", Json.Float sum) ]
+    @ quantiles
+    @ [ ( "buckets",
+          Json.Obj
+            (List.map (fun (k, n) -> (bucket_label k, Json.Int n)) buckets) ) ]
 
 let snapshot_json snap =
   Json.Obj

@@ -87,9 +87,18 @@ val find : ?labels:labels -> snapshot -> string -> value option
 val counter_value : ?labels:labels -> snapshot -> string -> float
 (** The counter's value, or [0.] when absent (or not a counter). *)
 
+val quantile : value -> float -> float option
+(** [quantile v q] estimates the [q]-quantile (clamped to [0,1]) of a
+    {!Histogram} by linear interpolation inside the log2 bucket that
+    crosses rank [q*count]: bucket [k] spans [(2^(k-1), 2^k]] and the
+    underflow bucket is exactly [0].  Coarse above (log-scale
+    resolution) but monotone in [q].  [None] for non-histograms or
+    empty histograms. *)
+
 val snapshot_json : snapshot -> Json.t
 (** [{"at_s": ..., "metrics": [{"name","labels","type",...}]}] with
-    samples in snapshot order. *)
+    samples in snapshot order.  Histograms carry [p50]/[p95]/[p99]
+    fields (from {!quantile}) alongside count/sum/buckets. *)
 
 val pp : Format.formatter -> snapshot -> unit
 (** One metric per line, for human consumption. *)

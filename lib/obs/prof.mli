@@ -1,0 +1,120 @@
+(** Hierarchical self-profiler for the compiler hot paths.
+
+    Answers "where does compile time go?" with caller attribution:
+    each probe pushes a label on a per-domain stack and accumulates
+    wall time and call counts keyed by the full stack, so the same
+    pass (say Fourier–Motzkin projection) is costed separately under
+    dependence analysis and under code generation.  Memory is bounded
+    by the number of distinct label stacks, never by the call count.
+
+    Follows the [Events] discipline: disabled by default, every entry
+    point tests one boolean first, and the disabled path of the
+    [wrap]/[counted] forms performs no allocation — safe to leave in
+    the hottest loops.  Domain-safe: each domain owns its own stack
+    and tables; [snapshot] merges them all.
+
+    Snapshots export three ways: a collapsed-stack string that
+    external flamegraph tools (flamegraph.pl, speedscope, inferno)
+    accept directly; a top-K self-time table; and the
+    ["compile_profile"] JSON section embedded in bench artifacts and
+    [emsc profile]/[analyze --json] output, which
+    {!Emsc_audit.Bench_compare} diffs for regression attribution. *)
+
+(** {2 Lifecycle} *)
+
+val enabled : unit -> bool
+
+val enable : unit -> unit
+(** Also forced on at startup when the [EMSC_PROF] environment
+    variable is set to anything but [""], ["0"] or ["false"] — lets CI
+    run an unmodified binary profiled for the overhead budget check. *)
+
+val disable : unit -> unit
+
+val reset : unit -> unit
+(** Drop all recorded data from every domain. *)
+
+val set_clock : (unit -> float) -> unit
+(** Replace the wall clock (seconds); for deterministic tests. *)
+
+val use_default_clock : unit -> unit
+
+(** {2 Recording} *)
+
+val probe : string -> (unit -> 'a) -> 'a
+(** [probe name f] runs [f] with [name] pushed on this domain's label
+    stack, accumulating one call and its wall time under the full
+    stack.  Exceptions still record and re-raise.  Disabled: calls [f]
+    directly (the closure at the call-site is the only cost). *)
+
+val wrap : string -> ('a -> 'b) -> 'a -> 'b
+(** [wrap name f x]: like [probe] but fully applied, so a hot
+    call-site [let g x = Prof.wrap "g" g_impl x] allocates nothing
+    when profiling is off. *)
+
+val wrap2 : string -> ('a -> 'b -> 'c) -> 'a -> 'b -> 'c
+
+val counted : string -> ('a -> 'b) -> 'a -> 'b
+(** [wrap] that additionally emits the legacy [Trace.count name 1.0]
+    (itself guarded by the tracing flag), preserving historical
+    trace-counter totals bit-for-bit at converted call-sites. *)
+
+val counted2 : string -> ('a -> 'b -> 'c) -> 'a -> 'b -> 'c
+
+val add : string -> float -> unit
+(** [add name v] bumps counter [name] attributed to the current label
+    stack (e.g. simplex pivots under whichever pass triggered them).
+    No-op when disabled. *)
+
+(** {2 Snapshots} *)
+
+type frame = {
+  f_stack : string list;  (** labels, outermost first *)
+  f_calls : int;
+  f_total_s : float;      (** inclusive wall seconds *)
+  f_self_s : float;       (** total minus probed children, clamped at 0 *)
+  f_counters : (string * float) list;  (** sorted by name *)
+}
+
+type profile = frame list
+(** Sorted by stack, so a fixed workload under a fixed clock snapshots
+    deterministically. *)
+
+val snapshot : unit -> profile
+(** Merge every domain's tables.  Establish a happens-before edge
+    (join your domains) before trusting cross-domain numbers. *)
+
+val attributed_s : profile -> float
+(** Total wall seconds under root (depth-1) frames — the denominator
+    for "how much of the pipeline is attributed". *)
+
+(** {2 Per-pass aggregation} *)
+
+type pass = {
+  p_name : string;   (** leaf label, summed across all stacks *)
+  p_calls : int;
+  p_total_s : float;
+  p_self_s : float;
+}
+
+val passes : profile -> pass list
+(** Aggregated by leaf label, sorted by self time (descending). *)
+
+val top_self : ?k:int -> profile -> pass list
+(** First [k] (default 15) of [passes]. *)
+
+(** {2 Export} *)
+
+val collapsed : profile -> string
+(** Collapsed-stack text: one ["a;b;c <self µs>"] line per stack. *)
+
+val write_collapsed : string -> profile -> unit
+
+val pp_top : ?k:int -> Format.formatter -> profile -> unit
+(** Human top-K self-time table plus an attributed-total footer. *)
+
+val json : ?wall_ms:float -> profile -> Json.t
+(** The ["compile_profile"] artifact section
+    (schema [emsc-compile-profile/1]): [attributed_ms], per-pass
+    [passes] (calls / total_ms / self_ms, keyed by leaf label) and the
+    full [stacks] list. *)

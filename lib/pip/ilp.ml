@@ -43,7 +43,7 @@ let branch_rows dim j v =
 
 (* Depth-first branch and bound; finds an integer point minimizing
    [obj], or detects emptiness/unboundedness. *)
-let minimize ?(max_nodes = default_max_nodes) p obj =
+let minimize_impl ?(max_nodes = default_max_nodes) p obj =
   if Array.length obj <> Poly.dim p + 1 then invalid_arg "Ilp.minimize";
   let dim = Poly.dim p in
   let qobj = Simplex.obj_of_vec obj in
@@ -106,19 +106,32 @@ let minimize ?(max_nodes = default_max_nodes) p obj =
       end
     end
   in
-  search p;
+  let bump_nodes () =
+    if Emsc_obs.Prof.enabled () then
+      Emsc_obs.Prof.add "pip.nodes" (float_of_int !nodes)
+  in
+  (match search p with
+   | () -> bump_nodes ()
+   | exception e -> bump_nodes (); raise e);
   if !unbounded then Unbounded
   else
     match !best with
     | Some (v, pt) -> Opt (v, pt)
     | None -> Empty
 
+(* flag-tested wrappers so the disabled path allocates no closure *)
+let minimize ?max_nodes p obj =
+  if not (Emsc_obs.Prof.enabled ()) then minimize_impl ?max_nodes p obj
+  else
+    Emsc_obs.Prof.probe "pip.minimize" (fun () ->
+      minimize_impl ?max_nodes p obj)
+
 let maximize ?max_nodes p obj =
   match minimize ?max_nodes p (Vec.neg obj) with
   | Opt (v, pt) -> Opt (Zint.neg v, pt)
   | (Empty | Unbounded) as r -> r
 
-let int_point ?(max_nodes = default_max_nodes) p =
+let int_point_impl ?(max_nodes = default_max_nodes) p =
   let dim = Poly.dim p in
   let nodes = ref 0 in
   let rec go node =
@@ -140,11 +153,22 @@ let int_point ?(max_nodes = default_max_nodes) p =
       end
     end
   in
-  go p
+  let bump_nodes () =
+    if Emsc_obs.Prof.enabled () then
+      Emsc_obs.Prof.add "pip.nodes" (float_of_int !nodes)
+  in
+  match go p with
+  | r -> bump_nodes (); r
+  | exception e -> bump_nodes (); raise e
+
+let int_point ?max_nodes p =
+  if not (Emsc_obs.Prof.enabled ()) then int_point_impl ?max_nodes p
+  else
+    Emsc_obs.Prof.probe "pip.int_point" (fun () -> int_point_impl ?max_nodes p)
 
 let is_int_empty ?max_nodes p = int_point ?max_nodes p = None
 
-let lexmin ?max_nodes p =
+let lexmin_impl ?max_nodes p =
   let dim = Poly.dim p in
   let rec fix j node acc =
     if j >= dim then Some (Array.of_list (List.rev acc))
@@ -161,3 +185,7 @@ let lexmin ?max_nodes p =
     end
   in
   fix 0 p []
+
+let lexmin ?max_nodes p =
+  if not (Emsc_obs.Prof.enabled ()) then lexmin_impl ?max_nodes p
+  else Emsc_obs.Prof.probe "pip.lexmin" (fun () -> lexmin_impl ?max_nodes p)

@@ -111,10 +111,11 @@ let is_trivially_empty p =
     Vec.is_zero (var_part r) && Zint.is_negative (const_of r))
     p.ineqs
 
-let is_empty p =
-  Emsc_obs.Trace.count "poly.is_empty" 1.0;
+let is_empty_impl p =
   is_trivially_empty p
   || Simplex.feasible_point ~dim:p.dim ~eqs:p.eqs ~ineqs:p.ineqs = None
+
+let is_empty p = Emsc_obs.Prof.counted "poly.is_empty" is_empty_impl p
 
 let is_universe p = p.eqs = [] && p.ineqs = []
 
@@ -148,9 +149,14 @@ let substitute_eq e j row =
     Vec.combine mult_row row mult_e e
   end
 
-let eliminate_dim p j =
-  if j < 0 || j >= p.dim then invalid_arg "Poly.eliminate_dim";
-  Emsc_obs.Trace.count "poly.eliminate_dim" 1.0;
+let eliminate_dim_impl p j =
+  (* input-structure histograms: FM projection cost is driven by
+     constraint count and dimension, so record both per call *)
+  if Emsc_obs.Metrics.enabled () then begin
+    Emsc_obs.Metrics.observe "poly.project.ineqs"
+      (float_of_int (List.length p.ineqs));
+    Emsc_obs.Metrics.observe "poly.project.dim" (float_of_int p.dim)
+  end;
   if is_trivially_empty p then bottom (p.dim - 1)
   else begin
     let drop row = Vec.remove row j in
@@ -177,6 +183,10 @@ let eliminate_dim p j =
         (List.map drop zero @ combined)
   end
 
+let eliminate_dim p j =
+  if j < 0 || j >= p.dim then invalid_arg "Poly.eliminate_dim";
+  Emsc_obs.Prof.counted2 "poly.eliminate_dim" eliminate_dim_impl p j
+
 let eliminate_dims p js =
   let sorted = List.sort_uniq (fun a b -> compare b a) js in
   List.fold_left eliminate_dim p sorted
@@ -201,10 +211,8 @@ let insert_dims p ~pos ~count =
       ineqs = List.map widen p.ineqs }
   end
 
-let image p f =
+let image_impl p f =
   let n = p.dim and m = Mat.rows f in
-  if Mat.cols f <> n + 1 then invalid_arg "Poly.image: map width";
-  Emsc_obs.Trace.count "poly.image" 1.0;
   (* build over (x, y) then eliminate x *)
   let ext = insert_dims p ~pos:n ~count:m in
   let eq_rows =
@@ -221,6 +229,10 @@ let image p f =
     construct (n + m) (eq_rows @ ext.eqs) ext.ineqs
   in
   eliminate_dims combined (List.init n (fun i -> i))
+
+let image p f =
+  if Mat.cols f <> p.dim + 1 then invalid_arg "Poly.image: map width";
+  Emsc_obs.Prof.counted2 "poly.image" image_impl p f
 
 let preimage p f =
   let n = p.dim in
@@ -329,8 +341,7 @@ let is_subset p q =
 
 let equal_set p q = is_subset p q && is_subset q p
 
-let remove_redundant p =
-  Emsc_obs.Trace.count "poly.remove_redundant" 1.0;
+let remove_redundant_impl p =
   if is_empty p then bottom p.dim
   else begin
     (* implicit equalities first *)
@@ -356,6 +367,9 @@ let remove_redundant p =
     sweep !ineqs;
     construct p.dim !eqs !kept
   end
+
+let remove_redundant p =
+  Emsc_obs.Prof.counted "poly.remove_redundant" remove_redundant_impl p
 
 let affine_hull p =
   let implicit =

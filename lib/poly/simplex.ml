@@ -20,6 +20,7 @@ type tableau = {
 }
 
 let pivot t ~row ~col =
+  Emsc_obs.Prof.add "simplex.pivots" 1.0;
   let m = Array.length t.rows in
   let piv = t.rows.(row).(col) in
   let inv = Q.inv piv in
@@ -103,7 +104,7 @@ let solve_phase t cost ~allowed =
   in
   iterate ()
 
-let minimize ~dim ~eqs ~ineqs ~obj =
+let minimize_impl ~dim ~eqs ~ineqs ~obj =
   let n_eq = List.length eqs and n_in = List.length ineqs in
   let m = n_eq + n_in in
   (* columns: [0, 2*dim): u/v pairs; [2*dim, 2*dim+n_in): slacks;
@@ -182,6 +183,13 @@ let minimize ~dim ~eqs ~ineqs ~obj =
       in
       Optimal (value, point)
   end
+
+(* the flag test keeps the disabled path free of the probe closure *)
+let minimize ~dim ~eqs ~ineqs ~obj =
+  if not (Emsc_obs.Prof.enabled ()) then minimize_impl ~dim ~eqs ~ineqs ~obj
+  else
+    Emsc_obs.Prof.probe "simplex.minimize" (fun () ->
+      minimize_impl ~dim ~eqs ~ineqs ~obj)
 
 let maximize ~dim ~eqs ~ineqs ~obj =
   let neg = Array.map Q.neg obj in
