@@ -133,6 +133,13 @@ let level_movement : (string * float) list ref = ref []
    transfer_words section gates) *)
 let transfer_volume : (string * float) list ref = ref []
 
+(* serve figure: latency quantiles, throughput and cache hit rates of
+   the compile daemon under concurrent load; becomes the artifact's
+   top-level [serve] object — bench-compare gates its lower-is-better
+   keys (latency quantiles, hot miss rate) with the runtime
+   tolerance *)
+let serve_summary : (string * J.t) list ref = ref []
+
 let write_bench_json ~figure_ms =
   let t = Unix.localtime (Unix.time ()) in
   let stamp fmt =
@@ -165,6 +172,7 @@ let write_bench_json ~figure_ms =
         ( "transfer_volume",
           J.Obj
             (List.rev_map (fun (k, w) -> (k, J.Float w)) !transfer_volume) );
+        ("serve", J.Obj !serve_summary);
         ("metrics", Emsc_obs.Metrics.snapshot_json (Emsc_obs.Metrics.snapshot ()));
         ( "pass_cache",
           Emsc_driver.Cache.stats_json bench_cache );
@@ -1139,13 +1147,157 @@ let micro () =
     merged;
   pf "\n"
 
+(* --- serve: compile-daemon latency SLO ---------------------------- *)
+
+(* Load-test `emsc serve` in-process: one daemon domain over a shared
+   two-layer pass cache (LRU-capped memory in front of a scratch disk
+   dir), hammered by concurrent client connections issuing block-tiled
+   matmul compiles.  Each of the distinct sources is compiled once
+   cold and then repeatedly warm, so the figure measures exactly what
+   a developer loop sees: cold-compile latency at the tail, hot-cache
+   latency at the median. *)
+
+let serve_sources =
+  List.init 8 (fun i ->
+    let n = 16 + (8 * i) in
+    let name = Printf.sprintf "serve-mm%d" n in
+    let text =
+      Printf.sprintf
+        "array A[%d][%d];\narray B[%d][%d];\narray C[%d][%d];\n\
+         for (i = 0; i <= %d; i++) {\n\
+        \  for (j = 0; j <= %d; j++) {\n\
+        \    for (k = 0; k <= %d; k++) {\n\
+        \      C[i][j] += A[i][k] * B[k][j];\n\
+        \    }\n\
+        \  }\n\
+         }\n"
+        n n n n n n (n - 1) (n - 1) (n - 1)
+    in
+    (name, text))
+
+let serve_options =
+  { Emsc_serve.Protocol.default_options with
+    o_block = [ 8; 8; 0 ]; o_mem = [ 8; 8; 8 ] }
+
+let serve_fig () =
+  let module SP = Emsc_serve.Protocol in
+  let module SC = Emsc_serve.Client in
+  let sock =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "emsc-serve-bench-%d.sock" (Unix.getpid ()))
+  in
+  let disk_dir =
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "emsc-serve-bench-cache-%d" (Unix.getpid ()))
+    in
+    (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+    d
+  in
+  (* a cap below the working set forces evictions, so warm requests
+     also exercise the disk layer (hit-after-evict) *)
+  let cache = Emsc_driver.Cache.create ~dir:disk_dir ~max_entries:16 () in
+  let workers = max 2 (min 4 (Pipeline.default_jobs ())) in
+  let cfg =
+    Emsc_serve.Server.config ~workers ~queue_capacity:256 ~cache
+      (`Unix sock)
+  in
+  let srv = Domain.spawn (fun () -> Emsc_serve.Server.run cfg) in
+  let n_clients = 4 and rounds = 3 in
+  let client ci =
+    match SC.connect (`Unix sock) with
+    | Error m -> failwith ("serve bench: connect: " ^ m)
+    | Ok conn ->
+      let lats = ref [] in
+      for round = 0 to rounds - 1 do
+        List.iteri
+          (fun i (name, text) ->
+            let req =
+              { SP.req_id = Printf.sprintf "c%d-r%d-%d" ci round i;
+                op = SP.Compile { name; text; options = serve_options };
+                timeout_ms = None }
+            in
+            let t0 = Unix.gettimeofday () in
+            match SC.roundtrip conn req with
+            | Ok resp when resp.SC.ok ->
+              lats := (Unix.gettimeofday () -. t0) *. 1000.0 :: !lats
+            | Ok resp ->
+              failwith
+                (Printf.sprintf "serve bench: %s rejected: %s" name
+                   (match resp.SC.error with
+                    | Some r -> r.SP.code ^ ": " ^ r.SP.message
+                    | None -> "?"))
+            | Error m -> failwith ("serve bench: " ^ m))
+          serve_sources
+      done;
+      SC.close conn;
+      !lats
+  in
+  let t0 = Unix.gettimeofday () in
+  let doms =
+    List.init n_clients (fun ci -> Domain.spawn (fun () -> client ci))
+  in
+  let lats = List.concat_map Domain.join doms in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  (match
+     SC.once (`Unix sock)
+       { SP.req_id = "bye"; op = SP.Shutdown; timeout_ms = None }
+   with
+   | Ok _ -> ()
+   | Error m -> pf "serve: shutdown: %s\n" m);
+  let stats = Domain.join srv in
+  let sorted = Array.of_list (List.sort compare lats) in
+  let total = Array.length sorted in
+  if total = 0 then failwith "serve bench: no latencies";
+  let q p =
+    sorted.(min (total - 1) (int_of_float (p *. float_of_int total)))
+  in
+  let mean = Array.fold_left ( +. ) 0.0 sorted /. float_of_int total in
+  let throughput = float_of_int total /. wall_s in
+  let lookups =
+    Emsc_driver.Cache.hits cache + Emsc_driver.Cache.misses cache
+  in
+  let rate n = if lookups = 0 then 0.0 else float_of_int n /. float_of_int lookups in
+  let hot_hit = rate (Emsc_driver.Cache.hot_hits cache) in
+  let disk_hit = rate (Emsc_driver.Cache.disk_hits cache) in
+  record_point ~fig:"serve" ~series:"latency" ~x:"p50" (q 0.50);
+  record_point ~fig:"serve" ~series:"latency" ~x:"p95" (q 0.95);
+  record_point ~fig:"serve" ~series:"latency" ~x:"p99" (q 0.99);
+  record_point ~fig:"serve" ~series:"throughput" ~x:"total" ~unit_:"req/s"
+    throughput;
+  record_note ~fig:"serve" "requests" (J.Int total);
+  record_note ~fig:"serve" "served" (J.Int stats.Emsc_serve.Server.served);
+  record_note ~fig:"serve" "evictions"
+    (J.Int (Emsc_driver.Cache.evictions cache));
+  serve_summary :=
+    [ ("p50_ms", J.Float (q 0.50));
+      ("p95_ms", J.Float (q 0.95));
+      ("p99_ms", J.Float (q 0.99));
+      ("mean_ms", J.Float mean);
+      ("throughput_rps", J.Float throughput);
+      ("requests", J.Int total);
+      ("clients", J.Int n_clients);
+      ("workers", J.Int workers);
+      ("hot_hit_rate", J.Float hot_hit);
+      ("hot_miss_rate", J.Float (1.0 -. hot_hit));
+      ("disk_hit_rate", J.Float disk_hit);
+      ("evictions", J.Int (Emsc_driver.Cache.evictions cache)) ];
+  pf
+    "=== serve: %d requests over %d clients x %d workers ===\n\
+     p50 %.2f ms  p95 %.2f ms  p99 %.2f ms  %.1f req/s\n\
+     hot hit rate %.2f  disk hit rate %.2f  evictions %d\n\n"
+    total n_clients workers (q 0.50) (q 0.95) (q 0.99) throughput hot_hit
+    disk_hit
+    (Emsc_driver.Cache.evictions cache)
+
 (* ------------------------------------------------------------------ *)
 
 let all_figs =
   [ ("fig4", fig4); ("fig5", fig5); ("fig6", fig6); ("fig7", fig7);
     ("fig8", fig8); ("ablations", ablations); ("batch", batch);
     ("check", check); ("audit", audit); ("runtime", runtime);
-    ("hierarchy", hierarchy); ("inter_tile", inter_tile); ("micro", micro) ]
+    ("hierarchy", hierarchy); ("inter_tile", inter_tile);
+    ("serve", serve_fig); ("micro", micro) ]
 
 let () =
   let requested =

@@ -953,6 +953,194 @@ let audit_cmd =
           $ param_args $ json_arg $ trace_arg $ nocache_arg $ cachedir_arg
           $ out_arg)
 
+(* --- emsc serve / emsc client ------------------------------------------- *)
+
+let socket_arg =
+  Arg.(value & opt (some string) None
+       & info [ "socket" ] ~docv:"PATH"
+           ~doc:"Serve (or dial) a Unix-domain socket at $(docv).")
+
+let port_arg =
+  Arg.(value & opt (some int) None
+       & info [ "port" ] ~docv:"N"
+           ~doc:"Serve (or dial) TCP port $(docv) instead of a Unix socket.")
+
+let host_arg =
+  Arg.(value & opt string "127.0.0.1"
+       & info [ "host" ] ~docv:"HOST" ~doc:"Host for --port.")
+
+let addr_of cmd socket port host : Emsc_serve.Server.addr =
+  match socket, port with
+  | Some path, None -> `Unix path
+  | None, Some p -> `Tcp (host, p)
+  | None, None ->
+    Printf.eprintf "%s: give --socket PATH or --port N\n" cmd;
+    exit 1
+  | Some _, Some _ ->
+    Printf.eprintf "%s: --socket and --port are mutually exclusive\n" cmd;
+    exit 1
+
+let serve_cmd =
+  let workers_arg =
+    Arg.(value & opt int 0
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Worker domains executing requests (0 = pick from the \
+                   core count).")
+  in
+  let queue_arg =
+    Arg.(value & opt int 64
+         & info [ "queue" ] ~docv:"N"
+             ~doc:"Admitted-request queue bound; requests past it are \
+                   rejected with code queue_full (backpressure).")
+  in
+  let timeout_arg =
+    Arg.(value & opt float 0.0
+         & info [ "timeout-ms" ] ~docv:"MS"
+             ~doc:"Default per-request deadline: a request still queued \
+                   after $(docv) ms is answered with code timeout instead \
+                   of compiled (0 = none; requests may override).")
+  in
+  let hot_cap_arg =
+    Arg.(value & opt int 256
+         & info [ "hot-cap" ] ~docv:"N"
+             ~doc:"LRU entry cap of the shared in-memory hot cache \
+                   (0 = unbounded).")
+  in
+  let quiet_arg =
+    Arg.(value & flag & info [ "quiet" ] ~doc:"No lifecycle logging.")
+  in
+  let run socket port host workers queue timeout_ms hot_cap machine quiet
+      no_cache cache_dir =
+    let addr = addr_of "serve" socket port host in
+    let max_entries = if hot_cap > 0 then Some hot_cap else None in
+    let cache =
+      if no_cache then Emsc_driver.Cache.in_memory ?max_entries ()
+      else Emsc_driver.Cache.create ?dir:cache_dir ?max_entries ()
+    in
+    let hier = resolve_machine machine in
+    ignore hier;
+    (* the daemon keeps latency quantiles and queue gauges live so a
+       status/metrics consumer sees them without restarting it *)
+    Metrics.enable ();
+    let log m = if not quiet then Printf.eprintf "emsc serve: %s\n%!" m in
+    let cfg =
+      Emsc_serve.Server.config
+        ?workers:(if workers > 0 then Some workers else None)
+        ~queue_capacity:queue ~default_timeout_ms:timeout_ms ~cache
+        ~default_machine:machine ~install_signal_handlers:true ~log addr
+    in
+    let stats = Emsc_serve.Server.run cfg in
+    log
+      (Printf.sprintf "served %d, rejected %d over %d connection(s)"
+         stats.Emsc_serve.Server.served stats.Emsc_serve.Server.rejected
+         stats.Emsc_serve.Server.connections)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the compile daemon: newline-delimited JSON requests \
+             (emsc-serve/1) over a Unix or TCP socket, dispatched to a \
+             domain worker pool over a shared hot pass cache.  Stop it \
+             with an in-band shutdown request or SIGTERM; both drain \
+             gracefully.")
+    Term.(const run $ socket_arg $ port_arg $ host_arg $ workers_arg
+          $ queue_arg $ timeout_arg $ hot_cap_arg $ machine_arg $ quiet_arg
+          $ nocache_arg $ cachedir_arg)
+
+let client_cmd =
+  let op_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"OP"
+             ~doc:"One of compile, analyze, check, status, shutdown.")
+  in
+  let files_arg =
+    Arg.(value & pos_right 0 string [] & info [] ~docv:"FILE")
+  in
+  let timeout_arg =
+    Arg.(value & opt (some float) None
+         & info [ "timeout-ms" ] ~docv:"MS"
+             ~doc:"Per-request deadline forwarded to the daemon.")
+  in
+  let fuzz_arg =
+    Arg.(value & opt int 10
+         & info [ "fuzz" ] ~docv:"N" ~doc:"Programs for the check op.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Check seed.")
+  in
+  let run socket port host op files timeout_ms fuzz seed machine arch merge
+      delta optimize_movement inter_tile_reuse block mem thread =
+    let addr = addr_of "client" socket port host in
+    let options =
+      { Emsc_serve.Protocol.o_arch = arch;
+        o_merge_per_array = merge; o_delta = delta;
+        o_optimize_movement = optimize_movement;
+        o_inter_tile_reuse = inter_tile_reuse;
+        o_machine = (if machine = "gtx8800" then "" else machine);
+        o_block = Array.to_list (parse_tile_list block);
+        o_mem = Array.to_list (parse_tile_list mem);
+        o_thread = Array.to_list (parse_tile_list thread) }
+    in
+    let requests =
+      let req i o =
+        { Emsc_serve.Protocol.req_id = string_of_int i; op = o; timeout_ms }
+      in
+      match op with
+      | "status" -> [ req 0 Emsc_serve.Protocol.Status ]
+      | "shutdown" -> [ req 0 Emsc_serve.Protocol.Shutdown ]
+      | "check" -> [ req 0 (Emsc_serve.Protocol.Check { fuzz; seed }) ]
+      | "compile" | "analyze" ->
+        if files = [] then begin
+          Printf.eprintf "client: %s needs FILE arguments\n" op;
+          exit 1
+        end;
+        List.mapi
+          (fun i f ->
+            let text =
+              let ic = open_in f in
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic)
+                (fun () -> really_input_string ic (in_channel_length ic))
+            in
+            let payload =
+              if op = "compile" then
+                Emsc_serve.Protocol.Compile { name = f; text; options }
+              else Emsc_serve.Protocol.Analyze { name = f; text; options }
+            in
+            req i payload)
+          files
+      | o ->
+        Printf.eprintf "client: unknown op %S\n" o;
+        exit 1
+    in
+    match Emsc_serve.Client.connect addr with
+    | Error m ->
+      Printf.eprintf "client: cannot connect: %s\n" m;
+      exit 1
+    | Ok conn ->
+      let failed = ref false in
+      List.iter
+        (fun r ->
+          match Emsc_serve.Client.roundtrip conn r with
+          | Error m ->
+            Printf.eprintf "client: %s\n" m;
+            failed := true
+          | Ok resp ->
+            print_endline resp.Emsc_serve.Client.raw;
+            if not resp.Emsc_serve.Client.ok then failed := true)
+        requests;
+      Emsc_serve.Client.close conn;
+      if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Talk to an emsc serve daemon: send compile/analyze/check/\
+             status/shutdown requests and print the raw JSON response \
+             lines (exit 1 if any request was rejected).")
+    Term.(const run $ socket_arg $ port_arg $ host_arg $ op_arg $ files_arg
+          $ timeout_arg $ fuzz_arg $ seed_arg $ machine_arg $ arch_arg
+          $ merge_arg $ delta_arg $ optmove_arg $ intertile_arg $ block_arg
+          $ mem_arg $ thread_arg)
+
 (* --- emsc bench-compare ------------------------------------------------- *)
 
 let bench_compare_cmd =
@@ -1025,4 +1213,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ analyze_cmd; compile_cmd; profile_cmd; deps_cmd; band_cmd;
-            run_cmd; check_cmd; audit_cmd; bench_compare_cmd ]))
+            run_cmd; check_cmd; audit_cmd; serve_cmd; client_cmd;
+            bench_compare_cmd ]))

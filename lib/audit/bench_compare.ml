@@ -93,6 +93,27 @@ let transfer_volume_section j =
       fields
   | _ -> []
 
+(* latency-SLO keys of the serve-daemon load test: only lower-is-better
+   keys are gated — per-request latency quantiles ("*_ms") and the hot
+   cache miss rate ("*_miss_rate").  Throughput and hit rates live in
+   the same artifact object but growth there is good, so they are
+   reported, never compared.  Absent in artifacts that predate the
+   daemon, so absence is an empty section (new keys surface as
+   "added", not "missing").  Gated with the loose runtime tolerance:
+   quantiles off a 1-core CI box carry scheduling noise, and the gate
+   exists to catch order-of regressions in the serving path, not
+   percent drift. *)
+let serve_section j =
+  match J.member "serve" j with
+  | Some (J.Obj fields) ->
+    List.filter_map (fun (k, v) ->
+      if String.ends_with ~suffix:"_ms" k
+         || String.ends_with ~suffix:"_miss_rate" k
+      then match num v with Some f -> Some (k, f) | None -> None
+      else None)
+      fields
+  | _ -> []
+
 (* pass name -> self ms from the compile_profile section written by the
    Prof layer; absent in artifacts that predate the profiler, so absence
    is an empty section.  Never gated: per-pass self times are micro
@@ -205,6 +226,8 @@ let compare ?(wall_tolerance = default_wall_tolerance)
            (transfer_volume_section old_j) (transfer_volume_section new_j)
       |> diff_section ~metric:"runtime_wall_ms" ~tolerance:runtime_tolerance
            (runtime_section old_j) (runtime_section new_j)
+      |> diff_section ~metric:"serve_slo" ~tolerance:runtime_tolerance
+           (serve_section old_j) (serve_section new_j)
       (* a freshly failing overlap audit (0 -> 1) is a regression in
          its own right, regardless of wall time *)
       |> diff_section ~metric:"overlap_fail" ~tolerance:0.0

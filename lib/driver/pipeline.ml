@@ -184,20 +184,38 @@ let default_jobs () =
   try Domain.recommended_domain_count () with _ -> 4
 
 (* Batch compilation via forked workers.  Jobs are dealt round-robin
-   to [workers] children; each child streams back (index, result)
-   pairs over a pipe and the parent reassembles them by index, so the
-   output order is the input order no matter how workers interleave.
-   Fork (rather than domains) keeps the single-threaded invariants of
-   the tracing layer and the polyhedral core intact. *)
-let compile_many ?(cache = Cache.off) ?jobs job_list =
+   to [workers] children; each child streams back one (index, result)
+   message per job over a pipe — converting any exception its job
+   raised into that job's [Error] — and the parent reassembles them by
+   index, so the output order is the input order no matter how workers
+   interleave.  Because results stream incrementally, a worker that
+   dies mid-batch (OOM kill, segfault, crashing [compile_one] hook)
+   loses only the jobs it had not yet reported; each of those comes
+   back as its own [Error] naming the job, never a collapsed
+   whole-batch failure.  Fork (rather than domains) keeps each job's
+   compile single-threaded and the workers' address spaces isolated.
+
+   [compile_one] (default {!compile}) exists for tests: injecting a
+   raising or aborting function exercises the per-job error and
+   dead-worker paths without needing a genuinely crashing input. *)
+let compile_many ?(cache = Cache.off) ?jobs
+    ?(compile_one = fun ~cache jb -> compile ~cache jb) job_list =
   let items = Array.of_list job_list in
   let n = Array.length items in
   let workers =
     let j = match jobs with Some j -> j | None -> default_jobs () in
     max 1 (min j n)
   in
+  let guarded i =
+    try compile_one ~cache items.(i)
+    with e ->
+      Error
+        { Frontend.origin = Source.name items.(i).source;
+          stage = "batch";
+          message = Printexc.to_string e }
+  in
   if workers <= 1 || n <= 1 || Sys.win32 then
-    Array.to_list (Array.map (fun jb -> compile ~cache jb) items)
+    List.init n guarded
   else begin
     let spans = Array.make workers [] in
     for i = n - 1 downto 0 do
@@ -211,16 +229,17 @@ let compile_many ?(cache = Cache.off) ?jobs job_list =
            let r, w = Unix.pipe () in
            match Unix.fork () with
            | 0 ->
-             (* child: compute, marshal, vanish without running the
-                parent's at_exit flushes *)
+             (* child: compute, marshal each result as soon as it
+                exists, vanish without running the parent's at_exit
+                flushes *)
              (try
                 Unix.close r;
                 let oc = Unix.out_channel_of_descr w in
-                let results =
-                  List.map (fun i -> (i, compile ~cache items.(i))) idxs
-                in
-                Marshal.to_channel oc results [];
-                flush oc;
+                List.iter
+                  (fun i ->
+                    Marshal.to_channel oc (i, guarded i) [];
+                    flush oc)
+                  idxs;
                 Unix._exit 0
               with _ -> Unix._exit 1)
            | pid ->
@@ -231,18 +250,26 @@ let compile_many ?(cache = Cache.off) ?jobs job_list =
       (fun (pid, r, idxs) ->
         let ic = Unix.in_channel_of_descr r in
         (try
-           let results :
-             (int * (compiled, Frontend.error) result) list =
-             Marshal.from_channel ic
-           in
-           List.iter (fun (i, res) -> slots.(i) <- Some res) results
-         with _ -> ());
+           while true do
+             let (i, res) : int * (compiled, Frontend.error) result =
+               Marshal.from_channel ic
+             in
+             slots.(i) <- Some res
+           done
+         with End_of_file | Failure _ -> ());
         close_in_noerr ic;
         let rec wait () =
-          try ignore (Unix.waitpid [] pid)
+          try snd (Unix.waitpid [] pid)
           with Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
         in
-        wait ();
+        let status = wait () in
+        let status_message =
+          match status with
+          | Unix.WEXITED 0 -> "worker exited before reporting this job"
+          | Unix.WEXITED c -> Printf.sprintf "worker exited with code %d" c
+          | Unix.WSIGNALED s -> Printf.sprintf "worker killed by signal %d" s
+          | Unix.WSTOPPED s -> Printf.sprintf "worker stopped by signal %d" s
+        in
         List.iter
           (fun i ->
             if Option.is_none slots.(i) then
@@ -251,7 +278,7 @@ let compile_many ?(cache = Cache.off) ?jobs job_list =
                   (Error
                      { Frontend.origin = Source.name items.(i).source;
                        stage = "batch";
-                       message = "worker process failed" }))
+                       message = status_message }))
           idxs)
       children;
     Array.to_list (Array.map (fun s -> Option.get s) slots)

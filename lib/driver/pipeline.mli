@@ -59,15 +59,28 @@ val compile_source :
   (compiled, Frontend.error) result
 
 val compile_many :
-  ?cache:Cache.t -> ?jobs:int -> job list ->
+  ?cache:Cache.t -> ?jobs:int ->
+  ?compile_one:(cache:Cache.t -> job -> (compiled, Frontend.error) result) ->
+  job list ->
   (compiled, Frontend.error) result list
 (** Compiles independent jobs in parallel forked workers ([jobs]
     defaults to {!default_jobs}; values [<= 1], singleton batches, and
     Windows fall back to in-process sequential compilation).  Results
-    are in input order regardless of completion order.  A crashed
-    worker yields [Error] for its jobs only.  Worker cache *stores*
-    land in the shared on-disk layer; the parent's in-memory counters
-    only see its own lookups. *)
+    are in input order regardless of completion order.
+
+    Failures never collapse: a job whose compile raises comes back as
+    that job's own [Error] (origin = its source name, message = the
+    exception), and because workers stream results per job, a worker
+    that dies mid-batch yields a named [Error] for each job it had not
+    yet reported — carrying the worker's exit status — while every
+    result it already streamed survives.
+
+    [compile_one] (default {!compile}) is a test hook: injecting a
+    raising or process-aborting function exercises those error paths
+    deterministically.
+
+    Worker cache *stores* land in the shared on-disk layer; the
+    parent's in-memory counters only see its own lookups. *)
 
 val default_jobs : unit -> int
 

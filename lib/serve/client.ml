@@ -1,0 +1,102 @@
+module P = Protocol
+module J = Emsc_obs.Json
+
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+}
+
+let sockaddr_of = function
+  | `Unix path -> Unix.ADDR_UNIX path
+  | `Tcp (host, port) ->
+    let inet =
+      try Unix.inet_addr_of_string host
+      with Failure _ ->
+        (try (Unix.gethostbyname host).Unix.h_addr_list.(0)
+         with Not_found -> Unix.inet_addr_loopback)
+    in
+    Unix.ADDR_INET (inet, port)
+
+(* Connect, retrying while the daemon is still binding its socket. *)
+let connect ?(retries = 50) ?(retry_delay_s = 0.1) addr =
+  let sa = sockaddr_of addr in
+  let rec attempt n =
+    let domain = Unix.domain_of_sockaddr sa in
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    match Unix.connect fd sa with
+    | () ->
+      Ok { fd; ic = Unix.in_channel_of_descr fd;
+           oc = Unix.out_channel_of_descr fd }
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      (match e with
+       | (Unix.ECONNREFUSED | Unix.ENOENT | Unix.EAGAIN) when n > 0 ->
+         Unix.sleepf retry_delay_s;
+         attempt (n - 1)
+       | _ -> Error (Unix.error_message e))
+  in
+  attempt retries
+
+let close t =
+  (* channels share [fd]; closing the channel closes the descriptor *)
+  (try close_out_noerr t.oc with _ -> ());
+  (try Unix.close t.fd with Unix.Unix_error _ -> ())
+
+let send_line t line =
+  output_string t.oc line;
+  output_char t.oc '\n';
+  flush t.oc
+
+let recv_line t =
+  match input_line t.ic with
+  | line -> Ok line
+  | exception End_of_file -> Error "connection closed by daemon"
+  | exception Sys_error m -> Error m
+
+type response = {
+  resp_id : string;
+  ok : bool;
+  result : J.t option;     (** present when [ok] *)
+  server : J.t option;     (** per-request server-side facts *)
+  error : P.reject option; (** present when [not ok] *)
+  raw : string;            (** the exact line off the wire *)
+}
+
+let parse_response raw =
+  match J.of_string raw with
+  | Error m -> Error (Printf.sprintf "bad response JSON: %s" m)
+  | Ok j ->
+    let str name =
+      match J.member name j with Some (J.Str s) -> s | _ -> ""
+    in
+    (match J.member "ok" j with
+     | Some (J.Bool ok) ->
+       let error =
+         match J.member "error" j with
+         | Some e ->
+           let field n =
+             match J.member n e with Some (J.Str s) -> s | _ -> ""
+           in
+           Some (P.reject (field "code") (field "message"))
+         | None -> None
+       in
+       Ok
+         { resp_id = str "id"; ok; result = J.member "result" j;
+           server = J.member "server" j; error; raw }
+     | _ -> Error "response has no \"ok\" field")
+
+let roundtrip t (req : P.request) =
+  send_line t (P.request_line req);
+  match recv_line t with
+  | Error m -> Error m
+  | Ok raw -> parse_response raw
+
+(* one-shot helper: connect, ask, close *)
+let once ?retries ?retry_delay_s addr req =
+  match connect ?retries ?retry_delay_s addr with
+  | Error m -> Error m
+  | Ok t ->
+    let r = roundtrip t req in
+    close t;
+    r

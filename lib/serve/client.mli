@@ -1,0 +1,43 @@
+(** Minimal blocking client for the [emsc-serve/1] protocol.
+
+    Used by [emsc client], the serve bench load generator, and the
+    end-to-end tests.  One {!t} is one connection; requests written
+    through it are answered in order, so a caller may interleave
+    {!send_line}s and {!recv_line}s to pipeline. *)
+
+module P = Protocol
+module J = Emsc_obs.Json
+
+type t
+
+val connect :
+  ?retries:int -> ?retry_delay_s:float ->
+  [ `Unix of string | `Tcp of string * int ] ->
+  (t, string) result
+(** Retries [ECONNREFUSED]/[ENOENT] (default 50 × 0.1 s) so callers
+    can race a freshly spawned daemon to its [bind]. *)
+
+val close : t -> unit
+
+val send_line : t -> string -> unit
+val recv_line : t -> (string, string) result
+
+type response = {
+  resp_id : string;
+  ok : bool;
+  result : J.t option;     (** present when [ok] *)
+  server : J.t option;     (** per-request server-side facts *)
+  error : P.reject option; (** present when [not ok] *)
+  raw : string;            (** the exact line off the wire *)
+}
+
+val parse_response : string -> (response, string) result
+
+val roundtrip : t -> P.request -> (response, string) result
+(** Send one request and block for its response. *)
+
+val once :
+  ?retries:int -> ?retry_delay_s:float ->
+  [ `Unix of string | `Tcp of string * int ] ->
+  P.request -> (response, string) result
+(** Connect, ask one question, close. *)

@@ -1,0 +1,263 @@
+module J = Emsc_obs.Json
+
+let version = "emsc-serve/1"
+let default_max_line_bytes = 1 lsl 20
+
+type options_req = {
+  o_arch : [ `Gpu | `Cell ];
+  o_merge_per_array : bool;
+  o_delta : float;
+  o_optimize_movement : bool;
+  o_inter_tile_reuse : bool;
+  o_machine : string;
+  o_block : int list;
+  o_mem : int list;
+  o_thread : int list;
+}
+
+let default_options =
+  { o_arch = `Gpu;
+    o_merge_per_array = false;
+    o_delta = 0.3;
+    o_optimize_movement = false;
+    o_inter_tile_reuse = false;
+    o_machine = "";
+    o_block = [];
+    o_mem = [];
+    o_thread = [] }
+
+type op =
+  | Compile of { name : string; text : string; options : options_req }
+  | Analyze of { name : string; text : string; options : options_req }
+  | Check of { fuzz : int; seed : int }
+  | Status
+  | Shutdown
+
+type request = {
+  req_id : string;
+  op : op;
+  timeout_ms : float option;
+}
+
+let op_name = function
+  | Compile _ -> "compile"
+  | Analyze _ -> "analyze"
+  | Check _ -> "check"
+  | Status -> "status"
+  | Shutdown -> "shutdown"
+
+type reject = {
+  code : string;
+  message : string;
+}
+
+let reject code message = { code; message }
+
+(* --- request encoding (clients) ----------------------------------------- *)
+
+let options_json o =
+  let ints l = J.List (List.map (fun i -> J.Int i) l) in
+  let fields =
+    (match o.o_arch with `Gpu -> [] | `Cell -> [ ("arch", J.Str "cell") ])
+    @ (if o.o_merge_per_array then [ ("merge_per_array", J.Bool true) ] else [])
+    @ (if o.o_delta <> default_options.o_delta then
+         [ ("delta", J.Float o.o_delta) ]
+       else [])
+    @ (if o.o_optimize_movement then [ ("optimize_movement", J.Bool true) ]
+       else [])
+    @ (if o.o_inter_tile_reuse then [ ("inter_tile_reuse", J.Bool true) ]
+       else [])
+    @ (if o.o_machine <> "" then [ ("machine", J.Str o.o_machine) ] else [])
+    @ (if o.o_block <> [] then [ ("block", ints o.o_block) ] else [])
+    @ (if o.o_mem <> [] then [ ("mem", ints o.o_mem) ] else [])
+    @ (if o.o_thread <> [] then [ ("thread", ints o.o_thread) ] else [])
+  in
+  J.Obj fields
+
+let request_json r =
+  let base = [ ("v", J.Str version); ("id", J.Str r.req_id) ] in
+  let timeout =
+    match r.timeout_ms with
+    | Some ms -> [ ("timeout_ms", J.Float ms) ]
+    | None -> []
+  in
+  let op_fields =
+    match r.op with
+    | Compile { name; text; options } | Analyze { name; text; options } ->
+      [ ("op", J.Str (op_name r.op)); ("name", J.Str name);
+        ("text", J.Str text); ("options", options_json options) ]
+    | Check { fuzz; seed } ->
+      [ ("op", J.Str "check"); ("fuzz", J.Int fuzz); ("seed", J.Int seed) ]
+    | Status -> [ ("op", J.Str "status") ]
+    | Shutdown -> [ ("op", J.Str "shutdown") ]
+  in
+  J.Obj (base @ [ List.hd op_fields ] @ timeout @ List.tl op_fields)
+
+let request_line r = J.to_string (request_json r)
+
+(* --- request decoding (the daemon) -------------------------------------- *)
+
+let str_field j name =
+  match J.member name j with Some (J.Str s) -> Some s | _ -> None
+
+let num_field j name =
+  match J.member name j with
+  | Some (J.Float f) -> Some f
+  | Some (J.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let bool_field ~default j name =
+  match J.member name j with Some (J.Bool b) -> b | _ -> default
+
+let int_list_field j name =
+  match J.member name j with
+  | Some (J.List l) ->
+    (try
+       Ok
+         (List.map
+            (function
+              | J.Int i -> i
+              | _ -> raise Exit)
+            l)
+     with Exit -> Error (Printf.sprintf "%S must be a list of integers" name))
+  | Some _ -> Error (Printf.sprintf "%S must be a list of integers" name)
+  | None -> Ok []
+
+let options_of_json j =
+  let ( let* ) = Result.bind in
+  match j with
+  | None -> Ok default_options
+  | Some j ->
+    let* arch =
+      match str_field j "arch" with
+      | None | Some "gpu" -> Ok `Gpu
+      | Some "cell" -> Ok `Cell
+      | Some a -> Error (Printf.sprintf "unknown arch %S" a)
+    in
+    let* block = int_list_field j "block" in
+    let* mem = int_list_field j "mem" in
+    let* thread = int_list_field j "thread" in
+    Ok
+      { o_arch = arch;
+        o_merge_per_array = bool_field ~default:false j "merge_per_array";
+        o_delta =
+          (match num_field j "delta" with
+           | Some d -> d
+           | None -> default_options.o_delta);
+        o_optimize_movement = bool_field ~default:false j "optimize_movement";
+        o_inter_tile_reuse = bool_field ~default:false j "inter_tile_reuse";
+        o_machine = Option.value ~default:"" (str_field j "machine");
+        o_block = block;
+        o_mem = mem;
+        o_thread = thread }
+
+(* Parse one request line.  Every failure is a typed [reject] the
+   daemon answers without dropping the connection (except oversized
+   lines, which the transport layer rejects before parsing: an
+   arbitrarily long line would otherwise buffer without bound). *)
+let parse_request line =
+  match J.of_string line with
+  | Error e -> Error (reject "bad_json" e)
+  | Ok j ->
+    let id = Option.value ~default:"" (str_field j "id") in
+    (match str_field j "v" with
+     | None ->
+       Error (reject "bad_version" (Printf.sprintf "missing \"v\" (expected %S)" version))
+     | Some v when v <> version ->
+       Error
+         (reject "bad_version"
+            (Printf.sprintf "protocol version %S unsupported (expected %S)" v
+               version))
+     | Some _ ->
+       let timeout_ms = num_field j "timeout_ms" in
+       let source_op build =
+         match str_field j "text" with
+         | None -> Error (reject "bad_request" "missing \"text\" field")
+         | Some text ->
+           let name = Option.value ~default:"<request>" (str_field j "name") in
+           (match options_of_json (J.member "options" j) with
+            | Error m -> Error (reject "bad_request" m)
+            | Ok options -> Ok (build ~name ~text ~options))
+       in
+       let op =
+         match str_field j "op" with
+         | None -> Error (reject "bad_request" "missing \"op\" field")
+         | Some "compile" ->
+           source_op (fun ~name ~text ~options -> Compile { name; text; options })
+         | Some "analyze" ->
+           source_op (fun ~name ~text ~options -> Analyze { name; text; options })
+         | Some "check" ->
+           let int_of name default =
+             match num_field j name with
+             | Some f -> int_of_float f
+             | None -> default
+           in
+           Ok (Check { fuzz = int_of "fuzz" 10; seed = int_of "seed" 1 })
+         | Some "status" -> Ok Status
+         | Some "shutdown" -> Ok Shutdown
+         | Some o -> Error (reject "bad_request" (Printf.sprintf "unknown op %S" o))
+       in
+       (match op with
+        | Error r -> Error r
+        | Ok op -> Ok { req_id = id; op; timeout_ms }))
+
+(* --- responses ----------------------------------------------------------- *)
+
+let ok_response ~id ?(server = []) result =
+  J.to_string
+    (J.Obj
+       ([ ("v", J.Str version); ("id", J.Str id); ("ok", J.Bool true);
+          ("result", result) ]
+        @ if server = [] then [] else [ ("server", J.Obj server) ]))
+
+let error_response ~id r =
+  J.to_string
+    (J.Obj
+       [ ("v", J.Str version); ("id", J.Str id); ("ok", J.Bool false);
+         ( "error",
+           J.Obj [ ("code", J.Str r.code); ("message", J.Str r.message) ] ) ])
+
+(* --- deterministic result payloads --------------------------------------- *)
+
+(* The serve contract: the "result" object of a compile/analyze
+   response is a pure function of (source, options, machine) — no
+   timings, no cache traffic, no queue state (those live in the
+   sibling "server" object).  The daemon and the bit-identity tests
+   both build it here, so "bit-identical to a direct Pipeline.compile"
+   is checked by string equality of this JSON. *)
+
+let block_text stms = Format.asprintf "%a" Emsc_codegen.Ast.pp_block stms
+
+let plan_exn (c : Emsc_driver.Pipeline.compiled) =
+  match c.Emsc_driver.Pipeline.plan with
+  | Some plan -> plan
+  | None -> failwith "compilation produced no plan"
+
+let analyze_result ~capacity_words (c : Emsc_driver.Pipeline.compiled) =
+  let module P = Emsc_driver.Pipeline in
+  J.Obj
+    [ ("source", J.Str c.P.source_name);
+      ("digest", J.Str c.P.digest);
+      ("plan", Emsc_core.Plan.explain_json ~capacity_words (plan_exn c)) ]
+
+let compile_result ~capacity_words (c : Emsc_driver.Pipeline.compiled) =
+  let module P = Emsc_driver.Pipeline in
+  let plan = plan_exn c in
+  let movement =
+    List.map
+      (fun (b : Emsc_core.Plan.buffered) ->
+        J.Obj
+          [ ("buffer", J.Str b.Emsc_core.Plan.buffer.Emsc_core.Alloc.local_name);
+            ("move_in", J.Str (block_text b.Emsc_core.Plan.move_in));
+            ("move_out", J.Str (block_text b.Emsc_core.Plan.move_out)) ])
+      plan.Emsc_core.Plan.buffered
+  in
+  J.Obj
+    [ ("source", J.Str c.P.source_name);
+      ("digest", J.Str c.P.digest);
+      ("plan", Emsc_core.Plan.explain_json ~capacity_words plan);
+      ( "kernel",
+        match c.P.tiled with
+        | Some t -> J.Str (block_text t.P.ast)
+        | None -> J.Null );
+      ("movement", J.List movement) ]

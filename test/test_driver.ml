@@ -189,6 +189,81 @@ let test_failing_writer_leaves_no_tmp () =
   Alcotest.(check (list string)) "no orphaned tmp after Failure" []
     (tmp_files ())
 
+(* --- LRU memory layer ------------------------------------------------- *)
+
+let test_lru_cap_respected () =
+  let cache = Cache.in_memory ~max_entries:4 () in
+  for i = 0 to 19 do
+    let key = Cache.key ~digest:(string_of_int i) ~stage:"s" ~extra:"" in
+    let v, cached = Cache.memo cache ~key (fun () -> i) in
+    Alcotest.(check int) "computed value" i v;
+    Alcotest.(check bool) "first sight is a miss" false cached;
+    Alcotest.(check bool) "cap respected under churn" true
+      (Cache.mem_entries cache <= 4)
+  done;
+  Alcotest.(check int) "entries at cap" 4 (Cache.mem_entries cache);
+  Alcotest.(check int) "evictions counted" 16 (Cache.evictions cache);
+  Alcotest.(check int) "twenty stores" 20 (Cache.stores cache)
+
+let test_lru_recency_order () =
+  let cache = Cache.in_memory ~max_entries:2 () in
+  let memo k = fst (Cache.memo cache ~key:k (fun () -> k)) in
+  ignore (memo "a");
+  ignore (memo "b");
+  (* touching [a] makes [b] the eviction victim for [c] *)
+  ignore (memo "a");
+  ignore (memo "c");
+  Alcotest.(check (option string)) "a survives (recently used)" (Some "a")
+    (Cache.find cache ~key:"a");
+  Alcotest.(check (option string)) "b evicted (least recent)" None
+    (Cache.find cache ~key:"b");
+  Alcotest.(check int) "one eviction" 1 (Cache.evictions cache)
+
+let test_lru_eviction_metrics () =
+  Emsc_obs.Metrics.reset ();
+  Emsc_obs.Metrics.enable ();
+  let finally () =
+    Emsc_obs.Metrics.disable ();
+    Emsc_obs.Metrics.reset ()
+  in
+  Fun.protect ~finally (fun () ->
+    let cache = Cache.in_memory ~max_entries:2 () in
+    for i = 0 to 9 do
+      ignore (Cache.memo cache ~key:(string_of_int i) (fun () -> i))
+    done;
+    let snap = Emsc_obs.Metrics.snapshot () in
+    let evictions =
+      List.find_map
+        (fun (s : Emsc_obs.Metrics.sample) ->
+          match s.Emsc_obs.Metrics.m_value with
+          | Emsc_obs.Metrics.Counter v
+            when s.Emsc_obs.Metrics.m_name = "driver.cache.evictions" ->
+            Some v
+          | _ -> None)
+        snap.Emsc_obs.Metrics.samples
+    in
+    Alcotest.(check (option (float 0.0))) "evictions in the registry"
+      (Some 8.0) evictions)
+
+let test_hit_after_evict_falls_to_disk () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "emsc-test-lru-disk-%d" (Unix.getpid ()))
+  in
+  let cache = Cache.create ~dir ~max_entries:2 () in
+  let memo k = ignore (fst (Cache.memo cache ~key:k (fun () -> k))) in
+  memo "a";
+  memo "b";
+  memo "c";   (* evicts [a] from memory; [a] stays published on disk *)
+  Alcotest.(check int) "one eviction" 1 (Cache.evictions cache);
+  let v, cached = Cache.memo cache ~key:"a" (fun () -> "recompute") in
+  Alcotest.(check string) "disk served the evicted entry" "a" v;
+  Alcotest.(check bool) "counted as a hit" true cached;
+  Alcotest.(check int) "specifically a disk hit" 1 (Cache.disk_hits cache);
+  (* the disk hit re-promotes [a] into the memory layer *)
+  let (_ : string * bool) = Cache.memo cache ~key:"a" (fun () -> "x") in
+  Alcotest.(check int) "promoted back to hot" 1 (Cache.hot_hits cache)
+
 (* --- batch ------------------------------------------------------------ *)
 
 let fingerprint (c : Pipeline.compiled) =
@@ -240,6 +315,63 @@ let test_batch_reports_bad_file () =
      Alcotest.(check string) "failure origin" "broken" e.Frontend.origin
    | _ -> Alcotest.fail "expected [Ok; Error; Ok] in input order");
   ()
+
+let named n = Pipeline.job (Source.Text { name = n; text = matmul_src })
+
+let test_batch_raising_job_is_named () =
+  (* a compile function that raises must surface as that job's own
+     error — name and message — never as a collapsed batch failure *)
+  let compile_one ~cache (jb : Pipeline.job) =
+    if Source.name jb.Pipeline.source = "j2" then failwith "injected crash";
+    Pipeline.compile ~cache jb
+  in
+  List.iter
+    (fun jobs_n ->
+      let results =
+        Pipeline.compile_many ~jobs:jobs_n ~compile_one
+          [ named "j0"; named "j1"; named "j2"; named "j3" ]
+      in
+      match results with
+      | [ Ok _; Ok _; Error e; Ok _ ] ->
+        Alcotest.(check string) "failed job is named" "j2" e.Frontend.origin;
+        Alcotest.(check string) "batch stage" "batch" e.Frontend.stage;
+        let contains s sub =
+          let n = String.length sub in
+          let rec at i =
+            i + n <= String.length s && (String.sub s i n = sub || at (i + 1))
+          in
+          at 0
+        in
+        Alcotest.(check bool) "message carries the exception" true
+          (contains e.Frontend.message "injected crash")
+      | _ -> Alcotest.failf "jobs=%d: expected [Ok; Ok; Error j2; Ok]" jobs_n)
+    [ 1; 2 ]   (* both the sequential and the forked path *)
+
+let test_batch_dead_worker_is_isolated () =
+  (* jobs are dealt round-robin over 2 workers: worker 1 holds j1 and
+     j3.  It aborts at j1 without reporting, so j1 and j3 must each
+     come back as their own error carrying the exit status, while
+     worker 0's j0 and j2 results survive untouched. *)
+  let compile_one ~cache (jb : Pipeline.job) =
+    if Source.name jb.Pipeline.source = "j1" then Unix._exit 3;
+    Pipeline.compile ~cache jb
+  in
+  let results =
+    Pipeline.compile_many ~jobs:2 ~compile_one
+      [ named "j0"; named "j1"; named "j2"; named "j3" ]
+  in
+  match results with
+  | [ Ok _; Error e1; Ok _; Error e3 ] ->
+    Alcotest.(check string) "j1 named" "j1" e1.Frontend.origin;
+    Alcotest.(check string) "j3 named" "j3" e3.Frontend.origin;
+    Alcotest.(check string) "exit status reported"
+      "worker exited with code 3" e1.Frontend.message;
+    Alcotest.(check string) "unreported job carries the same status"
+      "worker exited with code 3" e3.Frontend.message
+  | _ ->
+    Alcotest.failf "expected [Ok; Error; Ok; Error], got %s"
+      (String.concat ";"
+         (List.map (function Ok _ -> "ok" | Error _ -> "err") results))
 
 (* --- tracing ---------------------------------------------------------- *)
 
@@ -311,11 +443,24 @@ let () =
             test_corrupt_entry_is_miss;
           Alcotest.test_case "failing writer leaks no tmp file" `Quick
             test_failing_writer_leaves_no_tmp ] );
+      ( "lru",
+        [ Alcotest.test_case "cap respected under churn" `Quick
+            test_lru_cap_respected;
+          Alcotest.test_case "least-recent entry is the victim" `Quick
+            test_lru_recency_order;
+          Alcotest.test_case "evictions reach the metrics registry" `Quick
+            test_lru_eviction_metrics;
+          Alcotest.test_case "hit after evict falls through to disk" `Quick
+            test_hit_after_evict_falls_to_disk ] );
       ( "batch",
         [ Alcotest.test_case "parallel equals sequential" `Slow
             test_batch_matches_sequential;
           Alcotest.test_case "bad file is isolated" `Quick
-            test_batch_reports_bad_file ] );
+            test_batch_reports_bad_file;
+          Alcotest.test_case "raising job is its own named error" `Quick
+            test_batch_raising_job_is_named;
+          Alcotest.test_case "dead worker loses only unreported jobs" `Quick
+            test_batch_dead_worker_is_isolated ] );
       ( "observability",
         [ Alcotest.test_case "stage spans present" `Quick test_stage_spans ] );
       ( "frontend",
